@@ -1,0 +1,10 @@
+CMOS inverter on the synthetic 40nm node (VS model)
+.model nvs vs (type=n)
+.model pvs vs (type=p)
+Vdd vdd 0 DC 0.9
+Vin in 0 PULSE(0 0.9 20p 10p 10p 60p 200p)
+Mp out in vdd vdd pvs W=600n L=40n
+Mn out in 0 0 nvs W=300n L=40n
+Cload out 0 2f
+.tran 1p 200p
+.end

@@ -1,0 +1,7 @@
+NMOS output characteristic (golden bsim4lite card)
+.model nb bsim4lite (type=n)
+Vg g 0 DC 0.9
+Vd d 0 DC 0.9
+M1 d g 0 0 nb W=600n L=40n
+.dc vd 0 0.9 0.05
+.end

@@ -1,0 +1,6 @@
+RC low-pass filter
+Vin in 0 SIN(0 1 1meg)
+R1 in out 1k
+C1 out 0 1n
+.ac dec 10 10k 100meg vin
+.end
