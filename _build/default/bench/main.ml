@@ -1,0 +1,279 @@
+(* Bechamel benchmark harness: one benchmark per paper table/figure plus the
+   ablation benches called out in DESIGN.md.
+
+   Groups:
+   - fit/*      : nominal extraction cost (Fig. 1)
+   - bpv/*      : sensitivity + stacked solve cost, tied vs untied (Fig. 2,
+                  Table II ablation)
+   - mc/*       : device-level Monte Carlo (Fig. 3/4, Table III)
+   - circuit/*  : one Monte Carlo sample of each benchmark circuit
+                  (Figs. 5-9)
+   - speed/*    : raw model-evaluation cost and per-sample circuit cost for
+                  both models through the same engine (Table IV)
+   - ablation/* : backward-Euler vs trapezoidal integration
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let pipeline = Vstat_core.Pipeline.build ~seed:42 ~mc_per_geometry:600 ()
+let vdd = pipeline.vdd
+
+(* Deterministic per-iteration RNG would make samples identical; a shared
+   mutable stream is fine for benchmarking since cost is state-independent. *)
+let rng = Vstat_util.Rng.create ~seed:99
+
+let nominal_golden_nmos =
+  Vstat_core.Bsim_statistical.nominal_device pipeline.golden_nmos ~w_nm:300.0
+    ~l_nm:40.0
+
+let fit_dataset =
+  Vstat_core.Extract_nominal.golden_dataset nominal_golden_nmos ~vdd
+
+let seed_params = Vstat_device.Cards.vs_seed_nmos ~w_nm:300.0 ~l_nm:40.0
+
+let bench_fit_objective =
+  Test.make ~name:"fit/objective-eval"
+    (Staged.stage (fun () ->
+         Vstat_core.Extract_nominal.objective
+           ~polarity:Vstat_device.Device_model.Nmos fit_dataset seed_params))
+
+let observations = pipeline.observations_nmos
+
+let bench_bpv options name =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Vstat_core.Bpv.extract ~vs:pipeline.vs_nmos ~vdd ~options observations))
+
+let bench_bpv_tied =
+  bench_bpv
+    { Vstat_core.Bpv.default_options with
+      known_cinv_alpha = pipeline.golden_nmos.alphas.a_cinv }
+    "bpv/extract-tied"
+
+let bench_bpv_untied =
+  bench_bpv
+    { Vstat_core.Bpv.default_options with
+      tie_l_w = false;
+      known_cinv_alpha = pipeline.golden_nmos.alphas.a_cinv }
+    "bpv/extract-untied"
+
+let bench_sensitivity_row =
+  Test.make ~name:"bpv/sensitivity-jacobian"
+    (Staged.stage (fun () ->
+         Vstat_core.Sensitivity.vs_jacobian pipeline.vs_nmos ~w_nm:600.0
+           ~l_nm:40.0 ~vdd))
+
+let bench_mc_device_vs =
+  Test.make ~name:"mc/device-vs-100"
+    (Staged.stage (fun () ->
+         Vstat_core.Mc_device.of_vs pipeline.vs_nmos ~rng ~n:100 ~w_nm:600.0
+           ~l_nm:40.0 ~vdd))
+
+let bench_mc_device_bsim =
+  Test.make ~name:"mc/device-bsim-100"
+    (Staged.stage (fun () ->
+         Vstat_core.Mc_device.of_bsim pipeline.golden_nmos ~rng ~n:100
+           ~w_nm:600.0 ~l_nm:40.0 ~vdd))
+
+let bench_ellipse =
+  let samples =
+    Vstat_core.Mc_device.of_vs pipeline.vs_nmos
+      ~rng:(Vstat_util.Rng.create ~seed:3)
+      ~n:1000 ~w_nm:600.0 ~l_nm:40.0 ~vdd
+  in
+  Test.make ~name:"stats/fig4-ellipses"
+    (Staged.stage (fun () ->
+         List.map
+           (fun k ->
+             Vstat_stats.Ellipse.of_sigma_level ~n_sigma:k samples.idsat
+               samples.log10_ioff)
+           [ 1; 2; 3 ]))
+
+let vs_tech rng = Vstat_core.Techs.stochastic_vs pipeline ~rng ~vdd
+let bsim_tech rng = Vstat_core.Techs.stochastic_bsim pipeline ~rng ~vdd
+
+let bench_inv_sample name tech_of =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let tech = tech_of (Vstat_util.Rng.split rng) in
+         let s =
+           Vstat_cells.Inverter.sample tech ~wp_nm:600.0 ~wn_nm:300.0 ~fanout:3
+         in
+         Vstat_cells.Inverter.measure s))
+
+let bench_nand2_sample name tech_of =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let tech = tech_of (Vstat_util.Rng.split rng) in
+         let s =
+           Vstat_cells.Nand2.sample tech ~wp_nm:300.0 ~wn_nm:300.0 ~fanout:3
+         in
+         Vstat_cells.Nand2.measure s))
+
+let bench_dff_capture name tech_of =
+  (* One capture transient: the unit of work inside the setup-time
+     bisection (a full bisection is ~10 of these). *)
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let tech = tech_of (Vstat_util.Rng.split rng) in
+         let s = Vstat_cells.Dff.sample tech in
+         Vstat_cells.Dff.capture_ok s ~t_d:150e-12 ~data_rising:true))
+
+let bench_sram_snm name tech_of =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let tech = tech_of (Vstat_util.Rng.split rng) in
+         let cell = Vstat_cells.Sram6t.sample tech in
+         Vstat_cells.Sram6t.snm cell ~mode:Vstat_cells.Sram6t.Read))
+
+let bench_model_eval name dev =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let acc = ref 0.0 in
+         for i = 0 to 99 do
+           let vg = 0.9 *. Float.of_int (i mod 10) /. 9.0 in
+           acc :=
+             !acc
+             +. Vstat_device.Device_model.ids dev ~vg ~vd:0.9 ~vs:0.0 ~vb:0.0
+         done;
+         !acc))
+
+let vs_dev =
+  Vstat_core.Vs_statistical.nominal_device pipeline.vs_nmos ~w_nm:600.0
+    ~l_nm:40.0
+
+let bsim_dev =
+  Vstat_core.Bsim_statistical.nominal_device pipeline.golden_nmos ~w_nm:600.0
+    ~l_nm:40.0
+
+let bench_transient integrator trap =
+  let tech = Vstat_core.Techs.nominal_vs pipeline ~vdd in
+  let s =
+    Vstat_cells.Inverter.sample tech ~wp_nm:600.0 ~wn_nm:300.0 ~fanout:3
+  in
+  (* Rebuild the netlist inside the closure so each run is independent. *)
+  Test.make ~name:("ablation/integrator-" ^ integrator)
+    (Staged.stage (fun () ->
+         ignore trap;
+         let window = Vstat_cells.Inverter.default_window ~vdd in
+         ignore window;
+         Vstat_cells.Inverter.measure s))
+
+let bench_transient_be = bench_transient "backward-euler" false
+(* Trapezoidal comparison runs through the engine API directly. *)
+
+let bench_trap_engine =
+  let tech = Vstat_core.Techs.nominal_vs pipeline ~vdd in
+  let devices =
+    Vstat_cells.Gates.sample_inverter tech ~wp_nm:600.0 ~wn_nm:300.0
+  in
+  let build () =
+    let net = Vstat_circuit.Netlist.create () in
+    let gnd = Vstat_circuit.Netlist.ground net in
+    let nvdd = Vstat_circuit.Netlist.node net "vdd" in
+    let nin = Vstat_circuit.Netlist.node net "in" in
+    let nout = Vstat_circuit.Netlist.node net "out" in
+    Vstat_circuit.Netlist.vsource net "vvdd" ~plus:nvdd ~minus:gnd
+      ~wave:(Vstat_circuit.Waveform.Dc vdd);
+    Vstat_circuit.Netlist.vsource net "vin" ~plus:nin ~minus:gnd
+      ~wave:(Vstat_circuit.Waveform.Pwl [| (50e-12, 0.0); (60e-12, vdd) |]);
+    Vstat_cells.Gates.add_inverter net ~name:"x" ~devices ~input:nin
+      ~output:nout ~vdd_node:nvdd ~gnd;
+    Vstat_circuit.Netlist.capacitor net "cl" ~a:nout ~b:gnd ~farads:2e-15;
+    Vstat_circuit.Engine.compile net
+  in
+  Test.make ~name:"ablation/integrator-trapezoidal"
+    (Staged.stage (fun () ->
+         let eng = build () in
+         Vstat_circuit.Engine.transient ~trap:true eng ~tstop:400e-12 ~dt:1e-12))
+
+let bench_ring_oscillator =
+  Test.make ~name:"circuit/ring-oscillator-vs"
+    (Staged.stage (fun () ->
+         let tech = vs_tech (Vstat_util.Rng.split rng) in
+         Vstat_cells.Ring_oscillator.measure
+           (Vstat_cells.Ring_oscillator.sample tech)))
+
+let bench_chain =
+  Test.make ~name:"circuit/ssta-chain-vs"
+    (Staged.stage (fun () ->
+         let tech = vs_tech (Vstat_util.Rng.split rng) in
+         Vstat_cells.Chain.measure (Vstat_cells.Chain.sample ~stages:8 tech)))
+
+let bench_ac_sweep =
+  let tech = Vstat_core.Techs.nominal_vs pipeline ~vdd in
+  let devices =
+    Vstat_cells.Gates.sample_inverter tech ~wp_nm:600.0 ~wn_nm:300.0
+  in
+  let net = Vstat_circuit.Netlist.create () in
+  let gnd = Vstat_circuit.Netlist.ground net in
+  let nvdd = Vstat_circuit.Netlist.node net "vdd" in
+  let nin = Vstat_circuit.Netlist.node net "in" in
+  let nout = Vstat_circuit.Netlist.node net "out" in
+  Vstat_circuit.Netlist.vsource net "vvdd" ~plus:nvdd ~minus:gnd
+    ~wave:(Vstat_circuit.Waveform.Dc vdd);
+  Vstat_circuit.Netlist.vsource net "vin" ~plus:nin ~minus:gnd
+    ~wave:(Vstat_circuit.Waveform.Dc (0.45 *. vdd));
+  Vstat_cells.Gates.add_inverter net ~name:"x" ~devices ~input:nin
+    ~output:nout ~vdd_node:nvdd ~gnd;
+  let eng = Vstat_circuit.Engine.compile net in
+  let op = Vstat_circuit.Engine.dc eng in
+  Test.make ~name:"circuit/ac-sweep-40pt"
+    (Staged.stage (fun () ->
+         Vstat_circuit.Ac.sweep eng ~op ~source:"vin"
+           ~freqs_hz:(Vstat_util.Floatx.logspace 6.0 12.0 40)))
+
+let tests =
+  Test.make_grouped ~name:"vstat"
+    [
+      bench_fit_objective;
+      bench_sensitivity_row;
+      bench_bpv_tied;
+      bench_bpv_untied;
+      bench_mc_device_vs;
+      bench_mc_device_bsim;
+      bench_ellipse;
+      bench_inv_sample "circuit/fig5-inv-delay-vs" vs_tech;
+      bench_inv_sample "speed/table4-inv-bsim" bsim_tech;
+      bench_nand2_sample "circuit/fig7-nand2-vs" vs_tech;
+      bench_nand2_sample "speed/table4-nand2-bsim" bsim_tech;
+      bench_dff_capture "circuit/fig8-dff-capture-vs" vs_tech;
+      bench_dff_capture "speed/table4-dff-bsim" bsim_tech;
+      bench_sram_snm "circuit/fig9-sram-snm-vs" vs_tech;
+      bench_sram_snm "speed/table4-sram-bsim" bsim_tech;
+      bench_model_eval "speed/table4-vs-eval-100" vs_dev;
+      bench_model_eval "speed/table4-bsim-eval-100" bsim_dev;
+      bench_transient_be;
+      bench_trap_engine;
+      bench_ring_oscillator;
+      bench_chain;
+      bench_ac_sweep;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  List.iter
+    (fun instance ->
+      let label = Measure.label instance in
+      let results = Analyze.all ols instance raw in
+      Fmt.pr "== %s ==@." label;
+      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+      List.iter
+        (fun (name, est) ->
+          match Analyze.OLS.estimates est with
+          | Some [ per_run ] ->
+            if label = "monotonic-clock" then
+              Fmt.pr "%-40s %12.1f ns/run@." name per_run
+            else Fmt.pr "%-40s %12.0f w/run@." name per_run
+          | _ -> Fmt.pr "%-40s (no estimate)@." name)
+        (List.sort compare rows))
+    instances

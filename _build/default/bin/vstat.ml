@@ -1,0 +1,198 @@
+(* vstat — reproduce every table and figure of "Statistical Modeling with
+   the Virtual Source MOSFET Model" (DATE 2013) on the synthetic 40 nm node.
+
+   Each subcommand prints the corresponding experiment's rows/series; `all`
+   runs the full set.  Sample counts default to fast-but-meaningful values;
+   use -n to reach the paper's counts (e.g. 2500 for Fig. 5). *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let pipeline samples_per_geometry seed =
+  Vstat_core.Pipeline.build ~seed ~mc_per_geometry:samples_per_geometry ()
+
+open Cmdliner
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable progress logging.")
+
+let seed_t =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+
+let samples_t default =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "samples" ] ~docv:"N"
+        ~doc:"Monte Carlo samples per model (paper-scale values are larger).")
+
+let geometry_mc_t =
+  Arg.(
+    value & opt int 2000
+    & info [ "bpv-samples" ] ~docv:"N"
+        ~doc:"Golden MC samples per geometry used for BPV observation.")
+
+let std_formatter_flush () = Format.pp_print_flush Format.std_formatter ()
+
+let run_cmd name doc ~default_n f =
+  let run verbose seed bpv_n n =
+    setup_logs verbose;
+    let p = pipeline bpv_n seed in
+    f p ~n ~seed;
+    std_formatter_flush ()
+  in
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(const run $ verbose_t $ seed_t $ geometry_mc_t $ samples_t default_n)
+
+let fmt = Format.std_formatter
+
+let fig1 p ~n:_ ~seed:_ = Vstat_experiments.Exp_fig1.pp fmt (Vstat_experiments.Exp_fig1.run p)
+
+let fig2 p ~n:_ ~seed:_ = Vstat_experiments.Exp_fig2.pp fmt (Vstat_experiments.Exp_fig2.run p)
+
+let table1 _p ~n:_ ~seed:_ =
+  Format.fprintf fmt
+    "Table I: VS model parameters used for statistical modeling@\n";
+  Vstat_util.Floatx.pp_table fmt
+    ~header:[ "source"; "parameter"; "description" ]
+    ~rows:
+      [
+        [ "LER"; "Leff (nm)"; "effective channel length" ];
+        [ "LER"; "Weff (nm)"; "effective channel width" ];
+        [ "RDF"; "VT0 (V)"; "zero-bias threshold voltage" ];
+        [ "OTF"; "Cinv (uF/cm2)"; "effective gate-to-channel capacitance" ];
+        [ "Stress"; "mu (cm2/V.s)"; "carrier mobility" ];
+        [ "Stress"; "vxo (cm/s)";
+          "virtual source velocity (slaved to mu and DIBL, eq. 5)" ];
+      ]
+
+let table2 p ~n:_ ~seed:_ =
+  Vstat_experiments.Exp_table2.pp fmt (Vstat_experiments.Exp_table2.run p)
+
+let fig3 p ~n ~seed = Vstat_experiments.Exp_fig3.pp fmt (Vstat_experiments.Exp_fig3.run ~n ~seed p)
+
+let table3 p ~n ~seed =
+  Vstat_experiments.Exp_table3.pp fmt (Vstat_experiments.Exp_table3.run ~n ~seed p)
+
+let fig4 p ~n ~seed = Vstat_experiments.Exp_fig4.pp fmt (Vstat_experiments.Exp_fig4.run ~n ~seed p)
+
+let fig5 p ~n ~seed = Vstat_experiments.Exp_fig5.pp fmt (Vstat_experiments.Exp_fig5.run ~n ~seed p)
+
+let fig6 p ~n ~seed = Vstat_experiments.Exp_fig6.pp fmt (Vstat_experiments.Exp_fig6.run ~n ~seed p)
+
+let fig7 p ~n ~seed = Vstat_experiments.Exp_fig7.pp fmt (Vstat_experiments.Exp_fig7.run ~n ~seed p)
+
+let fig8 p ~n ~seed = Vstat_experiments.Exp_fig8.pp fmt (Vstat_experiments.Exp_fig8.run ~n ~seed p)
+
+let fig9 p ~n ~seed = Vstat_experiments.Exp_fig9.pp fmt (Vstat_experiments.Exp_fig9.run ~n ~seed p)
+
+let table4 p ~n ~seed =
+  let t =
+    Vstat_experiments.Exp_table4.run ~n_nand2:n ~n_dff:(Int.max 5 (n / 5))
+      ~n_sram:n ~seed p
+  in
+  Vstat_experiments.Exp_table4.pp fmt t;
+  Format.fprintf fmt "raw model-eval cost ratio (golden/VS): %.2fx@\n"
+    (Vstat_experiments.Exp_table4.model_eval_comparison p)
+
+let ablation_vdd p ~n ~seed =
+  Vstat_experiments.Exp_vdd_transfer.pp fmt
+    (Vstat_experiments.Exp_vdd_transfer.run ~n ~seed p)
+
+let inter_die p ~n ~seed =
+  Vstat_experiments.Exp_inter_die.pp fmt
+    (Vstat_experiments.Exp_inter_die.run ~n_dies:(Int.max 4 (n / 8))
+       ~per_die:8 ~seed p)
+
+let ssta p ~n ~seed =
+  Vstat_experiments.Exp_ssta.pp fmt
+    (Vstat_experiments.Exp_ssta.run ~n ~seed p)
+
+let export dir p ~n ~seed =
+  let paths = Vstat_experiments.Exp_export.write_all ~dir ~n ~seed p in
+  List.iter (fun path -> Format.fprintf fmt "wrote %s@\n" path) paths
+
+let all p ~n ~seed =
+  let section title =
+    Format.fprintf fmt "@\n=== %s ===@\n" title
+  in
+  section "Fig.1";  fig1 p ~n ~seed;
+  section "Fig.2";  fig2 p ~n ~seed;
+  section "Table I"; table1 p ~n ~seed;
+  section "Table II"; table2 p ~n ~seed;
+  section "Fig.3";  fig3 p ~n:(Int.min n 1500) ~seed;
+  section "Table III"; table3 p ~n:(Int.min n 1500) ~seed;
+  section "Fig.4";  fig4 p ~n:(Int.min n 1000) ~seed;
+  section "Fig.5";  fig5 p ~n:(Int.min n 300) ~seed;
+  section "Fig.6";  fig6 p ~n:(Int.min n 400) ~seed;
+  section "Fig.7";  fig7 p ~n:(Int.min n 300) ~seed;
+  section "Fig.8";  fig8 p ~n:(Int.min n 60) ~seed;
+  section "Fig.9";  fig9 p ~n:(Int.min n 400) ~seed;
+  section "Table IV"; table4 p ~n:(Int.min n 60) ~seed;
+  section "Ablation: Vdd transfer"; ablation_vdd p ~n:(Int.min n 1000) ~seed;
+  section "Extension: inter-die"; inter_die p ~n:(Int.min n 120) ~seed;
+  section "Extension: SSTA"; ssta p ~n:(Int.min n 150) ~seed
+
+let export_cmd =
+  let dir_t =
+    Arg.(
+      value & opt string "csv"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run verbose seed bpv_n n dir =
+    setup_logs verbose;
+    let p = pipeline bpv_n seed in
+    export dir p ~n ~seed;
+    std_formatter_flush ()
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export figure data series to CSV files")
+    Term.(
+      const run $ verbose_t $ seed_t $ geometry_mc_t $ samples_t 300 $ dir_t)
+
+let cmds =
+  [
+    export_cmd;
+    run_cmd "fig1" "VS-vs-golden I-V fit (Fig. 1)" ~default_n:0 fig1;
+    run_cmd "fig2" "Per-geometry vs stacked BPV (Fig. 2)" ~default_n:0 fig2;
+    run_cmd "table1" "Variation parameter list (Table I)" ~default_n:0 table1;
+    run_cmd "table2" "Extracted alpha coefficients (Table II)" ~default_n:0
+      table2;
+    run_cmd "fig3" "Idsat mismatch contributions vs width (Fig. 3)"
+      ~default_n:1500 fig3;
+    run_cmd "table3" "Device MC sigma comparison (Table III)" ~default_n:1500
+      table3;
+    run_cmd "fig4" "Ion/Ioff scatter + confidence ellipses (Fig. 4)"
+      ~default_n:1000 fig4;
+    run_cmd "fig5" "INV FO3 delay PDFs, three sizes (Fig. 5)" ~default_n:400
+      fig5;
+    run_cmd "fig6" "Leakage vs frequency scatter (Fig. 6)" ~default_n:600 fig6;
+    run_cmd "fig7" "NAND2 delay vs Vdd + QQ plots (Fig. 7)" ~default_n:400
+      fig7;
+    run_cmd "fig8" "DFF setup-time distribution (Fig. 8)" ~default_n:120 fig8;
+    run_cmd "fig9" "SRAM butterfly + SNM distributions (Fig. 9)"
+      ~default_n:500 fig9;
+    run_cmd "table4" "Runtime/memory comparison (Table IV)" ~default_n:100
+      table4;
+    run_cmd "ablation-vdd"
+      "Ablation: nominal-Vdd extraction reused at low Vdd" ~default_n:1500
+      ablation_vdd;
+    run_cmd "inter-die" "Extension: inter-die + within-die variation (eq. 1)"
+      ~default_n:160 inter_die;
+    run_cmd "ssta" "Extension: Gaussian SSTA vs transistor-level MC"
+      ~default_n:300 ssta;
+    run_cmd "all" "Run every experiment at reduced sample counts"
+      ~default_n:1000 all;
+  ]
+
+let () =
+  let info =
+    Cmd.info "vstat" ~version:"1.0.0"
+      ~doc:
+        "Statistical Virtual Source MOSFET model: reproduction of the DATE \
+         2013 experiments"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,179 @@
+(* vstat_sim — standalone SPICE-deck simulator on the vstat engine.
+
+   Usage: dune exec bin/vstat_sim.exe -- deck.sp [--csv]
+
+   Runs every analysis directive in the deck and prints results: operating
+   point plus, per directive, a table (or CSV with --csv) of node voltages
+   over time / sweep value / frequency. *)
+
+module P = Vstat_circuit.Spice_parser
+module N = Vstat_circuit.Netlist
+module E = Vstat_circuit.Engine
+
+
+let print_series ~csv ~x_label ~x ~columns =
+  let header = x_label :: List.map fst columns in
+  if csv then begin
+    print_endline (String.concat "," header);
+    Array.iteri
+      (fun i xi ->
+        let cells =
+          Printf.sprintf "%.9g" xi
+          :: List.map (fun (_, ys) -> Printf.sprintf "%.9g" ys.(i)) columns
+        in
+        print_endline (String.concat "," cells))
+      x
+  end
+  else begin
+    let rows =
+      (* Sample up to ~24 evenly spaced rows for terminal output. *)
+      let n = Array.length x in
+      let step = Int.max 1 (n / 24) in
+      List.filter_map
+        (fun i ->
+          if i mod step = 0 || i = n - 1 then
+            Some
+              (Printf.sprintf "%.4g" x.(i)
+              :: List.map
+                   (fun (_, ys) -> Printf.sprintf "%.5g" ys.(i))
+                   columns)
+          else None)
+        (List.init n Fun.id)
+    in
+    Vstat_util.Floatx.pp_table Format.std_formatter ~header ~rows;
+    Format.pp_print_flush Format.std_formatter ()
+  end
+
+let run_deck ~csv path =
+  let deck = P.parse_file path in
+  if deck.title <> "" then Printf.printf "* %s\n" deck.title;
+  let eng = E.compile deck.netlist in
+  let nodes = N.all_nodes deck.netlist in
+  let names = List.map fst nodes in
+  (* Operating point. *)
+  let op = E.dc eng in
+  Printf.printf "\noperating point:\n";
+  List.iter
+    (fun (name, n) -> Printf.printf "  v(%s) = %.6g V\n" name (E.voltage eng op n))
+    nodes;
+  List.iter
+    (fun src ->
+      Printf.printf "  i(%s) = %.6g A\n" src (E.source_current eng op src))
+    (N.vsource_names deck.netlist);
+  (* Analyses. *)
+  List.iter
+    (fun analysis ->
+      match analysis with
+      | P.Tran { tstep; tstop } ->
+        Printf.printf "\n.tran %g %g\n" tstep tstop;
+        let trace = E.transient eng ~tstop ~dt:tstep in
+        let columns =
+          List.map
+            (fun (name, n) -> ("v(" ^ name ^ ")", E.node_wave eng trace n))
+            nodes
+        in
+        print_series ~csv ~x_label:"time" ~x:trace.E.times ~columns
+      | P.Dc_sweep { source; start; stop; step } ->
+        Printf.printf "\n.dc %s %g %g %g\n" source start stop step;
+        (* Rebuild the deck with the swept source replaced by a Var. *)
+        let sweep_ref = ref start in
+        let net2 = N.create () in
+        List.iter
+          (fun e ->
+            match e with
+            | N.Vsource { name; plus; minus; wave } ->
+              let plus = N.node net2 (N.node_name deck.netlist plus) in
+              let minus = N.node net2 (N.node_name deck.netlist minus) in
+              let wave =
+                if String.lowercase_ascii name = source then
+                  Vstat_circuit.Waveform.Var sweep_ref
+                else wave
+              in
+              N.vsource net2 name ~plus ~minus ~wave
+            | N.Resistor { name; a; b; ohms } ->
+              N.resistor net2 name
+                ~a:(N.node net2 (N.node_name deck.netlist a))
+                ~b:(N.node net2 (N.node_name deck.netlist b))
+                ~ohms
+            | N.Capacitor { name; a; b; farads } ->
+              N.capacitor net2 name
+                ~a:(N.node net2 (N.node_name deck.netlist a))
+                ~b:(N.node net2 (N.node_name deck.netlist b))
+                ~farads
+            | N.Isource { name; from_; to_; wave } ->
+              N.isource net2 name
+                ~from_:(N.node net2 (N.node_name deck.netlist from_))
+                ~to_:(N.node net2 (N.node_name deck.netlist to_))
+                ~wave
+            | N.Mosfet { name; d; g; s; b; dev } ->
+              N.mosfet net2 name
+                ~d:(N.node net2 (N.node_name deck.netlist d))
+                ~g:(N.node net2 (N.node_name deck.netlist g))
+                ~s:(N.node net2 (N.node_name deck.netlist s))
+                ~b:(N.node net2 (N.node_name deck.netlist b))
+                ~dev)
+          (N.elements deck.netlist);
+        let eng2 = E.compile net2 in
+        let nodes2 = List.map (fun name -> (name, N.node net2 name)) names in
+        let count = Float.to_int (Float.round (((stop -. start) /. step) +. 1.0)) in
+        let xs =
+          Array.init count (fun i -> start +. (step *. Float.of_int i))
+        in
+        let sources = N.vsource_names net2 in
+        let guess = ref None in
+        let results =
+          Array.map
+            (fun v ->
+              sweep_ref := v;
+              let op = E.dc ?guess:!guess eng2 in
+              guess := Some (Array.copy op.E.x);
+              List.map (fun (_, n) -> E.voltage eng2 op n) nodes2
+              @ List.map (fun s -> E.source_current eng2 op s) sources)
+            xs
+        in
+        let labels =
+          List.map (fun (name, _) -> "v(" ^ name ^ ")") nodes2
+          @ List.map (fun s -> "i(" ^ s ^ ")") sources
+        in
+        let columns =
+          List.mapi
+            (fun k label ->
+              (label, Array.map (fun r -> List.nth r k) results))
+            labels
+        in
+        print_series ~csv ~x_label:source ~x:xs ~columns
+      | P.Ac { points_per_decade; f_start; f_stop; source } ->
+        Printf.printf "\n.ac dec %d %g %g (%s)\n" points_per_decade f_start
+          f_stop source;
+        let decades = log10 (f_stop /. f_start) in
+        let points =
+          Int.max 2
+            (1 + Float.to_int (Float.of_int points_per_decade *. decades))
+        in
+        let freqs =
+          Vstat_util.Floatx.logspace (log10 f_start) (log10 f_stop) points
+        in
+        let ac = Vstat_circuit.Ac.sweep eng ~op ~source ~freqs_hz:freqs in
+        let columns =
+          List.concat_map
+            (fun (name, n) ->
+              let series = Vstat_circuit.Ac.node_transfer eng ac n in
+              [
+                ( "mag_db(" ^ name ^ ")",
+                  Array.map (fun (_, h) -> Vstat_circuit.Ac.magnitude_db h) series );
+                ( "phase(" ^ name ^ ")",
+                  Array.map (fun (_, h) -> Vstat_circuit.Ac.phase_deg h) series );
+              ])
+            nodes
+        in
+        print_series ~csv ~x_label:"freq" ~x:freqs ~columns)
+    deck.analyses
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | [ _; path ] -> run_deck ~csv:false path
+  | [ _; path; "--csv" ] | [ _; "--csv"; path ] -> run_deck ~csv:true path
+  | _ ->
+    prerr_endline "usage: vstat_sim <deck.sp> [--csv]";
+    exit 2

@@ -1,0 +1,41 @@
+(* Quickstart: build the statistical VS model and look at one transistor.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Build the full pipeline: fit nominal VS cards to the golden node,
+     measure its mismatch statistics, run BPV.  Takes a few seconds. *)
+  let p = Vstat_core.Pipeline.build ~seed:42 ~mc_per_geometry:1000 () in
+  Printf.printf "Nominal VS card fitted to the golden 40nm node:\n";
+  let f = p.fit_nmos.fitted in
+  Printf.printf
+    "  NMOS: VT0=%.3f V  DIBL=%.3f V/V  n0=%.2f  vxo=%.2e cm/s  mu=%.0f cm2/Vs\n"
+    f.vt0 (Vstat_device.Vs_model.delta f) f.n0 (f.vxo /. 1e-2) (f.mu /. 1e-4);
+  Printf.printf "  fit error: %.3f decades (log I-V), %.1f%% (linear I-V)\n\n"
+    p.fit_nmos.rms_log_error
+    (100.0 *. p.fit_nmos.rms_rel_error);
+
+  (* 2. The extracted statistical coefficients (paper Table II). *)
+  let a = p.bpv_nmos.alphas in
+  Printf.printf "Extracted mismatch coefficients (BPV):\n";
+  Printf.printf "  alpha1=%.2f V.nm  alpha2=alpha3=%.2f nm  alpha4=%.0f nm.cm2/Vs  alpha5=%.2f\n\n"
+    a.a_vt0 a.a_l a.a_mu a.a_cinv;
+
+  (* 3. Evaluate the nominal device. *)
+  let vdd = p.vdd in
+  let dev = Vstat_core.Vs_statistical.nominal_device p.vs_nmos ~w_nm:600.0 ~l_nm:40.0 in
+  Printf.printf "Nominal NMOS 600/40 at Vdd=%.2f V:\n" vdd;
+  Printf.printf "  Idsat = %.1f uA   Ioff = %.2f nA   Cgg = %.2f fF\n\n"
+    (1e6 *. Vstat_device.Metrics.idsat dev ~vdd)
+    (1e9 *. Vstat_device.Metrics.ioff dev ~vdd)
+    (1e15 *. Vstat_device.Metrics.cgg dev ~vdd);
+
+  (* 4. Draw a few Monte Carlo mismatch instances. *)
+  let rng = Vstat_util.Rng.create ~seed:7 in
+  Printf.printf "Five mismatch draws of the same layout:\n";
+  for i = 1 to 5 do
+    let d = Vstat_core.Vs_statistical.sample_device p.vs_nmos rng ~w_nm:600.0 ~l_nm:40.0 in
+    Printf.printf "  #%d: Idsat = %.1f uA   log10(Ioff) = %.2f\n" i
+      (1e6 *. Vstat_device.Metrics.idsat d ~vdd)
+      (Vstat_device.Metrics.log10_ioff d ~vdd)
+  done

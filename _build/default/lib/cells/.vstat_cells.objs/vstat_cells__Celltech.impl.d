@@ -1,0 +1,1 @@
+lib/cells/celltech.ml: Vstat_device

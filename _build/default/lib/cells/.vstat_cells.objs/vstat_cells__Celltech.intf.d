@@ -1,0 +1,1 @@
+lib/cells/celltech.mli: Vstat_device

@@ -1,0 +1,1 @@
+lib/cells/chain.ml: Array Celltech Float Gates Int Inverter Printf Vstat_circuit

@@ -1,0 +1,1 @@
+lib/cells/chain.mli: Celltech Gates

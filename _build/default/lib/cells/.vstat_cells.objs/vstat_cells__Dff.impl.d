@@ -1,0 +1,1 @@
+lib/cells/dff.ml: Array Celltech Gates Vstat_circuit Vstat_device Vstat_opt

@@ -1,0 +1,1 @@
+lib/cells/dff.mli: Celltech Gates Vstat_device

@@ -1,0 +1,1 @@
+lib/cells/gates.ml: Celltech Vstat_circuit Vstat_device

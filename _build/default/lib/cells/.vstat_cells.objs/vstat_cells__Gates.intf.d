@@ -1,0 +1,1 @@
+lib/cells/gates.mli: Celltech Vstat_circuit Vstat_device

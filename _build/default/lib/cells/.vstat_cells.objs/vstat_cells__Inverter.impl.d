@@ -1,0 +1,1 @@
+lib/cells/inverter.ml: Array Celltech Float Gates Printf Vstat_circuit

@@ -1,0 +1,1 @@
+lib/cells/inverter.mli: Celltech Gates

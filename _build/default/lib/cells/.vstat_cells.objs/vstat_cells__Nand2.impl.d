@@ -1,0 +1,1 @@
+lib/cells/nand2.ml: Array Celltech Float Gates Inverter Printf Vstat_circuit

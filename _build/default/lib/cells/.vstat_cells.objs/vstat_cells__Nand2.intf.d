@@ -1,0 +1,1 @@
+lib/cells/nand2.mli: Celltech Gates

@@ -1,0 +1,1 @@
+lib/cells/nor2.ml: Array Celltech Float Inverter Printf Vstat_circuit Vstat_device

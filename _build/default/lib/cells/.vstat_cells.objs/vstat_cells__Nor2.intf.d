@@ -1,0 +1,1 @@
+lib/cells/nor2.mli: Celltech Vstat_device

@@ -1,0 +1,1 @@
+lib/cells/ring_oscillator.ml: Array Celltech Float Gates Int List Printf Vstat_circuit Vstat_device

@@ -1,0 +1,1 @@
+lib/cells/ring_oscillator.mli: Celltech Gates

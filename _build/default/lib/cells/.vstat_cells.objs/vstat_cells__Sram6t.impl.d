@@ -1,0 +1,1 @@
+lib/cells/sram6t.ml: Array Celltech Float Vstat_circuit Vstat_device Vstat_opt Vstat_util

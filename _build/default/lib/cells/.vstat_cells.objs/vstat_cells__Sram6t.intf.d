@@ -1,0 +1,1 @@
+lib/cells/sram6t.mli: Celltech Vstat_device

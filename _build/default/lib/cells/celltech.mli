@@ -1,0 +1,25 @@
+(** Technology handle consumed by the benchmark cells.
+
+    A [t] yields transistor instances on demand.  A *nominal* technology
+    returns the same deterministic device every call; a *statistical*
+    technology (built by [Vstat_core.Mc_circuit]) draws a fresh mismatch
+    sample per call, so every transistor in a cell gets independent
+    within-die variations — exactly the sampling model of the paper. *)
+
+type t = {
+  label : string;  (** e.g. "bsim-golden" or "vs-statistical" *)
+  vdd : float;     (** supply voltage for cells built on this handle, V *)
+  l_nm : float;    (** drawn channel length for all transistors, nm *)
+  nmos : w_nm:float -> Vstat_device.Device_model.t;
+  pmos : w_nm:float -> Vstat_device.Device_model.t;
+}
+
+val nominal_bsim : ?vdd:float -> unit -> t
+(** Deterministic golden technology at the synthetic 40 nm node. *)
+
+val nominal_vs_seed : ?vdd:float -> unit -> t
+(** Deterministic VS technology using the hand-written seed cards (the
+    extracted statistical technology lives in [Vstat_core]). *)
+
+val with_vdd : t -> float -> t
+(** Same device source at a different supply (the paper's Vdd scaling). *)

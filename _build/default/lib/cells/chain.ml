@@ -1,0 +1,64 @@
+module N = Vstat_circuit.Netlist
+module E = Vstat_circuit.Engine
+module W = Vstat_circuit.Waveform
+module M = Vstat_circuit.Measure
+
+type sample = {
+  vdd : float;
+  stages : Gates.inverter_devices array;
+  driver : Gates.inverter_devices;
+}
+
+let sample ?(stages = 8) ?(wp_nm = 600.0) ?(wn_nm = 300.0) (tech : Celltech.t) =
+  if stages < 1 then invalid_arg "Chain.sample: stages >= 1";
+  {
+    vdd = tech.vdd;
+    stages =
+      Array.init stages (fun _ -> Gates.sample_inverter tech ~wp_nm ~wn_nm);
+    driver = Gates.sample_inverter tech ~wp_nm ~wn_nm;
+  }
+
+let measure ?window ?(steps = 600) s =
+  let n = Array.length s.stages in
+  let window =
+    match window with
+    | Some w -> w
+    | None ->
+      Inverter.default_window ~vdd:s.vdd *. Float.of_int (Int.max 1 (n / 3))
+  in
+  let net = N.create () in
+  let gnd = N.ground net in
+  let nvdd = N.node net "vdd" in
+  let nin = N.node net "in" in
+  N.vsource net "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc s.vdd);
+  N.vsource net "vin" ~plus:nin ~minus:gnd
+    ~wave:(W.Pwl [| (0.06 *. window, 0.0); (0.06 *. window *. 1.3, s.vdd) |]);
+  let first = N.node net "s0" in
+  Gates.add_inverter net ~name:"xdrv" ~devices:s.driver ~input:nin
+    ~output:first ~vdd_node:nvdd ~gnd;
+  let last = ref first in
+  Array.iteri
+    (fun i devices ->
+      let out = N.node net (Printf.sprintf "s%d" (i + 1)) in
+      Gates.add_inverter net
+        ~name:(Printf.sprintf "x%d" i)
+        ~devices ~input:!last ~output:out ~vdd_node:nvdd ~gnd;
+      last := out)
+    s.stages;
+  (* A final gate load keeps the last stage realistic. *)
+  N.capacitor net "cl" ~a:!last ~b:gnd ~farads:1e-15;
+  let eng = E.compile net in
+  let trace = E.transient eng ~tstop:window ~dt:(window /. Float.of_int steps) in
+  let times = trace.E.times in
+  let w_first = E.node_wave eng trace first in
+  let w_last = E.node_wave eng trace !last in
+  let v50 = s.vdd /. 2.0 in
+  (* Driver inverts the input rise, so the first stage's input falls; the
+     final output polarity depends on chain parity. *)
+  let output_rising = n mod 2 = 1 in
+  match
+    M.propagation_delay ~times ~input:w_first ~output:w_last ~v50
+      ~input_rising:false ~output_rising
+  with
+  | Some d -> d
+  | None -> failwith "Chain.measure: edge did not propagate (window too short)"

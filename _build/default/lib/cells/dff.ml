@@ -1,0 +1,105 @@
+module N = Vstat_circuit.Netlist
+module E = Vstat_circuit.Engine
+module W = Vstat_circuit.Waveform
+module M = Vstat_circuit.Measure
+
+type sample = {
+  vdd : float;
+  inverters : Gates.inverter_devices array;
+  passes : Vstat_device.Device_model.t array;
+}
+
+let sample ?(inv_wp_nm = 600.0) ?(inv_wn_nm = 300.0) ?(pass_w_nm = 300.0)
+    (tech : Celltech.t) =
+  {
+    vdd = tech.vdd;
+    inverters =
+      Array.init 4 (fun _ ->
+          Gates.sample_inverter tech ~wp_nm:inv_wp_nm ~wn_nm:inv_wn_nm);
+    passes = Array.init 4 (fun _ -> tech.nmos ~w_nm:pass_w_nm);
+  }
+
+let edge = 10e-12
+
+(* Build the register with explicit CLK / CLKB / D waveforms and return the
+   engine plus the Q node. *)
+let build s ~clk ~clkb ~d_wave =
+  let net = N.create () in
+  let gnd = N.ground net in
+  let nvdd = N.node net "vdd" in
+  let nclk = N.node net "clk" in
+  let nclkb = N.node net "clkb" in
+  let nd = N.node net "d" in
+  let m_in = N.node net "m_in" in
+  let m_out = N.node net "m_out" in
+  let m_fb = N.node net "m_fb" in
+  let s_in = N.node net "s_in" in
+  let s_out = N.node net "s_out" in
+  let s_fb = N.node net "s_fb" in
+  N.vsource net "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc s.vdd);
+  N.vsource net "vclk" ~plus:nclk ~minus:gnd ~wave:clk;
+  N.vsource net "vclkb" ~plus:nclkb ~minus:gnd ~wave:clkb;
+  N.vsource net "vd" ~plus:nd ~minus:gnd ~wave:d_wave;
+  Gates.add_nmos_pass net ~name:"m1" ~dev:s.passes.(0) ~a:nd ~b:m_in ~gate:nclk
+    ~gnd;
+  Gates.add_inverter net ~name:"i1" ~devices:s.inverters.(0) ~input:m_in
+    ~output:m_out ~vdd_node:nvdd ~gnd;
+  Gates.add_inverter net ~name:"i2" ~devices:s.inverters.(1) ~input:m_out
+    ~output:m_fb ~vdd_node:nvdd ~gnd;
+  Gates.add_nmos_pass net ~name:"m2" ~dev:s.passes.(1) ~a:m_fb ~b:m_in
+    ~gate:nclkb ~gnd;
+  Gates.add_nmos_pass net ~name:"m3" ~dev:s.passes.(2) ~a:m_out ~b:s_in
+    ~gate:nclkb ~gnd;
+  Gates.add_inverter net ~name:"i3" ~devices:s.inverters.(2) ~input:s_in
+    ~output:s_out ~vdd_node:nvdd ~gnd;
+  Gates.add_inverter net ~name:"i4" ~devices:s.inverters.(3) ~input:s_out
+    ~output:s_fb ~vdd_node:nvdd ~gnd;
+  Gates.add_nmos_pass net ~name:"m4" ~dev:s.passes.(3) ~a:s_fb ~b:s_in
+    ~gate:nclk ~gnd;
+  (net, s_out)
+
+let capture_ok ?(t_clk = 200e-12) ?(settle = 300e-12) s ~t_d ~data_rising =
+  let vdd = s.vdd in
+  let clk = W.Pwl [| (t_clk, vdd); (t_clk +. edge, 0.0) |] in
+  let clkb = W.Pwl [| (t_clk, 0.0); (t_clk +. edge, vdd) |] in
+  let d_wave =
+    if data_rising then W.Pwl [| (t_d, 0.0); (t_d +. edge, vdd) |]
+    else W.Pwl [| (t_d, vdd); (t_d +. edge, 0.0) |]
+  in
+  let net, q_node = build s ~clk ~clkb ~d_wave in
+  let eng = E.compile net in
+  let tstop = t_clk +. settle in
+  let trace = E.transient eng ~tstop ~dt:(tstop /. 500.0) in
+  let q = E.node_wave eng trace q_node in
+  let final = M.settled_value ~values:q ~tail_fraction:0.05 in
+  (* Q follows D through two pass stages and two inversions each, so the
+     captured Q equals the data value before the falling clock edge; a
+     successful capture of a rising D ends high, of a falling D ends high
+     too (the falling edge must NOT be captured in a hold test). *)
+  final > 0.6 *. vdd
+
+let setup_time ?(t_clk = 200e-12) ?(search = 150e-12) s =
+  (* Later data arrival -> capture fails; find the boundary. *)
+  let fails t_d = not (capture_ok ~t_clk s ~t_d ~data_rising:true) in
+  let lo = t_clk -. search in
+  let hi = t_clk +. (0.3 *. search) in
+  if fails lo then
+    failwith "Dff.setup_time: capture fails even for very early data";
+  if not (fails hi) then
+    failwith "Dff.setup_time: capture succeeds even for very late data";
+  let boundary =
+    Vstat_opt.Scalar.bisect_predicate ~tol:1e-15 ~f:fails ~lo ~hi ()
+  in
+  t_clk -. boundary
+
+let hold_time ?(t_clk = 200e-12) ?(search = 150e-12) s =
+  (* Data falls at t_d after having been high; if it falls too early the
+     captured 1 is corrupted.  Earlier fall -> corruption. *)
+  let ok t_d = capture_ok ~t_clk s ~t_d ~data_rising:false in
+  let lo = t_clk -. (0.3 *. search) in
+  let hi = t_clk +. search in
+  if ok lo then failwith "Dff.hold_time: capture survives very early data fall";
+  if not (ok hi) then
+    failwith "Dff.hold_time: capture fails even for very late data fall";
+  let boundary = Vstat_opt.Scalar.bisect_predicate ~tol:1e-15 ~f:ok ~lo ~hi () in
+  boundary -. t_clk

@@ -1,0 +1,28 @@
+(** Fanout-of-N NAND2 delay harness (paper Fig. 7).
+
+    Worst-case single-input switching: input A (the series-stack transistor
+    nearest the output) switches while input B is held at Vdd.  The driver
+    is a NAND2 wired as an inverter; each load is an identical NAND2 with
+    its A input on the DUT output and B at Vdd. *)
+
+type sample = {
+  vdd : float;
+  driver : Gates.nand2_devices;
+  dut : Gates.nand2_devices;
+  loads : Gates.nand2_devices array;
+}
+
+type result = {
+  tphl : float;
+  tplh : float;
+  tpd : float;
+  leakage : float;  (** static supply current with A low, B high, A *)
+}
+
+val sample : Celltech.t -> wp_nm:float -> wn_nm:float -> fanout:int -> sample
+
+val measure : ?window:float -> ?steps:int -> sample -> result
+(** @raise Failure if the output never crosses 50 % within the window. *)
+
+val measure_nominal :
+  Celltech.t -> wp_nm:float -> wn_nm:float -> fanout:int -> result

@@ -1,0 +1,111 @@
+module N = Vstat_circuit.Netlist
+module E = Vstat_circuit.Engine
+module W = Vstat_circuit.Waveform
+module M = Vstat_circuit.Measure
+
+type sample = {
+  vdd : float;
+  driver : devices;
+  dut : devices;
+  loads : devices array;
+}
+
+and devices = {
+  pmos_a : Vstat_device.Device_model.t;
+  pmos_b : Vstat_device.Device_model.t;
+  nmos_a : Vstat_device.Device_model.t;
+  nmos_b : Vstat_device.Device_model.t;
+}
+
+type result = { tphl : float; tplh : float; tpd : float; leakage : float }
+
+let sample_devices (tech : Celltech.t) ~wp_nm ~wn_nm =
+  {
+    pmos_a = tech.pmos ~w_nm:wp_nm;
+    pmos_b = tech.pmos ~w_nm:wp_nm;
+    nmos_a = tech.nmos ~w_nm:wn_nm;
+    nmos_b = tech.nmos ~w_nm:wn_nm;
+  }
+
+let sample (tech : Celltech.t) ~wp_nm ~wn_nm ~fanout =
+  if fanout < 1 then invalid_arg "Nor2.sample: fanout >= 1";
+  {
+    vdd = tech.vdd;
+    driver = sample_devices tech ~wp_nm ~wn_nm;
+    dut = sample_devices tech ~wp_nm ~wn_nm;
+    loads = Array.init fanout (fun _ -> sample_devices tech ~wp_nm ~wn_nm);
+  }
+
+let add_nor2 net ~name ~devices ~input_a ~input_b ~output ~vdd_node ~gnd =
+  let mid = N.node net (name ^ ".mid") in
+  (* Series PMOS stack: B at the supply side, A nearest the output. *)
+  N.mosfet net (name ^ ".mpb") ~d:mid ~g:input_b ~s:vdd_node ~b:vdd_node
+    ~dev:devices.pmos_b;
+  N.mosfet net (name ^ ".mpa") ~d:output ~g:input_a ~s:mid ~b:vdd_node
+    ~dev:devices.pmos_a;
+  N.mosfet net (name ^ ".mna") ~d:output ~g:input_a ~s:gnd ~b:gnd
+    ~dev:devices.nmos_a;
+  N.mosfet net (name ^ ".mnb") ~d:output ~g:input_b ~s:gnd ~b:gnd
+    ~dev:devices.nmos_b
+
+let build s ~window =
+  let net = N.create () in
+  let gnd = N.ground net in
+  let nvdd = N.node net "vdd" in
+  let nin = N.node net "in" in
+  let na = N.node net "a" in
+  let ny = N.node net "y" in
+  N.vsource net "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc s.vdd);
+  let edge = 0.02 *. window in
+  let t_rise = 0.08 *. window in
+  let t_fall = 0.54 *. window in
+  N.vsource net "vin" ~plus:nin ~minus:gnd
+    ~wave:
+      (W.Pwl
+         [|
+           (t_rise, 0.0); (t_rise +. edge, s.vdd);
+           (t_fall, s.vdd); (t_fall +. edge, 0.0);
+         |]);
+  add_nor2 net ~name:"xdrv" ~devices:s.driver ~input_a:nin ~input_b:gnd
+    ~output:na ~vdd_node:nvdd ~gnd;
+  add_nor2 net ~name:"xdut" ~devices:s.dut ~input_a:na ~input_b:gnd ~output:ny
+    ~vdd_node:nvdd ~gnd;
+  Array.iteri
+    (fun i devices ->
+      let out = N.node net (Printf.sprintf "l%d" i) in
+      add_nor2 net
+        ~name:(Printf.sprintf "xload%d" i)
+        ~devices ~input_a:ny ~input_b:gnd ~output:out ~vdd_node:nvdd ~gnd)
+    s.loads;
+  (net, na, ny)
+
+let measure ?window ?(steps = 400) s =
+  let window =
+    match window with
+    | Some w -> w
+    | None -> Inverter.default_window ~vdd:s.vdd
+  in
+  let net, na, ny = build s ~window in
+  let eng = E.compile net in
+  let op = E.dc eng in
+  let leakage = Float.abs (E.source_current eng op "vvdd") in
+  let trace = E.transient eng ~tstop:window ~dt:(window /. Float.of_int steps) in
+  let times = trace.E.times in
+  let wa = E.node_wave eng trace na in
+  let wy = E.node_wave eng trace ny in
+  let v50 = s.vdd /. 2.0 in
+  let tplh =
+    M.propagation_delay ~times ~input:wa ~output:wy ~v50 ~input_rising:false
+      ~output_rising:true
+  in
+  let tphl =
+    M.propagation_delay ~times ~input:wa ~output:wy ~v50 ~input_rising:true
+      ~output_rising:false
+  in
+  match (tplh, tphl) with
+  | Some tplh, Some tphl ->
+    { tphl; tplh; tpd = 0.5 *. (tphl +. tplh); leakage }
+  | _ -> failwith "Nor2.measure: output never crossed 50% (window too short)"
+
+let measure_nominal tech ~wp_nm ~wn_nm ~fanout =
+  measure (sample tech ~wp_nm ~wn_nm ~fanout)

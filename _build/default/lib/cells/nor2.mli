@@ -1,0 +1,29 @@
+(** Fanout-of-N NOR2 gate (series PMOS stack) — completes the paper's
+    "standard library logic cells (INV, NAND2, ...)" set.
+
+    Worst-case single-input switching: input A switches with B held low;
+    A drives the PMOS nearest the output. *)
+
+type sample = {
+  vdd : float;
+  driver : devices;
+  dut : devices;
+  loads : devices array;
+}
+
+and devices = {
+  pmos_a : Vstat_device.Device_model.t;  (** top of the series stack *)
+  pmos_b : Vstat_device.Device_model.t;
+  nmos_a : Vstat_device.Device_model.t;
+  nmos_b : Vstat_device.Device_model.t;
+}
+
+type result = { tphl : float; tplh : float; tpd : float; leakage : float }
+
+val sample : Celltech.t -> wp_nm:float -> wn_nm:float -> fanout:int -> sample
+(** NOR pull-ups stack in series, so [wp_nm] is typically ~2x an inverter's
+    PMOS width. *)
+
+val measure : ?window:float -> ?steps:int -> sample -> result
+val measure_nominal :
+  Celltech.t -> wp_nm:float -> wn_nm:float -> fanout:int -> result

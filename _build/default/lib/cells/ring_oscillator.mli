@@ -1,0 +1,27 @@
+(** Ring oscillator: an odd chain of inverters whose oscillation frequency
+    is the canonical silicon speed monitor.  Within-die mismatch spreads the
+    frequency across dies exactly as the paper's frequency-vs-leakage plot
+    (Fig. 6) illustrates; this cell measures it directly from a transient. *)
+
+type sample = {
+  vdd : float;
+  stages : Gates.inverter_devices array;  (** odd count *)
+}
+
+type result = {
+  frequency_hz : float;     (** steady-state oscillation frequency *)
+  period_s : float;
+  stage_delay_s : float;    (** period / (2 * stages) *)
+  leakage : float;          (** static supply current with the ring broken *)
+}
+
+val sample :
+  ?stages:int -> ?wp_nm:float -> ?wn_nm:float -> Celltech.t -> sample
+(** Default: 5 stages of P/N = 600/300 nm.
+    @raise Invalid_argument if [stages] is even or < 3. *)
+
+val measure : ?cycles:float -> sample -> result
+(** Run a transient long enough for ~[cycles] oscillation periods
+    (default 6; the first two are discarded as startup) and measure the
+    average period from successive rising crossings of one node.
+    @raise Failure if the ring fails to oscillate in the window. *)

@@ -1,0 +1,1 @@
+lib/circuit/ac.ml: Array Complex Engine Float List Netlist Vstat_linalg

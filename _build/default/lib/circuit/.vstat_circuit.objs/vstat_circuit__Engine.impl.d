@@ -1,0 +1,1 @@
+lib/circuit/engine.ml: Array Float Int List Netlist Printf Vstat_device Vstat_linalg Vstat_util Waveform

@@ -1,0 +1,1 @@
+lib/circuit/measure.ml: Array Engine Float Int Vstat_util

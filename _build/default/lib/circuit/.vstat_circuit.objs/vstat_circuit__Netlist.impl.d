@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: List Printf Vstat_device Waveform

@@ -1,0 +1,1 @@
+lib/circuit/spice_parser.ml: Array Char Fun Hashtbl In_channel List Netlist Printf String Vstat_device Waveform

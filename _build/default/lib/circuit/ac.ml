@@ -1,0 +1,57 @@
+type point = { freq_hz : float; response : Complex.t array }
+type t = { points : point list; source : string }
+
+let sweep engine ~op ~source ~freqs_hz =
+  let g, c = Engine.linearize engine op in
+  let n = Vstat_linalg.Matrix.rows g in
+  (* The AC excitation appears on the RHS of the excited source's branch
+     row: the constraint row reads v+ - v- - V = 0, so a unit AC amplitude
+     puts 1 in that row. *)
+  let row = Engine.branch_row engine source in
+  let b = Array.make n Complex.zero in
+  b.(row) <- Complex.one;
+  let points =
+    Array.to_list
+      (Array.map
+         (fun freq_hz ->
+           let omega = 2.0 *. Float.pi *. freq_hz in
+           let a = Vstat_linalg.Cmatrix.combine ~g ~c ~omega in
+           { freq_hz; response = Vstat_linalg.Cmatrix.solve a b })
+         freqs_hz)
+  in
+  { points; source }
+
+let node_transfer _engine t node =
+  let i = Netlist.node_index node in
+  Array.of_list
+    (List.map
+       (fun p ->
+         let v = if i = 0 then Complex.zero else p.response.(i - 1) in
+         (p.freq_hz, v))
+       t.points)
+
+let magnitude_db h = 20.0 *. log10 (Float.max (Complex.norm h) 1e-300)
+
+let phase_deg h = Complex.arg h *. 180.0 /. Float.pi
+
+let corner_frequency engine t node =
+  let series = node_transfer engine t node in
+  if Array.length series = 0 then None
+  else begin
+    let reference = magnitude_db (snd series.(0)) in
+    let target = reference -. 3.0103 in
+    let rec scan i =
+      if i >= Array.length series - 1 then None
+      else begin
+        let f0, h0 = series.(i) and f1, h1 = series.(i + 1) in
+        let m0 = magnitude_db h0 and m1 = magnitude_db h1 in
+        if m0 > target && m1 <= target then begin
+          (* log-frequency interpolation *)
+          let frac = (m0 -. target) /. (m0 -. m1) in
+          Some (10.0 ** (log10 f0 +. (frac *. (log10 f1 -. log10 f0))))
+        end
+        else scan (i + 1)
+      end
+    in
+    scan 0
+  end

@@ -1,0 +1,387 @@
+exception No_convergence of string
+
+type mode = Dc | Tran of { h : float; trap : bool }
+
+type t = {
+  elems : Netlist.element array;
+  nn : int;                          (* node-voltage unknowns *)
+  nv : int;                          (* vsource branch unknowns *)
+  vsrc_index : (string * int) list;  (* source name -> branch slot *)
+  charge_offset : int array;         (* per element; -1 = no charge state *)
+  n_charges : int;
+  mutable newton_iters : int;
+  mutable model_evals : int;
+}
+
+let compile netlist =
+  let elems = Array.of_list (Netlist.elements netlist) in
+  let nn = Netlist.node_count netlist in
+  let charge_offset = Array.make (Array.length elems) (-1) in
+  let n_charges = ref 0 in
+  let nv = ref 0 in
+  let vsrc_index = ref [] in
+  Array.iteri
+    (fun k e ->
+      match e with
+      | Netlist.Capacitor _ ->
+        charge_offset.(k) <- !n_charges;
+        n_charges := !n_charges + 1
+      | Netlist.Mosfet _ ->
+        charge_offset.(k) <- !n_charges;
+        n_charges := !n_charges + 4
+      | Netlist.Vsource { name; _ } ->
+        vsrc_index := (name, !nv) :: !vsrc_index;
+        incr nv
+      | Netlist.Resistor _ | Netlist.Isource _ -> ())
+    elems;
+  {
+    elems;
+    nn;
+    nv = !nv;
+    vsrc_index = List.rev !vsrc_index;
+    charge_offset;
+    n_charges = !n_charges;
+    newton_iters = 0;
+    model_evals = 0;
+  }
+
+let unknowns t = t.nn + t.nv
+
+let fd_dv = 1e-6
+
+(* Voltage of a node handle under candidate solution [x]. *)
+let nodev x n =
+  let i = Netlist.node_index n in
+  if i = 0 then 0.0 else x.(i - 1)
+
+(* Assemble Jacobian and residual at candidate [x]; also writes the present
+   element charges into [q_out] and (in transient) terminal currents into
+   [i_out] so the accepted solution can become the next step's state. *)
+let assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res ~q_out
+    ~i_out =
+  let nn = t.nn in
+  Vstat_linalg.Matrix.fill jac 0.0;
+  Array.fill res 0 (Array.length res) 0.0;
+  for i = 0 to nn - 1 do
+    Vstat_linalg.Matrix.add_to jac i i gmin;
+    res.(i) <- res.(i) +. (gmin *. x.(i))
+  done;
+  (* Stamp a current [i] leaving node [n] with its derivatives. *)
+  let res_add n v =
+    let i = Netlist.node_index n in
+    if i > 0 then res.(i - 1) <- res.(i - 1) +. v
+  in
+  let jac_add n col v =
+    let i = Netlist.node_index n in
+    if i > 0 then Vstat_linalg.Matrix.add_to jac (i - 1) col v
+  in
+  let jac_add_node n ncol v =
+    let j = Netlist.node_index ncol in
+    if j > 0 then jac_add n (j - 1) v
+  in
+  let branch = ref 0 in
+  Array.iteri
+    (fun k e ->
+      match e with
+      | Netlist.Resistor { a; b; ohms; _ } ->
+        let g = 1.0 /. ohms in
+        let i = g *. (nodev x a -. nodev x b) in
+        res_add a i;
+        res_add b (-.i);
+        jac_add_node a a g;
+        jac_add_node a b (-.g);
+        jac_add_node b a (-.g);
+        jac_add_node b b g
+      | Netlist.Capacitor { a; b; farads; _ } ->
+        let q = farads *. (nodev x a -. nodev x b) in
+        let off = t.charge_offset.(k) in
+        q_out.(off) <- q;
+        (match mode with
+        | Dc -> i_out.(off) <- 0.0
+        | Tran { h; trap } ->
+          let factor = (if trap then 2.0 else 1.0) /. h in
+          let i =
+            (factor *. (q -. q_prev.(off)))
+            -. (if trap then i_prev.(off) else 0.0)
+          in
+          i_out.(off) <- i;
+          let geq = factor *. farads in
+          res_add a i;
+          res_add b (-.i);
+          jac_add_node a a geq;
+          jac_add_node a b (-.geq);
+          jac_add_node b a (-.geq);
+          jac_add_node b b geq)
+      | Netlist.Vsource { plus; minus; wave; _ } ->
+        let col = nn + !branch in
+        let row = nn + !branch in
+        incr branch;
+        let ibr = x.(col) in
+        res_add plus ibr;
+        res_add minus (-.ibr);
+        jac_add plus col 1.0;
+        jac_add minus col (-1.0);
+        res.(row) <-
+          nodev x plus -. nodev x minus -. (sscale *. Waveform.value wave time);
+        let stamp_row n v =
+          let j = Netlist.node_index n in
+          if j > 0 then Vstat_linalg.Matrix.add_to jac row (j - 1) v
+        in
+        stamp_row plus 1.0;
+        stamp_row minus (-1.0)
+      | Netlist.Isource { from_; to_; wave; _ } ->
+        let i = sscale *. Waveform.value wave time in
+        res_add from_ i;
+        res_add to_ (-.i)
+      | Netlist.Mosfet { d; g; s; b; dev; _ } ->
+        let vg = nodev x g and vd = nodev x d and vs = nodev x s
+        and vb = nodev x b in
+        let eval ~vg ~vd ~vs ~vb =
+          t.model_evals <- t.model_evals + 1;
+          dev.Vstat_device.Device_model.eval ~vg ~vd ~vs ~vb
+        in
+        let base = eval ~vg ~vd ~vs ~vb in
+        let perturbed =
+          [|
+            eval ~vg:(vg +. fd_dv) ~vd ~vs ~vb;
+            eval ~vg ~vd:(vd +. fd_dv) ~vs ~vb;
+            eval ~vg ~vd ~vs:(vs +. fd_dv) ~vb;
+            eval ~vg ~vd ~vs ~vb:(vb +. fd_dv);
+          |]
+        in
+        let terminals = [| g; d; s; b |] in
+        (* Channel current. *)
+        res_add d base.id;
+        res_add s (-.base.id);
+        Array.iteri
+          (fun j p ->
+            let did =
+              (p.Vstat_device.Device_model.id -. base.id) /. fd_dv
+            in
+            jac_add_node d terminals.(j) did;
+            jac_add_node s terminals.(j) (-.did))
+          perturbed;
+        (* Terminal charges. *)
+        let off = t.charge_offset.(k) in
+        let q_of (st : Vstat_device.Device_model.terminal_state) = function
+          | 0 -> st.qg
+          | 1 -> st.qd
+          | 2 -> st.qs
+          | _ -> st.qb
+        in
+        for c = 0 to 3 do
+          q_out.(off + c) <- q_of base c
+        done;
+        (match mode with
+        | Dc ->
+          for c = 0 to 3 do
+            i_out.(off + c) <- 0.0
+          done
+        | Tran { h; trap } ->
+          let factor = (if trap then 2.0 else 1.0) /. h in
+          for c = 0 to 3 do
+            let q = q_out.(off + c) in
+            let i =
+              (factor *. (q -. q_prev.(off + c)))
+              -. (if trap then i_prev.(off + c) else 0.0)
+            in
+            i_out.(off + c) <- i;
+            res_add terminals.(c) i;
+            Array.iteri
+              (fun j p ->
+                let dq = (q_of p c -. q) /. fd_dv in
+                jac_add_node terminals.(c) terminals.(j) (factor *. dq))
+              perturbed
+          done))
+    t.elems
+
+type newton_result = {
+  nx : float array;
+  nq : float array;
+  ni : float array;
+}
+
+let newton t ~mode ~time ~x0 ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
+  let n = unknowns t in
+  let x = Array.copy x0 in
+  let jac = Vstat_linalg.Matrix.create ~rows:(Int.max n 1) ~cols:(Int.max n 1) in
+  let res = Array.make n 0.0 in
+  let q_out = Array.make (Int.max t.n_charges 1) 0.0 in
+  let i_out = Array.make (Int.max t.n_charges 1) 0.0 in
+  let rec loop iter =
+    if iter >= max_iter then None
+    else begin
+      t.newton_iters <- t.newton_iters + 1;
+      assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res ~q_out
+        ~i_out;
+      match Vstat_linalg.Lu.solve jac (Array.map (fun r -> -.r) res) with
+      | exception Vstat_linalg.Lu.Singular _ -> None
+      | delta ->
+        if Array.exists (fun d -> not (Float.is_finite d)) delta then None
+        else begin
+          (* Damp voltage updates; exponential nonlinearities diverge under
+             full Newton steps far from the solution. *)
+          let dmax = ref 0.0 in
+          for i = 0 to n - 1 do
+            let d =
+              if i < t.nn then Vstat_util.Floatx.clamp ~lo:(-0.5) ~hi:0.5 delta.(i)
+              else delta.(i)
+            in
+            x.(i) <- x.(i) +. d;
+            if i < t.nn then dmax := Float.max !dmax (Float.abs d)
+            else begin
+              let rel = Float.abs d /. Float.max 1e-9 (Float.abs x.(i)) in
+              dmax := Float.max !dmax (Float.min rel (Float.abs d))
+            end
+          done;
+          if !dmax < 1e-11 then begin
+            (* Final assembly at the accepted solution refreshes q/i state. *)
+            assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res
+              ~q_out ~i_out;
+            Some { nx = x; nq = Array.copy q_out; ni = Array.copy i_out }
+          end
+          else loop (iter + 1)
+        end
+    end
+  in
+  loop 0
+
+type op = { x : float array; time : float }
+
+let zeros t = Array.make (Int.max t.n_charges 1) 0.0
+
+let dc ?guess ?(time = 0.0) t =
+  let n = unknowns t in
+  let x0 = match guess with Some g -> g | None -> Array.make n 0.0 in
+  let q = zeros t and i = zeros t in
+  let attempt ~x0 ~gmin ~sscale =
+    newton t ~mode:Dc ~time ~x0 ~q_prev:q ~i_prev:i ~gmin ~sscale ~max_iter:80
+  in
+  let direct = attempt ~x0 ~gmin:1e-12 ~sscale:1.0 in
+  let result =
+    match direct with
+    | Some r -> Some r
+    | None ->
+      (* gmin stepping. *)
+      let rec gmin_steps x0 = function
+        | [] -> None
+        | g :: rest -> (
+          match attempt ~x0 ~gmin:g ~sscale:1.0 with
+          | Some r -> if rest = [] then Some r else gmin_steps r.nx rest
+          | None -> None)
+      in
+      let stepped =
+        gmin_steps (Array.make n 0.0)
+          [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; 1e-12 ]
+      in
+      (match stepped with
+      | Some r -> Some r
+      | None ->
+        (* Source stepping with a mild gmin, then a final exact solve. *)
+        let rec src_steps x0 = function
+          | [] -> attempt ~x0 ~gmin:1e-12 ~sscale:1.0
+          | sc :: rest -> (
+            match attempt ~x0 ~gmin:1e-9 ~sscale:sc with
+            | Some r -> src_steps r.nx rest
+            | None -> None)
+        in
+        src_steps (Array.make n 0.0)
+          [ 0.05; 0.15; 0.3; 0.45; 0.6; 0.75; 0.9; 1.0 ])
+  in
+  match result with
+  | Some r -> { x = r.nx; time }
+  | None -> raise (No_convergence "dc: all continuation strategies failed")
+
+let voltage _t op n = nodev op.x n
+
+let branch_slot t name =
+  match List.assoc_opt name t.vsrc_index with
+  | Some k -> t.nn + k
+  | None -> raise Not_found
+
+let source_current t op name = op.x.(branch_slot t name)
+
+let branch_row = branch_slot
+
+type trace = { times : float array; states : float array array }
+
+let transient ?(trap = false) ?(dt_min_factor = 1.0 /. 256.0) t ~tstop ~dt =
+  let start = dc ~time:0.0 t in
+  (* Recover the consistent charge state at t = 0. *)
+  let n = unknowns t in
+  let jac = Vstat_linalg.Matrix.create ~rows:(Int.max n 1) ~cols:(Int.max n 1) in
+  let res = Array.make n 0.0 in
+  let q = zeros t and i = zeros t in
+  assemble t ~mode:Dc ~time:0.0 ~x:start.x ~q_prev:q ~i_prev:i ~gmin:1e-12
+    ~sscale:1.0 ~jac ~res ~q_out:q ~i_out:i;
+  let times = ref [ 0.0 ] in
+  let states = ref [ Array.copy start.x ] in
+  let x = ref start.x in
+  let q_prev = ref q and i_prev = ref i in
+  let time = ref 0.0 in
+  let h = ref dt in
+  let dt_min = dt *. dt_min_factor in
+  while !time < tstop -. 1e-18 do
+    let h_now = Float.min !h (tstop -. !time) in
+    let t_next = !time +. h_now in
+    let mode = Tran { h = h_now; trap } in
+    match
+      newton t ~mode ~time:t_next ~x0:!x ~q_prev:!q_prev ~i_prev:!i_prev
+        ~gmin:1e-12 ~sscale:1.0 ~max_iter:40
+    with
+    | Some r ->
+      time := t_next;
+      x := r.nx;
+      q_prev := r.nq;
+      i_prev := r.ni;
+      times := t_next :: !times;
+      states := Array.copy r.nx :: !states;
+      h := Float.min dt (!h *. 1.4)
+    | None ->
+      h := h_now /. 2.0;
+      if !h < dt_min then
+        raise
+          (No_convergence
+             (Printf.sprintf "transient: step rejected below dt_min at t=%.3e"
+                !time))
+  done;
+  {
+    times = Array.of_list (List.rev !times);
+    states = Array.of_list (List.rev !states);
+  }
+
+let node_wave _t trace n =
+  let i = Netlist.node_index n in
+  Array.map (fun x -> if i = 0 then 0.0 else x.(i - 1)) trace.states
+
+let source_current_wave t trace name =
+  let slot = branch_slot t name in
+  Array.map (fun x -> x.(slot)) trace.states
+
+let residual_norm t op =
+  let n = unknowns t in
+  let res = Array.make n 0.0 in
+  let q = zeros t and i = zeros t in
+  let jac = Vstat_linalg.Matrix.create ~rows:(Int.max n 1) ~cols:(Int.max n 1) in
+  assemble t ~mode:Dc ~time:op.time ~x:op.x ~q_prev:q ~i_prev:i ~gmin:1e-12
+    ~sscale:1.0 ~jac ~res ~q_out:q ~i_out:i;
+  Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0.0 res
+
+let linearize t op =
+  let n = unknowns t in
+  let res = Array.make n 0.0 in
+  let q = zeros t and i = zeros t in
+  let jac_dc = Vstat_linalg.Matrix.create ~rows:n ~cols:n in
+  assemble t ~mode:Dc ~time:op.time ~x:op.x ~q_prev:q ~i_prev:i ~gmin:1e-12
+    ~sscale:1.0 ~jac:jac_dc ~res ~q_out:q ~i_out:i;
+  (* With h = 1 and the charge state equal to the operating-point charges,
+     the transient Jacobian is exactly G + C. *)
+  let jac_tr = Vstat_linalg.Matrix.create ~rows:n ~cols:n in
+  assemble t
+    ~mode:(Tran { h = 1.0; trap = false })
+    ~time:op.time ~x:op.x ~q_prev:q ~i_prev:i ~gmin:1e-12 ~sscale:1.0
+    ~jac:jac_tr ~res ~q_out:q ~i_out:i;
+  (jac_dc, Vstat_linalg.Matrix.sub jac_tr jac_dc)
+
+let stats_newton_iterations t = t.newton_iters
+let stats_model_evaluations t = t.model_evals

@@ -1,0 +1,73 @@
+(** Modified-nodal-analysis solver: Newton–Raphson DC and transient.
+
+    The solution vector stacks node voltages (nodes 1..N) followed by the
+    branch currents of voltage sources (in netlist insertion order).
+    Nonlinear devices are linearized each Newton iteration with one-sided
+    finite differences of their current and terminal charges; convergence
+    aids are a gmin floor, gmin stepping and source stepping. *)
+
+type t
+(** Compiled system (frozen netlist + index maps + workspaces). *)
+
+exception No_convergence of string
+
+val compile : Netlist.t -> t
+
+val unknowns : t -> int
+(** Size of the MNA solution vector. *)
+
+type op = {
+  x : float array;       (** converged solution vector *)
+  time : float;          (** time at which sources were evaluated *)
+}
+
+val dc : ?guess:float array -> ?time:float -> t -> op
+(** Operating point.  Tries direct Newton from [guess] (default: all zeros),
+    then gmin stepping, then source stepping.
+    @raise No_convergence if every strategy fails. *)
+
+val voltage : t -> op -> Netlist.node -> float
+val source_current : t -> op -> string -> float
+(** Branch current of a named voltage source (positive current flows into
+    the [plus] terminal through the source toward [minus]).
+    @raise Not_found for unknown names. *)
+
+type trace = {
+  times : float array;
+  states : float array array;  (** states.(k) is the solution at times.(k) *)
+}
+
+val transient :
+  ?trap:bool ->
+  ?dt_min_factor:float ->
+  t -> tstop:float -> dt:float -> trace
+(** Integrate from a t=0 operating point to [tstop] with maximum step [dt]
+    (backward Euler by default, trapezoidal when [trap]).  The step is
+    halved on Newton failure (down to [dt * dt_min_factor], default 1/256)
+    and grown back on easy convergence.
+    @raise No_convergence if a step fails at the minimum size. *)
+
+val node_wave : t -> trace -> Netlist.node -> float array
+val source_current_wave : t -> trace -> string -> float array
+
+val residual_norm : t -> op -> float
+(** Largest |KCL/constraint residual| of a DC solution — a direct measure of
+    solve quality (well-converged operating points sit near 1e-12). *)
+
+val branch_row : t -> string -> int
+(** Index of a voltage source's branch-constraint row/column in the MNA
+    system (used by {!Ac} to place the excitation).
+    @raise Not_found for unknown names. *)
+
+val linearize : t -> op -> Vstat_linalg.Matrix.t * Vstat_linalg.Matrix.t
+(** [linearize t op] is the small-signal (G, C) pair at the operating
+    point: G is the conductance Jacobian, C the charge Jacobian, both over
+    the full MNA unknown vector.  The AC system at angular frequency omega
+    is (G + j omega C); see {!Ac}. *)
+
+val stats_newton_iterations : t -> int
+(** Cumulative Newton iterations since [compile] — the workload counter the
+    runtime comparison (paper Table IV) normalizes against. *)
+
+val stats_model_evaluations : t -> int
+(** Cumulative compact-model evaluations since [compile]. *)

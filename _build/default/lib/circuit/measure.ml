@@ -1,0 +1,41 @@
+let crossing_time ~times ~values ~level ~rising =
+  Vstat_util.Floatx.first_crossing ~xs:times ~ys:values ~level ~rising
+
+let propagation_delay ~times ~input ~output ~v50 ~input_rising ~output_rising =
+  match crossing_time ~times ~values:input ~level:v50 ~rising:input_rising with
+  | None -> None
+  | Some t_in -> (
+    (* Only consider output crossings after the input edge. *)
+    let n = Array.length times in
+    let start =
+      let rec find i = if i >= n || times.(i) >= t_in then i else find (i + 1) in
+      find 0
+    in
+    if start >= n then None
+    else begin
+      let times' = Array.sub times start (n - start) in
+      let output' = Array.sub output start (n - start) in
+      match
+        crossing_time ~times:times' ~values:output' ~level:v50
+          ~rising:output_rising
+      with
+      | None -> None
+      | Some t_out -> Some (t_out -. t_in)
+    end)
+
+let settled_value ~values ~tail_fraction =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Measure.settled_value: empty waveform";
+  let k = Int.max 1 (Float.to_int (tail_fraction *. Float.of_int n)) in
+  let tail = Array.sub values (n - k) k in
+  Array.fold_left ( +. ) 0.0 tail /. Float.of_int k
+
+let dc_sweep engine ~set ~values ~probe =
+  let guess = ref None in
+  Array.map
+    (fun v ->
+      set v;
+      let op = Engine.dc ?guess:!guess engine in
+      guess := Some (Array.copy op.Engine.x);
+      probe op)
+    values

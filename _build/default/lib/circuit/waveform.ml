@@ -1,0 +1,62 @@
+type pulse_shape = {
+  low : float;
+  high : float;
+  delay : float;
+  rise : float;
+  fall : float;
+  width : float;
+  period : float;
+}
+
+type t =
+  | Dc of float
+  | Var of float ref
+  | Pulse of pulse_shape
+  | Pwl of (float * float) array
+  | Sine of sine_shape
+
+and sine_shape = {
+  offset : float;
+  amplitude : float;
+  freq_hz : float;
+  phase : float;
+}
+
+let pulse_value p time =
+  let t = time -. p.delay in
+  if t < 0.0 then p.low
+  else begin
+    let t = if p.period > 0.0 then Float.rem t p.period else t in
+    if t < p.rise then p.low +. ((p.high -. p.low) *. t /. p.rise)
+    else if t < p.rise +. p.width then p.high
+    else if t < p.rise +. p.width +. p.fall then
+      p.high -. ((p.high -. p.low) *. (t -. p.rise -. p.width) /. p.fall)
+    else p.low
+  end
+
+let pwl_value points time =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Waveform.Pwl: empty point list";
+  let t0, v0 = points.(0) in
+  let tn, vn = points.(n - 1) in
+  if time <= t0 then v0
+  else if time >= tn then vn
+  else begin
+    let xs = Array.map fst points and ys = Array.map snd points in
+    Vstat_util.Floatx.interp_linear ~xs ~ys time
+  end
+
+let value t time =
+  match t with
+  | Dc v -> v
+  | Var r -> !r
+  | Pulse p -> pulse_value p time
+  | Pwl points -> pwl_value points time
+  | Sine s ->
+    s.offset +. (s.amplitude *. sin ((2.0 *. Float.pi *. s.freq_hz *. time) +. s.phase))
+
+let step ?(delay = 0.0) ?(rise = 10e-12) ~low ~high () =
+  Pwl [| (delay, low); (delay +. rise, high) |]
+
+let falling_step ?(delay = 0.0) ?(fall = 10e-12) ~high ~low () =
+  Pwl [| (delay, high); (delay +. fall, low) |]

@@ -1,0 +1,39 @@
+(** Time-dependent source values for independent V/I sources. *)
+
+type pulse_shape = {
+  low : float;
+  high : float;
+  delay : float;     (** time the first edge starts, s *)
+  rise : float;      (** rise time, s *)
+  fall : float;      (** fall time, s *)
+  width : float;     (** time spent at [high] between edges, s *)
+  period : float;    (** repetition period; 0 or less = single pulse *)
+}
+
+type t =
+  | Dc of float
+      (** Constant value. *)
+  | Var of float ref
+      (** Mutable constant — the handle used by DC sweeps, which update the
+          ref between operating-point solves. *)
+  | Pulse of pulse_shape
+  | Pwl of (float * float) array
+      (** Piecewise-linear (time, value) points, times ascending; clamps to
+          the end values outside the covered range. *)
+  | Sine of sine_shape
+
+and sine_shape = {
+  offset : float;
+  amplitude : float;
+  freq_hz : float;
+  phase : float;  (** radians *)
+}
+
+val value : t -> float -> float
+(** Evaluate at a time (negative times clamp to the initial value). *)
+
+val step : ?delay:float -> ?rise:float -> low:float -> high:float -> unit -> t
+(** Single rising edge: low until [delay], then a linear ramp of duration
+    [rise] (default 10 ps) to [high]. *)
+
+val falling_step : ?delay:float -> ?fall:float -> high:float -> low:float -> unit -> t

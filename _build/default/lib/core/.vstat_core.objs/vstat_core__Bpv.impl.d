@@ -1,0 +1,1 @@
+lib/core/bpv.ml: Array Float List Mc_device Sensitivity Variation Vstat_linalg Vstat_stats

@@ -1,0 +1,1 @@
+lib/core/bpv.mli: Bsim_statistical Sensitivity Variation Vs_statistical Vstat_util

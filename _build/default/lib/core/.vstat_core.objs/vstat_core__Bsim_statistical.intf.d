@@ -1,0 +1,1 @@
+lib/core/bsim_statistical.mli: Variation Vstat_device Vstat_util

@@ -1,0 +1,1 @@
+lib/core/extract_nominal.ml: Array Float List Vstat_device Vstat_opt Vstat_util

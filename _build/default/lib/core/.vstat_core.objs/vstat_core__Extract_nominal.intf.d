@@ -1,0 +1,1 @@
+lib/core/extract_nominal.mli: Vstat_device

@@ -1,0 +1,1 @@
+lib/core/inter_die.ml: Float Pipeline Vs_statistical Vstat_cells Vstat_device Vstat_stats Vstat_util

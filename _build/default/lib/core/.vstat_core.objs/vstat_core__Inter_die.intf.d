@@ -1,0 +1,1 @@
+lib/core/inter_die.mli: Pipeline Vstat_cells Vstat_device Vstat_util

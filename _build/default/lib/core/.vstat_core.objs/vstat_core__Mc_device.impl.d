@@ -1,0 +1,1 @@
+lib/core/mc_device.ml: Array Bsim_statistical Vs_statistical Vstat_device

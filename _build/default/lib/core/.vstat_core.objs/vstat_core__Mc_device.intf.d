@@ -1,0 +1,1 @@
+lib/core/mc_device.mli: Bsim_statistical Vs_statistical Vstat_device Vstat_util

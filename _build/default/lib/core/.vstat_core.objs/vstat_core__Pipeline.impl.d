@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bpv Bsim_statistical Extract_nominal List Logs Variation Vs_statistical Vstat_device Vstat_util

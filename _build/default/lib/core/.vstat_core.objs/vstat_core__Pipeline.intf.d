@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Bpv Bsim_statistical Extract_nominal Vs_statistical

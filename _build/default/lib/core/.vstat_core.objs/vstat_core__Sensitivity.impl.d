@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Float List Vs_statistical Vstat_device

@@ -1,0 +1,1 @@
+lib/core/sensitivity.mli: Vs_statistical Vstat_device

@@ -1,0 +1,1 @@
+lib/core/techs.ml: Bsim_statistical Pipeline Vs_statistical Vstat_cells Vstat_device

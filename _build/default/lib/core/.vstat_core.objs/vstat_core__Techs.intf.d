@@ -1,0 +1,1 @@
+lib/core/techs.mli: Pipeline Vstat_cells Vstat_util

@@ -1,0 +1,1 @@
+lib/core/vs_statistical.ml: Float Variation Vstat_device Vstat_util

@@ -1,0 +1,1 @@
+lib/core/vs_statistical.mli: Variation Vstat_device Vstat_util

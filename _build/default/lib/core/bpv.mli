@@ -1,0 +1,90 @@
+(** Backward Propagation of Variance — the paper's Section III.
+
+    Measured variances of the electrical metrics
+    [e_i = {Idsat, log10 Ioff, Cgg@Vdd}] at several transistor geometries
+    are mapped onto the variances of the independent VS parameters
+    [p_j = {VT0, Leff, Weff, mu}] by solving the stacked linear system of
+    eq. (10) in the squared alpha coefficients.  [Cinv] is excluded from the
+    solve (its tiny, tightly-controlled variance is "measured directly" and
+    subtracted from the left-hand side, exactly as the paper prescribes);
+    the LER tie alpha2 = alpha3 reduces the unknowns to three. *)
+
+type observation = {
+  w_nm : float;
+  l_nm : float;
+  sigma_idsat : float;       (** measured, A *)
+  sigma_log10_ioff : float;  (** measured, decades *)
+  sigma_cgg : float;         (** measured, F *)
+}
+
+val observe_golden :
+  Bsim_statistical.t ->
+  rng:Vstat_util.Rng.t -> n:int -> vdd:float ->
+  w_nm:float -> l_nm:float ->
+  observation
+(** "Measure" one geometry by Monte Carlo on the golden statistical model —
+    the stand-in for the paper's silicon / design-kit measurements. *)
+
+type options = {
+  tie_l_w : bool;
+      (** apply the LER tie alpha2 = alpha3 (paper default: true) *)
+  known_cinv_alpha : float;
+      (** alpha5, measured directly (nm.uF/cm^2) *)
+  weight_idsat : float;
+      (** least-squares weight of the Idsat rows (default 2: on-current
+          variance drives timing distributions downstream) *)
+  weight_log10_ioff : float;
+  weight_cgg : float;
+}
+
+val default_options : options
+
+type result = {
+  alphas : Variation.alphas;
+  residual : float;              (** NNLS residual of the stacked system *)
+  rows : int;                    (** equations in the stacked system *)
+  options : options;
+}
+
+val extract :
+  vs:Vs_statistical.t -> vdd:float -> options:options ->
+  observation list ->
+  result
+(** Stacked extraction over all observations (least squares, non-negative in
+    the squared alphas).
+    @raise Invalid_argument on an empty observation list. *)
+
+val extract_per_geometry :
+  vs:Vs_statistical.t -> vdd:float -> options:options ->
+  observation list ->
+  (observation * Variation.alphas) list
+(** Solve each geometry's 3x3 system individually (paper Fig. 2 compares
+    this against the stacked solution). *)
+
+val predicted_sigma :
+  vs:Vs_statistical.t -> alphas:Variation.alphas -> vdd:float ->
+  w_nm:float -> l_nm:float ->
+  Sensitivity.metric -> float
+(** Forward propagation (paper eq. (9)): metric sigma implied by a set of
+    alphas through the VS sensitivities — used for contribution breakdowns
+    (Fig. 3) and consistency checks. *)
+
+val predicted_sigma_correlated :
+  vs:Vs_statistical.t -> alphas:Variation.alphas -> vdd:float ->
+  w_nm:float -> l_nm:float ->
+  correlation:(Sensitivity.parameter -> Sensitivity.parameter -> float) ->
+  Sensitivity.metric -> float
+(** Full second-order propagation of the paper's eq. (8), including the
+    correlation cross terms 2 sum r_jk (de/dpj)(de/dpk) sigma_j sigma_k.
+    With [correlation] returning 0 for j <> k this reduces to
+    {!predicted_sigma}.  The paper argues for choosing p_j independent
+    (r_jk = 0) — this function quantifies what correlated parameters would
+    do to the propagated variance. *)
+
+val contribution_breakdown :
+  vs:Vs_statistical.t -> alphas:Variation.alphas -> vdd:float ->
+  w_nm:float -> l_nm:float ->
+  Sensitivity.metric ->
+  (Sensitivity.parameter * float) list
+(** Per-parameter sigma contributions (quadrature components of
+    {!predicted_sigma}), the decomposition plotted in Fig. 3. *)

@@ -1,0 +1,48 @@
+type t = {
+  label : string;
+  polarity : Vstat_device.Device_model.polarity;
+  alphas : Variation.alphas;
+  nominal : w_nm:float -> l_nm:float -> Vstat_device.Bsim4lite.params;
+}
+
+let golden_nmos =
+  {
+    label = "bsim-golden-nmos";
+    polarity = Vstat_device.Device_model.Nmos;
+    alphas = Variation.paper_alphas_nmos;
+    nominal = (fun ~w_nm ~l_nm -> Vstat_device.Cards.bsim_nmos ~w_nm ~l_nm);
+  }
+
+let golden_pmos =
+  {
+    label = "bsim-golden-pmos";
+    polarity = Vstat_device.Device_model.Pmos;
+    alphas = Variation.paper_alphas_pmos;
+    nominal = (fun ~w_nm ~l_nm -> Vstat_device.Cards.bsim_pmos ~w_nm ~l_nm);
+  }
+
+let sample_params t rng ~w_nm ~l_nm =
+  let s = Variation.sigmas_of_alphas t.alphas ~w_nm ~l_nm in
+  let p = t.nominal ~w_nm ~l_nm in
+  let gauss sigma = Vstat_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma in
+  let dvt0 = gauss s.s_vt0 in
+  let dl = Vstat_device.Cards.nm (gauss s.s_l) in
+  let dw = Vstat_device.Cards.nm (gauss s.s_w) in
+  let dmu = Vstat_device.Cards.cm2_per_vs (gauss s.s_mu) in
+  let dcox = Vstat_device.Cards.uf_per_cm2 (gauss s.s_cinv) in
+  {
+    p with
+    Vstat_device.Bsim4lite.vth0 = p.Vstat_device.Bsim4lite.vth0 +. dvt0;
+    l = Float.max (p.l +. dl) 1e-9;
+    w = Float.max (p.w +. dw) 1e-9;
+    u0 = Float.max (p.u0 +. dmu) (0.05 *. p.u0);
+    cox = Float.max (p.cox +. dcox) (0.5 *. p.cox);
+  }
+
+let sample_device t rng ~w_nm ~l_nm =
+  Vstat_device.Bsim4lite.device ~name:t.label ~polarity:t.polarity
+    (sample_params t rng ~w_nm ~l_nm)
+
+let nominal_device t ~w_nm ~l_nm =
+  Vstat_device.Bsim4lite.device ~name:t.label ~polarity:t.polarity
+    (t.nominal ~w_nm ~l_nm)

@@ -1,0 +1,46 @@
+type die_shift = { g_dvt0 : float; g_dl_nm : float; g_dmu_rel : float }
+
+type t = { sigma_vt0 : float; sigma_l_nm : float; sigma_mu_rel : float }
+
+let default_40nm = { sigma_vt0 = 0.015; sigma_l_nm = 1.0; sigma_mu_rel = 0.02 }
+
+let draw t rng =
+  let gauss sigma = Vstat_util.Rng.gaussian_scaled rng ~mean:0.0 ~sigma in
+  {
+    g_dvt0 = gauss t.sigma_vt0;
+    g_dl_nm = gauss t.sigma_l_nm;
+    g_dmu_rel = gauss t.sigma_mu_rel;
+  }
+
+let apply_vs die (p : Vstat_device.Vs_model.params) =
+  let dmu = die.g_dmu_rel *. p.mu /. 1e-4 in
+  Vs_statistical.apply_shifts p
+    {
+      Vs_statistical.dvt0 = die.g_dvt0;
+      dl_nm = die.g_dl_nm;
+      dw_nm = 0.0;
+      dmu;
+      dcinv = 0.0;
+    }
+
+let die_tech (pl : Pipeline.t) ~die ~rng ~vdd =
+  let l_nm = Vstat_device.Cards.l_nominal_nm in
+  let sample (model : Vs_statistical.t) ~w_nm =
+    (* Global shift first, then independent local mismatch on top. *)
+    let shifted = apply_vs die (model.nominal ~w_nm ~l_nm) in
+    let local = Vs_statistical.draw_shifts model rng ~w_nm ~l_nm in
+    Vstat_device.Vs_model.device ~name:model.label ~polarity:model.polarity
+      (Vs_statistical.apply_shifts shifted local)
+  in
+  {
+    Vstat_cells.Celltech.label = "vs-statistical+inter-die";
+    vdd;
+    l_nm;
+    nmos = (fun ~w_nm -> sample pl.vs_nmos ~w_nm);
+    pmos = (fun ~w_nm -> sample pl.vs_pmos ~w_nm);
+  }
+
+let decompose_variance ~total ~within =
+  let vt = Vstat_stats.Descriptive.variance total in
+  let vw = Vstat_stats.Descriptive.variance within in
+  sqrt (Float.max 0.0 (vt -. vw))

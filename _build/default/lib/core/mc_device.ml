@@ -1,0 +1,26 @@
+type samples = {
+  idsat : float array;
+  log10_ioff : float array;
+  cgg : float array;
+}
+
+let run ~sampler ~rng ~n ~vdd =
+  if n < 1 then invalid_arg "Mc_device.run: n >= 1";
+  let idsat = Array.make n 0.0 in
+  let log10_ioff = Array.make n 0.0 in
+  let cgg = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let dev = sampler rng in
+    idsat.(i) <- Vstat_device.Metrics.idsat dev ~vdd;
+    log10_ioff.(i) <- Vstat_device.Metrics.log10_ioff dev ~vdd;
+    cgg.(i) <- Vstat_device.Metrics.cgg dev ~vdd
+  done;
+  { idsat; log10_ioff; cgg }
+
+let of_vs t ~rng ~n ~w_nm ~l_nm ~vdd =
+  run ~sampler:(fun rng -> Vs_statistical.sample_device t rng ~w_nm ~l_nm)
+    ~rng ~n ~vdd
+
+let of_bsim t ~rng ~n ~w_nm ~l_nm ~vdd =
+  run ~sampler:(fun rng -> Bsim_statistical.sample_device t rng ~w_nm ~l_nm)
+    ~rng ~n ~vdd

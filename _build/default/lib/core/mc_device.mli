@@ -1,0 +1,24 @@
+(** Device-level Monte Carlo: sample mismatch instances and collect the
+    electrical metric distributions (paper Table III, Figs. 3 and 4). *)
+
+type samples = {
+  idsat : float array;        (** A *)
+  log10_ioff : float array;
+  cgg : float array;          (** F *)
+}
+
+val run :
+  sampler:(Vstat_util.Rng.t -> Vstat_device.Device_model.t) ->
+  rng:Vstat_util.Rng.t ->
+  n:int ->
+  vdd:float ->
+  samples
+(** Draw [n] devices and measure all three metrics on each. *)
+
+val of_vs :
+  Vs_statistical.t -> rng:Vstat_util.Rng.t -> n:int ->
+  w_nm:float -> l_nm:float -> vdd:float -> samples
+
+val of_bsim :
+  Bsim_statistical.t -> rng:Vstat_util.Rng.t -> n:int ->
+  w_nm:float -> l_nm:float -> vdd:float -> samples

@@ -1,0 +1,1 @@
+lib/device/bsim4lite.ml: Device_model Float Vstat_util

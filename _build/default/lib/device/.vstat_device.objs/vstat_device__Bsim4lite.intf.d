@@ -1,0 +1,1 @@
+lib/device/bsim4lite.mli: Device_model

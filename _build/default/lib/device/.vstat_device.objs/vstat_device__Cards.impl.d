@@ -1,0 +1,1 @@
+lib/device/cards.ml: Bsim4lite Device_model Vs_model

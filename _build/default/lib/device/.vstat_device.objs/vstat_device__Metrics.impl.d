@@ -1,0 +1,1 @@
+lib/device/metrics.ml: Array Device_model Float Vstat_util

@@ -1,0 +1,1 @@
+lib/device/metrics.mli: Device_model

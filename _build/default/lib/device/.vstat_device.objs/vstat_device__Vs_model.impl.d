@@ -1,0 +1,1 @@
+lib/device/vs_model.ml: Device_model Float Vstat_util

@@ -1,0 +1,1 @@
+lib/device/vs_model.mli: Device_model

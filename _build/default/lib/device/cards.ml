@@ -1,0 +1,116 @@
+let nm x = x *. 1e-9
+let uf_per_cm2 x = x *. 1e-2
+let cm2_per_vs x = x *. 1e-4
+let cm_per_s x = x *. 1e-2
+
+let vdd_nominal = 0.9
+let l_nominal_nm = 40.0
+let phit_300k = 0.025852
+
+let bsim_nmos ~w_nm ~l_nm =
+  {
+    Bsim4lite.w = nm w_nm;
+    l = nm l_nm;
+    dl = 0.0;
+    dw = 0.0;
+    cox = uf_per_cm2 1.70;
+    vth0 = 0.34;
+    k1 = 0.35;
+    phis = 0.80;
+    dvt0 = 0.50;
+    dvt_l = nm 15.0;
+    eta0 = 0.50;
+    eta_l = nm 25.0;
+    u0 = cm2_per_vs 250.0;
+    ua = 0.35;
+    ub = 0.08;
+    vsat = cm_per_s 1.0e7;
+    n_ss = 1.40;
+    lambda = 0.10;
+    phit = phit_300k;
+    cov = 3.0e-10;
+  }
+
+let bsim_pmos ~w_nm ~l_nm =
+  {
+    Bsim4lite.w = nm w_nm;
+    l = nm l_nm;
+    dl = 0.0;
+    dw = 0.0;
+    cox = uf_per_cm2 1.70;
+    vth0 = 0.37;
+    k1 = 0.40;
+    phis = 0.80;
+    dvt0 = 0.45;
+    dvt_l = nm 15.0;
+    eta0 = 0.55;
+    eta_l = nm 25.0;
+    u0 = cm2_per_vs 90.0;
+    ua = 0.25;
+    ub = 0.05;
+    vsat = cm_per_s 0.80e7;
+    n_ss = 1.45;
+    lambda = 0.12;
+    phit = phit_300k;
+    cov = 3.2e-10;
+  }
+
+let vs_dibl_nmos =
+  { Vs_model.delta0 = 0.10; l_nominal = nm l_nominal_nm; l_scale = nm 25.0 }
+
+let vs_dibl_pmos =
+  { Vs_model.delta0 = 0.11; l_nominal = nm l_nominal_nm; l_scale = nm 25.0 }
+
+let vs_seed_nmos ~w_nm ~l_nm =
+  {
+    Vs_model.w = nm w_nm;
+    l = nm l_nm;
+    cinv = uf_per_cm2 1.70;
+    vt0 = 0.38;
+    dibl = vs_dibl_nmos;
+    n0 = 1.40;
+    nd = 0.0;
+    vxo = cm_per_s 1.0e7;
+    mu = cm2_per_vs 200.0;
+    beta = 1.8;
+    alpha_q = 3.5;
+    phit = phit_300k;
+    gamma_body = 0.20;
+    phib = 0.80;
+    cov = 3.0e-10;
+    ballistic_b = 0.25;
+  }
+
+let vs_seed_pmos ~w_nm ~l_nm =
+  {
+    Vs_model.w = nm w_nm;
+    l = nm l_nm;
+    cinv = uf_per_cm2 1.70;
+    vt0 = 0.40;
+    dibl = vs_dibl_pmos;
+    n0 = 1.45;
+    nd = 0.0;
+    vxo = cm_per_s 0.70e7;
+    mu = cm2_per_vs 80.0;
+    beta = 1.8;
+    alpha_q = 3.5;
+    phit = phit_300k;
+    gamma_body = 0.22;
+    phib = 0.80;
+    cov = 3.2e-10;
+    ballistic_b = 0.20;
+  }
+
+let bsim_device ~polarity ~w_nm ~l_nm =
+  match polarity with
+  | Device_model.Nmos ->
+    Bsim4lite.device ~name:"bsim-nmos" ~polarity (bsim_nmos ~w_nm ~l_nm)
+  | Device_model.Pmos ->
+    Bsim4lite.device ~name:"bsim-pmos" ~polarity (bsim_pmos ~w_nm ~l_nm)
+
+let vs_seed_device ~polarity ~w_nm ~l_nm =
+  match polarity with
+  | Device_model.Nmos ->
+    Vs_model.device ~name:"vs-nmos" ~polarity (vs_seed_nmos ~w_nm ~l_nm)
+  | Device_model.Pmos ->
+    Vs_model.device ~name:"vs-pmos" ~polarity (vs_seed_pmos ~w_nm ~l_nm)

@@ -1,0 +1,54 @@
+type polarity = Nmos | Pmos
+
+type terminal_state = {
+  id : float;
+  qg : float;
+  qd : float;
+  qs : float;
+  qb : float;
+}
+
+type canonical_eval = vgs:float -> vds:float -> vbs:float -> terminal_state
+
+type t = {
+  name : string;
+  polarity : polarity;
+  width : float;
+  length : float;
+  eval : vg:float -> vd:float -> vs:float -> vb:float -> terminal_state;
+}
+
+let make ~name ~polarity ~width ~length ~canonical =
+  let sign = match polarity with Nmos -> 1.0 | Pmos -> -1.0 in
+  let eval ~vg ~vd ~vs ~vb =
+    (* Mirror a PMOS into the NMOS quadrant. *)
+    let vg = sign *. vg and vd = sign *. vd and vs = sign *. vs
+    and vb = sign *. vb in
+    (* Source–drain symmetry: the model is written for vds >= 0. *)
+    let swapped = vd < vs in
+    let d, s = if swapped then (vs, vd) else (vd, vs) in
+    let state = canonical ~vgs:(vg -. s) ~vds:(d -. s) ~vbs:(vb -. s) in
+    let id = if swapped then -.state.id else state.id in
+    let qd, qs = if swapped then (state.qs, state.qd) else (state.qd, state.qs) in
+    {
+      id = sign *. id;
+      qg = sign *. state.qg;
+      qd = sign *. qd;
+      qs = sign *. qs;
+      qb = sign *. state.qb;
+    }
+  in
+  { name; polarity; width; length; eval }
+
+let ids t ~vg ~vd ~vs ~vb = (t.eval ~vg ~vd ~vs ~vb).id
+
+let central f x dv = (f (x +. dv) -. f (x -. dv)) /. (2.0 *. dv)
+
+let gm ?(dv = 1e-5) t ~vg ~vd ~vs ~vb =
+  central (fun vg -> ids t ~vg ~vd ~vs ~vb) vg dv
+
+let gds ?(dv = 1e-5) t ~vg ~vd ~vs ~vb =
+  central (fun vd -> ids t ~vg ~vd ~vs ~vb) vd dv
+
+let cgg ?(dv = 1e-5) t ~vg ~vd ~vs ~vb =
+  central (fun vg -> (t.eval ~vg ~vd ~vs ~vb).qg) vg dv

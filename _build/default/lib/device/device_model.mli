@@ -1,0 +1,53 @@
+(** First-class MOSFET compact-model instances.
+
+    A [t] is a fully-instantiated four-terminal transistor: geometry and
+    process parameters are already bound, so the circuit simulator only sees
+    node voltages.  Polarity handling (PMOS as a mirrored NMOS) and
+    source–drain symmetry (swap when the applied Vds is negative) are
+    implemented here once, so concrete models ({!Vs_model}, {!Bsim4lite})
+    only provide equations for the canonical NMOS, Vds >= 0 quadrant. *)
+
+type polarity = Nmos | Pmos
+
+type terminal_state = {
+  id : float;  (** drain-to-source channel current, A (into drain terminal) *)
+  qg : float;  (** gate terminal charge, C *)
+  qd : float;  (** drain terminal charge, C *)
+  qs : float;  (** source terminal charge, C *)
+  qb : float;  (** bulk terminal charge, C *)
+}
+
+type canonical_eval = vgs:float -> vds:float -> vbs:float -> terminal_state
+(** Model equations in the canonical quadrant.  Caller guarantees
+    [vds >= 0]; values follow NMOS sign conventions (id >= 0 for normal
+    operation, charges in natural NMOS polarity). *)
+
+type t = {
+  name : string;
+  polarity : polarity;
+  width : float;    (** electrical channel width, m *)
+  length : float;   (** electrical channel length, m *)
+  eval : vg:float -> vd:float -> vs:float -> vb:float -> terminal_state;
+}
+
+val make :
+  name:string ->
+  polarity:polarity ->
+  width:float ->
+  length:float ->
+  canonical:canonical_eval ->
+  t
+(** Wrap canonical equations with polarity mirroring and Vds < 0 swap. *)
+
+val ids : t -> vg:float -> vd:float -> vs:float -> vb:float -> float
+(** Drain current only (sign follows the real terminal convention: positive
+    current flows into the drain for an NMOS in normal operation). *)
+
+val gm : ?dv:float -> t -> vg:float -> vd:float -> vs:float -> vb:float -> float
+(** Transconductance dId/dVg by central finite difference. *)
+
+val gds : ?dv:float -> t -> vg:float -> vd:float -> vs:float -> vb:float -> float
+(** Output conductance dId/dVd. *)
+
+val cgg : ?dv:float -> t -> vg:float -> vd:float -> vs:float -> vb:float -> float
+(** Total gate capacitance dQg/dVg (F), central finite difference. *)

@@ -1,0 +1,32 @@
+(* Bias a device in its natural measurement frame: NMOS referenced to a
+   grounded source, PMOS referenced to a source at vdd. *)
+let bias_current (t : Device_model.t) ~vgs ~vds ~vdd =
+  match t.polarity with
+  | Device_model.Nmos ->
+    Float.abs (Device_model.ids t ~vg:vgs ~vd:vds ~vs:0.0 ~vb:0.0)
+  | Device_model.Pmos ->
+    Float.abs
+      (Device_model.ids t ~vg:(vdd -. vgs) ~vd:(vdd -. vds) ~vs:vdd ~vb:vdd)
+
+let idsat t ~vdd = bias_current t ~vgs:vdd ~vds:vdd ~vdd
+
+let ioff t ~vdd = bias_current t ~vgs:0.0 ~vds:vdd ~vdd
+
+let log10_ioff t ~vdd = Vstat_util.Floatx.log10_safe (ioff t ~vdd)
+
+let cgg (t : Device_model.t) ~vdd =
+  match t.polarity with
+  | Device_model.Nmos ->
+    Float.abs (Device_model.cgg t ~vg:vdd ~vd:0.0 ~vs:0.0 ~vb:0.0)
+  | Device_model.Pmos ->
+    Float.abs (Device_model.cgg t ~vg:0.0 ~vd:vdd ~vs:vdd ~vb:vdd)
+
+let id_vd_curve t ~vgs ~vds_points =
+  Array.map
+    (fun vds -> (vds, bias_current t ~vgs ~vds ~vdd:(Float.max vgs vds)))
+    vds_points
+
+let id_vg_curve t ~vds ~vgs_points =
+  Array.map
+    (fun vgs -> (vgs, bias_current t ~vgs ~vds ~vdd:(Float.max vgs vds)))
+    vgs_points

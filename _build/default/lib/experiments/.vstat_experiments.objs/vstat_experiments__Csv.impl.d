@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Array Filename Fun Int List Printf String Sys

@@ -1,0 +1,1 @@
+lib/experiments/exp_export.ml: Array Csv Exp_fig1 Exp_fig4 Exp_fig5 Exp_fig7 Exp_fig9 Int List Mc_compare Printf Vstat_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_export.mli: Vstat_core

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Array Float Format List Printf Vstat_core Vstat_device Vstat_stats Vstat_util

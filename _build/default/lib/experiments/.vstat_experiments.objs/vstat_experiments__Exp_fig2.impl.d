@@ -1,0 +1,1 @@
+lib/experiments/exp_fig2.ml: Float Format List Printf Vstat_core Vstat_util

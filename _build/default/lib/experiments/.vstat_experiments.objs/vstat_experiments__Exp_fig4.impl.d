@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Float Format List Vstat_core Vstat_device Vstat_stats Vstat_util

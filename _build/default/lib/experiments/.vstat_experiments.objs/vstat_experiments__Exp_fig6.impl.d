@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Format List Mc_compare Vstat_cells Vstat_core Vstat_stats

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.mli: Format Mc_compare Vstat_core

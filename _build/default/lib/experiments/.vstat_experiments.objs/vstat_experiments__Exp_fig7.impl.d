@@ -1,0 +1,1 @@
+lib/experiments/exp_fig7.ml: Format List Mc_compare Printf Vstat_cells Vstat_core Vstat_stats

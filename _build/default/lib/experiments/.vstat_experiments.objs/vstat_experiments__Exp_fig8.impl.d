@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Format Mc_compare Vstat_cells Vstat_core

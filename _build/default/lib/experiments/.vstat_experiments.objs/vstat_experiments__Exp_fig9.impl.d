@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Array Format Mc_compare Vstat_cells Vstat_core Vstat_stats Vstat_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.mli: Format Mc_compare Vstat_cells Vstat_core

@@ -1,0 +1,1 @@
+lib/experiments/exp_inter_die.ml: Array Format Vstat_cells Vstat_core Vstat_stats Vstat_util

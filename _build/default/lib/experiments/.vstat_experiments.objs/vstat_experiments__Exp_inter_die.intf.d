@@ -1,0 +1,1 @@
+lib/experiments/exp_inter_die.mli: Format Vstat_core

@@ -1,0 +1,1 @@
+lib/experiments/exp_ssta.ml: Array Float Format List Logs Printexc Printf Vstat_cells Vstat_core Vstat_stats Vstat_util

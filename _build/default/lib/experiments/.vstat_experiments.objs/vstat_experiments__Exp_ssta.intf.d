@@ -1,0 +1,1 @@
+lib/experiments/exp_ssta.mli: Format Vstat_core

@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Format Printf Vstat_core Vstat_util

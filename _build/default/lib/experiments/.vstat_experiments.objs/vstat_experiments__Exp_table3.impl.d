@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Float Format List Printf Vstat_core Vstat_device Vstat_stats Vstat_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Float Format Gc List Printf Unix Vstat_cells Vstat_circuit Vstat_core Vstat_device Vstat_util

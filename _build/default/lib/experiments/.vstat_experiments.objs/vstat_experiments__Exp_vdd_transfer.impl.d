@@ -1,0 +1,1 @@
+lib/experiments/exp_vdd_transfer.ml: Float Format List Printf Vstat_core Vstat_device Vstat_stats Vstat_util

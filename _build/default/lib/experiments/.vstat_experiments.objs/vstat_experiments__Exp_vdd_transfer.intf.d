@@ -1,0 +1,1 @@
+lib/experiments/exp_vdd_transfer.mli: Format Vstat_core

@@ -1,0 +1,1 @@
+lib/experiments/mc_compare.ml: Array Format List Logs Printexc Printf Vstat_core Vstat_stats Vstat_util

@@ -1,0 +1,1 @@
+lib/experiments/mc_compare.mli: Format Vstat_cells Vstat_core

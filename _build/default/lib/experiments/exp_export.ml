@@ -1,0 +1,101 @@
+let write_all ~dir ?(n = 300) ?(seed = 42) p =
+  let paths = ref [] in
+  let add path = paths := path :: !paths in
+  (* Fig. 1 *)
+  let f1 = Exp_fig1.run p in
+  let idvd_columns =
+    List.concat_map
+      (fun ((g : Exp_fig1.curve), (v : Exp_fig1.curve)) ->
+        [
+          ("vds", Array.map fst g.points);
+          (g.label ^ " id", Array.map snd g.points);
+          (v.label ^ " id", Array.map snd v.points);
+        ])
+      f1.id_vd
+  in
+  add (Csv.write_columns ~dir ~name:"fig1_idvd" idvd_columns);
+  let idvg_columns =
+    List.concat_map
+      (fun ((g : Exp_fig1.curve), (v : Exp_fig1.curve)) ->
+        [
+          ("vgs", Array.map fst g.points);
+          (g.label ^ " id", Array.map snd g.points);
+          (v.label ^ " id", Array.map snd v.points);
+        ])
+      f1.id_vg
+  in
+  add (Csv.write_columns ~dir ~name:"fig1_idvg" idvg_columns);
+  (* Fig. 4 *)
+  let f4 = Exp_fig4.run ~n:(Int.max n 400) ~seed p in
+  add
+    (Csv.write_columns ~dir ~name:"fig4_scatter"
+       [
+         ("golden_idsat", f4.golden.idsat);
+         ("golden_log10_ioff", f4.golden.log10_ioff);
+         ("vs_idsat", f4.vs.idsat);
+         ("vs_log10_ioff", f4.vs.log10_ioff);
+       ]);
+  let ellipse_columns =
+    List.concat
+      (List.concat_map
+         (fun (m : Exp_fig4.model_result) ->
+           List.mapi
+             (fun i e ->
+               let pts = Vstat_stats.Ellipse.points e ~n:72 in
+               [
+                 ( Printf.sprintf "%s_%dsigma_x" m.label (i + 1),
+                   Array.map fst pts );
+                 ( Printf.sprintf "%s_%dsigma_y" m.label (i + 1),
+                   Array.map snd pts );
+               ])
+             m.ellipses)
+         [ f4.golden; f4.vs ])
+  in
+  add (Csv.write_columns ~dir ~name:"fig4_ellipses" ellipse_columns);
+  (* Fig. 5 *)
+  let f5 = Exp_fig5.run ~n ~seed p in
+  let delay_columns =
+    List.concat_map
+      (fun ((size : Exp_fig5.size), (pair : Mc_compare.pair)) ->
+        [
+          ("golden " ^ size.name, pair.golden);
+          ("vs " ^ size.name, pair.vs);
+        ])
+      f5.results
+  in
+  add (Csv.write_columns ~dir ~name:"fig5_delays" delay_columns);
+  (* Fig. 7 *)
+  let f7 = Exp_fig7.run ~n ~seed p in
+  let qq_columns =
+    List.concat_map
+      (fun (r : Exp_fig7.per_vdd) ->
+        [
+          (Printf.sprintf "normal_quantile_%.2fV" r.vdd, Array.map fst r.qq_vs);
+          (Printf.sprintf "vs_delay_%.2fV" r.vdd, Array.map snd r.qq_vs);
+        ])
+      f7.results
+  in
+  add (Csv.write_columns ~dir ~name:"fig7_qq" qq_columns);
+  (* Fig. 9 *)
+  let f9 = Exp_fig9.run ~n ~seed p in
+  add
+    (Csv.write_columns ~dir ~name:"fig9_butterfly"
+       [
+         ("read_c1_q", Array.map fst f9.butterfly_read.curve1);
+         ("read_c1_qb", Array.map snd f9.butterfly_read.curve1);
+         ("read_c2_q", Array.map fst f9.butterfly_read.curve2);
+         ("read_c2_qb", Array.map snd f9.butterfly_read.curve2);
+         ("hold_c1_q", Array.map fst f9.butterfly_hold.curve1);
+         ("hold_c1_qb", Array.map snd f9.butterfly_hold.curve1);
+         ("hold_c2_q", Array.map fst f9.butterfly_hold.curve2);
+         ("hold_c2_qb", Array.map snd f9.butterfly_hold.curve2);
+       ]);
+  add
+    (Csv.write_columns ~dir ~name:"fig9_snm"
+       [
+         ("golden_read", f9.read_snm.golden);
+         ("vs_read", f9.read_snm.vs);
+         ("golden_hold", f9.hold_snm.golden);
+         ("vs_hold", f9.hold_snm.vs);
+       ]);
+  List.rev !paths

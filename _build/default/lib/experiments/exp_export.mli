@@ -1,0 +1,15 @@
+(** Export the figure data series to CSV files for external plotting
+    (one file per figure panel; see the returned manifest). *)
+
+val write_all :
+  dir:string -> ?n:int -> ?seed:int -> Vstat_core.Pipeline.t -> string list
+(** Runs the series-producing experiments at a moderate sample count
+    (default 300) and writes:
+
+    - [fig1_idvd.csv], [fig1_idvg.csv] — I–V curves, golden and VS;
+    - [fig4_scatter.csv], [fig4_ellipses.csv] — Ion/Ioff clouds + 3 ellipses;
+    - [fig5_delays.csv] — INV FO3 delay samples per size and model;
+    - [fig7_qq.csv] — VS delay Q–Q series per supply;
+    - [fig9_butterfly.csv], [fig9_snm.csv] — butterfly curves + SNM samples.
+
+    Returns the list of written paths. *)

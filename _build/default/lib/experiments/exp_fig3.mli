@@ -1,0 +1,19 @@
+(** Fig. 3 — Idsat mismatch (sigma/mu) versus width at L = 40 nm, decomposed
+    into the underlying process-parameter contributions. *)
+
+type row = {
+  w_nm : float;
+  total_pct : float;          (** sigma(Idsat)/mean(Idsat), percent, from MC *)
+  predicted_pct : float;      (** same via linear propagation (eq. 9) *)
+  vt0_pct : float;
+  geometry_pct : float;       (** combined Leff & Weff contribution *)
+  mu_pct : float;
+  cinv_pct : float;
+}
+
+type t = { l_nm : float; rows : row list }
+
+val run :
+  ?widths:float list -> ?n:int -> ?seed:int -> Vstat_core.Pipeline.t -> t
+
+val pp : Format.formatter -> t -> unit

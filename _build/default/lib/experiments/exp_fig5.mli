@@ -1,0 +1,15 @@
+(** Fig. 5 — INV (fanout-3) delay probability densities for three cell
+    sizes, statistical VS vs golden. *)
+
+type size = { name : string; wp_nm : float; wn_nm : float }
+
+val paper_sizes : size list
+(** P/N = 300/150, 600/300, 1200/600 nm as in the paper. *)
+
+type t = { n : int; vdd : float; results : (size * Mc_compare.pair) list }
+
+val run :
+  ?sizes:size list -> ?n:int -> ?seed:int -> ?vdd:float ->
+  Vstat_core.Pipeline.t -> t
+
+val pp : Format.formatter -> t -> unit

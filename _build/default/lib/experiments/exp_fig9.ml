@@ -1,0 +1,61 @@
+type t = {
+  n : int;
+  butterfly_read : Vstat_cells.Sram6t.butterfly;
+  butterfly_hold : Vstat_cells.Sram6t.butterfly;
+  read_snm : Mc_compare.pair;
+  hold_snm : Mc_compare.pair;
+  hold_qq_r2_vs : float;
+  hold_qq_vs : (float * float) array;
+}
+
+let run ?(n = 500) ?(seed = 41) (p : Vstat_core.Pipeline.t) =
+  (* One representative VS sample for the butterfly plots. *)
+  let rng = Vstat_util.Rng.create ~seed:(seed + 100) in
+  let tech = Vstat_core.Techs.stochastic_vs p ~rng ~vdd:p.vdd in
+  let cell = Vstat_cells.Sram6t.sample tech in
+  let butterfly_read =
+    Vstat_cells.Sram6t.butterfly cell ~mode:Vstat_cells.Sram6t.Read
+  in
+  let butterfly_hold =
+    Vstat_cells.Sram6t.butterfly cell ~mode:Vstat_cells.Sram6t.Hold
+  in
+  let snm_measure mode tech =
+    Vstat_cells.Sram6t.snm (Vstat_cells.Sram6t.sample tech) ~mode
+  in
+  let read_snm =
+    Mc_compare.run p ~label:"SRAM READ SNM" ~vdd:p.vdd ~n ~seed
+      ~measure:(snm_measure Vstat_cells.Sram6t.Read)
+  in
+  let hold_snm =
+    Mc_compare.run p ~label:"SRAM HOLD SNM" ~vdd:p.vdd ~n ~seed:(seed + 1)
+      ~measure:(snm_measure Vstat_cells.Sram6t.Hold)
+  in
+  {
+    n;
+    butterfly_read;
+    butterfly_hold;
+    read_snm;
+    hold_snm;
+    hold_qq_r2_vs = Vstat_stats.Qq.linearity_r2 hold_snm.vs;
+    hold_qq_vs = Vstat_stats.Qq.against_normal hold_snm.vs;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "Fig.9: 6T SRAM noise margins, %d MC samples per model@\n"
+    t.n;
+  let pp_butterfly label (b : Vstat_cells.Sram6t.butterfly) =
+    let snm = Vstat_cells.Sram6t.snm_of_butterfly b in
+    Format.fprintf ppf "  %s butterfly (one VS sample): SNM = %.1f mV@\n" label
+      (snm *. 1e3);
+    let spark curve =
+      Vstat_stats.Histogram.sparkline (Array.map snd curve)
+    in
+    Format.fprintf ppf "    curve1 |%s|@\n    curve2 |%s|@\n" (spark b.curve1)
+      (spark b.curve2)
+  in
+  pp_butterfly "READ" t.butterfly_read;
+  pp_butterfly "HOLD" t.butterfly_hold;
+  Mc_compare.pp_pair ppf t.read_snm;
+  Mc_compare.pp_pair ppf t.hold_snm;
+  Format.fprintf ppf "  HOLD SNM qq R2 (vs) = %.4f (slightly non-Gaussian)@\n"
+    t.hold_qq_r2_vs

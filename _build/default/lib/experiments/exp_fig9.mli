@@ -1,0 +1,17 @@
+(** Fig. 9 — 6T SRAM: butterfly curves (READ and HOLD) from the statistical
+    VS model, SNM distributions for both models, and the Q–Q analysis of
+    the HOLD SNM (slightly non-Gaussian in the paper). *)
+
+type t = {
+  n : int;
+  butterfly_read : Vstat_cells.Sram6t.butterfly;   (** one VS sample *)
+  butterfly_hold : Vstat_cells.Sram6t.butterfly;
+  read_snm : Mc_compare.pair;
+  hold_snm : Mc_compare.pair;
+  hold_qq_r2_vs : float;
+  hold_qq_vs : (float * float) array;
+}
+
+val run : ?n:int -> ?seed:int -> Vstat_core.Pipeline.t -> t
+
+val pp : Format.formatter -> t -> unit

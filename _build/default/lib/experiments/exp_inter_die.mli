@@ -1,0 +1,22 @@
+(** Extension — inter-die plus within-die variation (paper eq. (1)).
+
+    Samples INV FO3 delays under (a) within-die mismatch only and
+    (b) within-die mismatch composed with a shared per-die global shift,
+    then recovers the implied inter-die sigma by variance subtraction. *)
+
+type t = {
+  n_dies : int;
+  per_die : int;
+  within_delays : float array;
+  total_delays : float array;
+  sigma_within : float;
+  sigma_total : float;
+  sigma_inter_implied : float;  (** via variance subtraction, eq. (1) *)
+}
+
+val run :
+  ?n_dies:int -> ?per_die:int -> ?seed:int ->
+  ?spec:Vstat_core.Inter_die.t ->
+  Vstat_core.Pipeline.t -> t
+
+val pp : Format.formatter -> t -> unit

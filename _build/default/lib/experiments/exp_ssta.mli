@@ -1,0 +1,29 @@
+(** Extension — why low-Vdd variation breaks Gaussian SSTA (the paper's
+    Sec. IV-B remark, made quantitative).
+
+    An 8-stage inverter-chain path is Monte-Carlo'd at transistor level
+    with the statistical VS model.  A first-order Gaussian SSTA model of
+    the same path (sum of independent per-stage Gaussian delays, moments
+    taken from single-stage Monte Carlo) predicts the path distribution.
+    At nominal Vdd the two agree; near threshold the per-stage
+    distributions skew right and Gaussian SSTA underestimates the slow
+    tail — the exact failure mode the paper warns about. *)
+
+type per_vdd = {
+  vdd : float;
+  mc_delays : float array;        (** transistor-level path MC *)
+  ssta_mean : float;              (** n * per-stage mean *)
+  ssta_sigma : float;             (** sqrt(n) * per-stage sigma *)
+  mc_q999 : float;                (** empirical 99.9th percentile *)
+  ssta_q999 : float;              (** Gaussian prediction of the same *)
+  tail_underestimate_pct : float; (** (mc - ssta)/mc * 100 at q99.9 *)
+  stage_skew : float;             (** per-stage delay skewness *)
+}
+
+type t = { stages : int; n : int; results : per_vdd list }
+
+val run :
+  ?vdds:float list -> ?stages:int -> ?n:int -> ?seed:int ->
+  Vstat_core.Pipeline.t -> t
+
+val pp : Format.formatter -> t -> unit

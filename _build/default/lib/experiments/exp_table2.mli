@@ -1,0 +1,13 @@
+(** Table II — extracted standard-deviation coefficients alpha1..alpha5 from
+    the BPV method, NMOS and PMOS, compared against the golden model's
+    ground-truth coefficients. *)
+
+type t = {
+  extracted_nmos : Vstat_core.Variation.alphas;
+  extracted_pmos : Vstat_core.Variation.alphas;
+  truth_nmos : Vstat_core.Variation.alphas;
+  truth_pmos : Vstat_core.Variation.alphas;
+}
+
+val run : Vstat_core.Pipeline.t -> t
+val pp : Format.formatter -> t -> unit

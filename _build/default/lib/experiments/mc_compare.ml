@@ -1,0 +1,92 @@
+type pair = {
+  label : string;
+  golden : float array;
+  vs : float array;
+  ks : float;
+  ks_p : float;
+  rel_mean_diff : float;
+  rel_std_diff : float;
+  overlap : float;
+}
+
+let collect ~n ~tech_of_rng ~rng ~measure =
+  let results = ref [] in
+  let failures = ref 0 in
+  for _ = 1 to n do
+    let sample_rng = Vstat_util.Rng.split rng in
+    match measure (tech_of_rng sample_rng) with
+    | value -> results := value :: !results
+    | exception e ->
+      incr failures;
+      Logs.warn (fun m -> m "mc sample failed: %s" (Printexc.to_string e))
+  done;
+  if !failures * 5 > n then
+    failwith
+      (Printf.sprintf "Mc_compare: %d/%d samples failed" !failures n);
+  Array.of_list (List.rev !results)
+
+let summarize ~label golden vs =
+  {
+    label;
+    golden;
+    vs;
+    ks = Vstat_stats.Compare.ks_statistic golden vs;
+    ks_p = Vstat_stats.Compare.ks_p_value golden vs;
+    rel_mean_diff = Vstat_stats.Compare.relative_mean_diff vs golden;
+    rel_std_diff = Vstat_stats.Compare.relative_std_diff vs golden;
+    overlap = Vstat_stats.Compare.density_overlap golden vs;
+  }
+
+let run_lists p ~label ~vdd ~n ~seed ~measure =
+  let rng_g = Vstat_util.Rng.create ~seed in
+  let rng_v = Vstat_util.Rng.create ~seed:(seed + 1) in
+  let golden =
+    collect ~n
+      ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_bsim p ~rng ~vdd)
+      ~rng:rng_g ~measure
+  in
+  let vs =
+    collect ~n
+      ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_vs p ~rng ~vdd)
+      ~rng:rng_v ~measure
+  in
+  (label, golden, vs)
+
+let run p ~label ~vdd ~n ~seed ~measure =
+  let label, golden, vs =
+    run_lists p ~label ~vdd ~n ~seed ~measure:(fun tech -> [ measure tech ])
+  in
+  summarize ~label (Array.map (fun l -> List.hd l) golden)
+    (Array.map (fun l -> List.hd l) vs)
+
+let run_many p ~label ~vdd ~n ~seed ~measure =
+  let label, golden, vs = run_lists p ~label ~vdd ~n ~seed ~measure in
+  if Array.length golden = 0 then []
+  else begin
+    let arity = List.length golden.(0) in
+    List.init arity (fun k ->
+        summarize
+          ~label:(Printf.sprintf "%s[%d]" label k)
+          (Array.map (fun l -> List.nth l k) golden)
+          (Array.map (fun l -> List.nth l k) vs))
+  end
+
+let pp_pair ppf t =
+  let d = Vstat_stats.Descriptive.mean in
+  let s = Vstat_stats.Descriptive.std in
+  Format.fprintf ppf "%s:@\n" t.label;
+  Format.fprintf ppf "  golden: mean=%.4g std=%.4g  skew=%+.2f@\n" (d t.golden)
+    (s t.golden)
+    (Vstat_stats.Descriptive.skewness t.golden);
+  Format.fprintf ppf "  vs    : mean=%.4g std=%.4g  skew=%+.2f@\n" (d t.vs)
+    (s t.vs)
+    (Vstat_stats.Descriptive.skewness t.vs);
+  Format.fprintf ppf
+    "  agreement: |dmean|=%.2f%% |dstd|=%.2f%% KS=%.3f (p=%.2f) overlap=%.3f@\n"
+    (100.0 *. t.rel_mean_diff) (100.0 *. t.rel_std_diff) t.ks t.ks_p t.overlap;
+  let spark xs =
+    Vstat_stats.Histogram.sparkline
+      (Array.map snd (Vstat_stats.Histogram.kde ~points:60 xs))
+  in
+  Format.fprintf ppf "  golden |%s|@\n  vs     |%s|@\n" (spark t.golden)
+    (spark t.vs)

@@ -1,0 +1,42 @@
+(** Shared scaffolding for circuit-level VS-vs-golden Monte Carlo
+    comparisons: run the same measurement n times on each statistical
+    technology and summarize how close the two distributions are. *)
+
+type pair = {
+  label : string;
+  golden : float array;
+  vs : float array;
+  ks : float;                (** two-sample Kolmogorov–Smirnov distance *)
+  ks_p : float;
+  rel_mean_diff : float;
+  rel_std_diff : float;
+  overlap : float;           (** KDE overlap in [0,1] *)
+}
+
+val run :
+  Vstat_core.Pipeline.t ->
+  label:string ->
+  vdd:float ->
+  n:int ->
+  seed:int ->
+  measure:(Vstat_cells.Celltech.t -> float) ->
+  pair
+(** [measure tech] must draw fresh devices from [tech] (each call is one
+    Monte Carlo sample).  Failed samples (convergence or measurement
+    failures) are skipped with a warning; at least 80 % of samples must
+    survive or the run raises [Failure]. *)
+
+val run_many :
+  Vstat_core.Pipeline.t ->
+  label:string ->
+  vdd:float ->
+  n:int ->
+  seed:int ->
+  measure:(Vstat_cells.Celltech.t -> float list) ->
+  pair list
+(** Like {!run} for measurements that return several observables per sample
+    (e.g. delay and leakage); returns one pair per observable position. *)
+
+val pp_pair : Format.formatter -> pair -> unit
+(** One summary block: moments of both distributions, agreement metrics and
+    density sparklines. *)

@@ -1,0 +1,1 @@
+lib/linalg/cmatrix.mli: Complex Matrix

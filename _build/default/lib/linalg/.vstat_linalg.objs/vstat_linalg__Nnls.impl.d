@@ -1,0 +1,1 @@
+lib/linalg/nnls.ml: Array Float Fun List Matrix Qr

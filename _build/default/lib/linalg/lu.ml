@@ -1,0 +1,89 @@
+type t = {
+  lu : Matrix.t;          (* combined L (unit diagonal) and U factors *)
+  pivots : int array;     (* row permutation *)
+  sign : float;           (* permutation parity, for the determinant *)
+}
+
+exception Singular of int
+
+let factor a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.factor: matrix must be square";
+  let lu = Matrix.copy a in
+  let pivots = Array.init n Fun.id in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: find the largest remaining entry in column k. *)
+    let pivot_row = ref k in
+    let pivot_val = ref (Float.abs (Matrix.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Matrix.get lu i k) in
+      if v > !pivot_val then begin
+        pivot_val := v;
+        pivot_row := i
+      end
+    done;
+    if !pivot_val < 1e-280 then raise (Singular k);
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Matrix.get lu k j in
+        Matrix.set lu k j (Matrix.get lu !pivot_row j);
+        Matrix.set lu !pivot_row j tmp
+      done;
+      let tmp = pivots.(k) in
+      pivots.(k) <- pivots.(!pivot_row);
+      pivots.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let ukk = Matrix.get lu k k in
+    for i = k + 1 to n - 1 do
+      let lik = Matrix.get lu i k /. ukk in
+      Matrix.set lu i k lik;
+      for j = k + 1 to n - 1 do
+        Matrix.add_to lu i j (-.lik *. Matrix.get lu k j)
+      done
+    done
+  done;
+  { lu; pivots; sign = !sign }
+
+let solve_factored { lu; pivots; _ } b =
+  let n = Matrix.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: rhs length";
+  let x = Array.init n (fun i -> b.(pivots.(i))) in
+  (* Forward substitution with unit-diagonal L. *)
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+    done
+  done;
+  (* Backward substitution with U. *)
+  for i = n - 1 downto 0 do
+    for j = i + 1 to n - 1 do
+      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+    done;
+    x.(i) <- x.(i) /. Matrix.get lu i i
+  done;
+  x
+
+let solve a b = solve_factored (factor a) b
+
+let det { lu; sign; _ } =
+  let n = Matrix.rows lu in
+  let d = ref sign in
+  for i = 0 to n - 1 do
+    d := !d *. Matrix.get lu i i
+  done;
+  !d
+
+let inverse a =
+  let n = Matrix.rows a in
+  let f = factor a in
+  let inv = Matrix.create ~rows:n ~cols:n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
+    let x = solve_factored f e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j x.(i)
+    done
+  done;
+  inv

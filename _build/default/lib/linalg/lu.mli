@@ -1,0 +1,26 @@
+(** LU factorization with partial pivoting, the workhorse solver for the
+    circuit simulator's Newton iterations. *)
+
+type t
+(** A factorization of a square matrix. *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when a pivot underflows the
+    singularity threshold. *)
+
+val factor : Matrix.t -> t
+(** Factor a square matrix.  O(n^3).
+    @raise Singular when the matrix is numerically singular.
+    @raise Invalid_argument on non-square input. *)
+
+val solve_factored : t -> float array -> float array
+(** Solve A x = b reusing a factorization.  O(n^2) per right-hand side. *)
+
+val solve : Matrix.t -> float array -> float array
+(** One-shot [factor] + [solve_factored]. *)
+
+val det : t -> float
+(** Determinant from the factorization (product of pivots, sign-corrected). *)
+
+val inverse : Matrix.t -> Matrix.t
+(** Explicit inverse; for tests and small covariance work only. *)

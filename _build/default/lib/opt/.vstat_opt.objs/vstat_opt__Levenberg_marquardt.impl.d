@@ -1,0 +1,1 @@
+lib/opt/levenberg_marquardt.ml: Array Float Vstat_linalg

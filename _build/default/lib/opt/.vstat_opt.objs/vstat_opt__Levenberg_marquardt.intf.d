@@ -1,0 +1,1 @@
+lib/opt/levenberg_marquardt.mli:

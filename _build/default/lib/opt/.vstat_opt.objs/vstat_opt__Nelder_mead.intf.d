@@ -1,0 +1,1 @@
+lib/opt/nelder_mead.mli:

@@ -1,0 +1,1 @@
+lib/opt/scalar.ml: Float

@@ -1,0 +1,86 @@
+module M = Vstat_linalg.Matrix
+
+type result = {
+  x : float array;
+  residual_norm : float;
+  iterations : int;
+  converged : bool;
+}
+
+let norm2 v = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 v)
+
+let jacobian ~residual ~fd_step x r0 =
+  let n = Array.length x and m = Array.length r0 in
+  let j = M.create ~rows:m ~cols:n in
+  for k = 0 to n - 1 do
+    let h = fd_step *. Float.max 1.0 (Float.abs x.(k)) in
+    let xk = Array.copy x in
+    xk.(k) <- xk.(k) +. h;
+    let rk = residual xk in
+    if Array.length rk <> m then
+      invalid_arg "Levenberg_marquardt: residual length changed";
+    for i = 0 to m - 1 do
+      M.set j i k ((rk.(i) -. r0.(i)) /. h)
+    done
+  done;
+  j
+
+let minimize ?(max_iter = 200) ?(lambda0 = 1e-3) ?(g_tol = 1e-12)
+    ?(x_tol = 1e-12) ?(fd_step = 1e-7) ~residual ~x0 () =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Levenberg_marquardt.minimize: empty x0";
+  let x = ref (Array.copy x0) in
+  let r = ref (residual !x) in
+  let cost = ref (norm2 !r) in
+  let lambda = ref lambda0 in
+  let iterations = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iterations < max_iter do
+    incr iterations;
+    let j = jacobian ~residual ~fd_step !x !r in
+    (* Normal equations: (J^T J + lambda diag(J^T J)) dx = -J^T r. *)
+    let jt = M.transpose j in
+    let jtj = M.mul jt j in
+    let g = M.mul_vec jt !r in
+    let gnorm = norm2 g in
+    if gnorm < g_tol *. Float.max 1.0 !cost then converged := true
+    else begin
+      (* Try increasing damping until a step reduces the cost. *)
+      let stepped = ref false in
+      let attempts = ref 0 in
+      while (not !stepped) && !attempts < 30 do
+        incr attempts;
+        let a = M.copy jtj in
+        for k = 0 to n - 1 do
+          let d = M.get jtj k k in
+          M.add_to a k k (!lambda *. Float.max d 1e-12)
+        done;
+        match Vstat_linalg.Lu.solve a (Array.map (fun v -> -.v) g) with
+        | exception Vstat_linalg.Lu.Singular _ -> lambda := !lambda *. 10.0
+        | dx ->
+          let x' = Array.mapi (fun i xi -> xi +. dx.(i)) !x in
+          let r' = residual x' in
+          let cost' = norm2 r' in
+          if cost' < !cost then begin
+            (* Accept: relax damping toward Gauss-Newton. *)
+            let step_small =
+              norm2 dx < x_tol *. Float.max 1.0 (norm2 !x)
+            in
+            x := x';
+            r := r';
+            cost := cost';
+            lambda := Float.max (!lambda /. 10.0) 1e-12;
+            stepped := true;
+            if step_small then converged := true
+          end
+          else lambda := !lambda *. 10.0
+      done;
+      if not !stepped then converged := true (* damping saturated: stall *)
+    end
+  done;
+  {
+    x = !x;
+    residual_norm = !cost;
+    iterations = !iterations;
+    converged = !converged;
+  }

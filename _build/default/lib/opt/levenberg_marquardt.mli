@@ -1,0 +1,31 @@
+(** Levenberg–Marquardt nonlinear least squares.
+
+    Minimizes ||r(x)||^2 for a residual vector function r, with a
+    finite-difference Jacobian and the classic adaptive damping between
+    Gauss–Newton (fast near the optimum) and gradient descent (robust far
+    from it).  An alternative to {!Nelder_mead} for smooth fitting problems
+    such as the nominal VS extraction. *)
+
+type result = {
+  x : float array;
+  residual_norm : float;   (** ||r(x)||_2 at the solution *)
+  iterations : int;
+  converged : bool;
+}
+
+val minimize :
+  ?max_iter:int ->
+  ?lambda0:float ->
+  ?g_tol:float ->
+  ?x_tol:float ->
+  ?fd_step:float ->
+  residual:(float array -> float array) ->
+  x0:float array ->
+  unit ->
+  result
+(** [minimize ~residual ~x0 ()] — [residual x] must always return the same
+    length m >= n.  Convergence when the gradient norm falls below [g_tol]
+    (default 1e-12 relative) or the step stalls below [x_tol]
+    (default 1e-12 relative).  [lambda0] is the initial damping (1e-3).
+    @raise Invalid_argument on empty input.
+    @raise Failure if the damped normal equations stay singular. *)

@@ -1,0 +1,1 @@
+lib/stats/compare.ml: Array Descriptive Float Histogram Vstat_util

@@ -1,0 +1,1 @@
+lib/stats/ellipse.ml: Array Descriptive Float Vstat_linalg Vstat_util

@@ -1,0 +1,1 @@
+lib/stats/qq.ml: Array Descriptive Float Vstat_util

@@ -1,0 +1,75 @@
+let require_samples xs n name =
+  if Array.length xs < n then
+    invalid_arg (Printf.sprintf "Descriptive.%s: need at least %d samples" name n)
+
+let mean xs =
+  require_samples xs 1 "mean";
+  Array.fold_left ( +. ) 0.0 xs /. Float.of_int (Array.length xs)
+
+let central_moment xs ~order ~mu =
+  let acc = ref 0.0 in
+  Array.iter (fun x -> acc := !acc +. ((x -. mu) ** Float.of_int order)) xs;
+  !acc /. Float.of_int (Array.length xs)
+
+let variance xs =
+  require_samples xs 2 "variance";
+  let mu = mean xs in
+  let n = Float.of_int (Array.length xs) in
+  central_moment xs ~order:2 ~mu *. n /. (n -. 1.0)
+
+let std xs = sqrt (variance xs)
+
+let sigma_over_mu xs = std xs /. Float.abs (mean xs)
+
+let min_max xs =
+  require_samples xs 1 "min_max";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let skewness xs =
+  require_samples xs 3 "skewness";
+  let mu = mean xs in
+  let n = Float.of_int (Array.length xs) in
+  let m2 = central_moment xs ~order:2 ~mu in
+  let m3 = central_moment xs ~order:3 ~mu in
+  let g1 = m3 /. (m2 ** 1.5) in
+  g1 *. sqrt (n *. (n -. 1.0)) /. (n -. 2.0)
+
+let excess_kurtosis xs =
+  require_samples xs 4 "excess_kurtosis";
+  let mu = mean xs in
+  let m2 = central_moment xs ~order:2 ~mu in
+  let m4 = central_moment xs ~order:4 ~mu in
+  (m4 /. (m2 *. m2)) -. 3.0
+
+let quantile xs p =
+  require_samples xs 1 "quantile";
+  if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p in [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let h = p *. Float.of_int (n - 1) in
+  let lo = Float.to_int (Float.floor h) in
+  let hi = Int.min (lo + 1) (n - 1) in
+  let frac = h -. Float.of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs 0.5
+
+let covariance xs ys =
+  require_samples xs 2 "covariance";
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Descriptive.covariance: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. mx) *. (ys.(i) -. my))) xs;
+  !acc /. Float.of_int (Array.length xs - 1)
+
+let correlation xs ys =
+  covariance xs ys /. (std xs *. std ys)
+
+let summary_to_string ~name xs =
+  let lo, hi = min_max xs in
+  Printf.sprintf "%s: n=%d mean=%.6g std=%.6g min=%.6g max=%.6g" name
+    (Array.length xs) (mean xs) (std xs) lo hi

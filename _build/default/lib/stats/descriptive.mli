@@ -1,0 +1,41 @@
+(** Descriptive statistics over float-array samples.
+
+    These are the quantities the paper reports for every Monte Carlo run:
+    mean, standard deviation, sigma/mu ratios, quantiles, and the
+    skewness/kurtosis used to detect the non-Gaussian low-Vdd regime. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n - 1 denominator).
+    @raise Invalid_argument if fewer than 2 samples. *)
+
+val std : float array -> float
+(** Unbiased sample standard deviation. *)
+
+val sigma_over_mu : float array -> float
+(** std / |mean| — the paper's mismatch ratio. *)
+
+val min_max : float array -> float * float
+
+val skewness : float array -> float
+(** Adjusted Fisher–Pearson sample skewness (g1 with bias correction). *)
+
+val excess_kurtosis : float array -> float
+(** Sample excess kurtosis (0 for a Gaussian). *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for p in [0, 1]; linear interpolation between order
+    statistics (type-7, the numpy default).  Input need not be sorted. *)
+
+val median : float array -> float
+
+val covariance : float array -> float array -> float
+(** Unbiased sample covariance of paired samples. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient. *)
+
+val summary_to_string : name:string -> float array -> string
+(** One-line "name: mean=… std=… min=… max=…" report used by examples. *)

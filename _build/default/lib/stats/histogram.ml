@@ -1,0 +1,86 @@
+type t = { edges : float array; counts : int array; total : int }
+
+let freedman_diaconis xs =
+  let n = Array.length xs in
+  let iqr = Descriptive.quantile xs 0.75 -. Descriptive.quantile xs 0.25 in
+  let lo, hi = Descriptive.min_max xs in
+  if iqr <= 0.0 || hi <= lo then 16
+  else begin
+    let width = 2.0 *. iqr /. (Float.of_int n ** (1.0 /. 3.0)) in
+    let bins = Float.to_int (Float.ceil ((hi -. lo) /. width)) in
+    Int.max 8 (Int.min 128 bins)
+  end
+
+let build ?bins xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.build: empty sample";
+  let bins = match bins with Some b -> Int.max 1 b | None -> freedman_diaconis xs in
+  let lo, hi = Descriptive.min_max xs in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  let edges =
+    Array.init (bins + 1) (fun i ->
+        lo +. ((hi -. lo) *. Float.of_int i /. Float.of_int bins))
+  in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let raw =
+        Float.to_int (Float.of_int bins *. (x -. lo) /. (hi -. lo))
+      in
+      let b = Int.max 0 (Int.min (bins - 1) raw) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  { edges; counts; total = Array.length xs }
+
+let density { edges; counts; total } =
+  Array.mapi
+    (fun i c ->
+      let width = edges.(i + 1) -. edges.(i) in
+      let center = 0.5 *. (edges.(i) +. edges.(i + 1)) in
+      (center, Float.of_int c /. (Float.of_int total *. width)))
+    counts
+
+let silverman xs =
+  let n = Float.of_int (Array.length xs) in
+  let sigma = Descriptive.std xs in
+  let iqr = Descriptive.quantile xs 0.75 -. Descriptive.quantile xs 0.25 in
+  let spread =
+    if iqr > 0.0 then Float.min sigma (iqr /. 1.349) else sigma
+  in
+  let spread = if spread > 0.0 then spread else 1.0 in
+  0.9 *. spread *. (n ** (-0.2))
+
+let kde ?bandwidth ?(points = 101) xs =
+  if Array.length xs < 2 then invalid_arg "Histogram.kde: need >= 2 samples";
+  let h = match bandwidth with Some h -> h | None -> silverman xs in
+  let lo, hi = Descriptive.min_max xs in
+  let lo = lo -. (3.0 *. h) and hi = hi +. (3.0 *. h) in
+  let grid = Vstat_util.Floatx.linspace lo hi points in
+  let n = Float.of_int (Array.length xs) in
+  Array.map
+    (fun x ->
+      let acc = ref 0.0 in
+      Array.iter
+        (fun xi -> acc := !acc +. Vstat_util.Special.normal_pdf ((x -. xi) /. h))
+        xs;
+      (x, !acc /. (n *. h)))
+    grid
+
+let sparkline ?(width = 60) ys =
+  if Array.length ys = 0 then ""
+  else begin
+    let glyphs = [| " "; "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |] in
+    let n = Array.length ys in
+    let sampled =
+      Array.init (Int.min width n) (fun i ->
+          ys.(i * n / Int.min width n))
+    in
+    let lo, hi = Descriptive.min_max sampled in
+    let span = if hi > lo then hi -. lo else 1.0 in
+    let buf = Buffer.create width in
+    Array.iter
+      (fun y ->
+        let level = Float.to_int (8.0 *. (y -. lo) /. span) in
+        Buffer.add_string buf glyphs.(Int.max 0 (Int.min 8 level)))
+      sampled;
+    Buffer.contents buf
+  end

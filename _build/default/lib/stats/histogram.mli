@@ -1,0 +1,27 @@
+(** Histograms and kernel density estimates.
+
+    The paper's delay/SNM "probability density" figures are reproduced as
+    density series: bin centers (or evaluation points) paired with estimated
+    density values. *)
+
+type t = {
+  edges : float array;    (** n+1 bin edges, ascending *)
+  counts : int array;     (** n bin occupation counts *)
+  total : int;            (** number of samples binned *)
+}
+
+val build : ?bins:int -> float array -> t
+(** [build xs] bins the samples into [bins] equal-width bins spanning
+    [min xs, max xs].  Default bin count follows the Freedman–Diaconis rule
+    clamped to [8, 128].  @raise Invalid_argument on empty input. *)
+
+val density : t -> (float * float) array
+(** Bin centers paired with normalized density (integrates to 1). *)
+
+val kde : ?bandwidth:float -> ?points:int -> float array -> (float * float) array
+(** Gaussian kernel density estimate evaluated on an even grid spanning the
+    sample range extended by 3 bandwidths.  Default bandwidth is Silverman's
+    rule of thumb; default 101 evaluation points. *)
+
+val sparkline : ?width:int -> float array -> string
+(** Unicode mini-plot of a density/series, for terminal output. *)

@@ -1,0 +1,22 @@
+let against_normal xs =
+  let n = Array.length xs in
+  if n < 3 then invalid_arg "Qq.against_normal: need >= 3 samples";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  Array.mapi
+    (fun i y ->
+      let p = (Float.of_int i +. 0.5) /. Float.of_int n in
+      (Vstat_util.Special.normal_quantile p, y))
+    sorted
+
+let linearity_r2 xs =
+  let series = against_normal xs in
+  let qs = Array.map fst series and ys = Array.map snd series in
+  let r = Descriptive.correlation qs ys in
+  r *. r
+
+let tail_deviation xs =
+  let lo = Descriptive.quantile xs 0.00135 in
+  let hi = Descriptive.quantile xs 0.99865 in
+  let sigma = Descriptive.std xs in
+  ((hi -. lo) /. (6.0 *. sigma)) -. 1.0

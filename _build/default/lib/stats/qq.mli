@@ -1,0 +1,18 @@
+(** Quantile–quantile analysis against the standard normal.
+
+    Reproduces the paper's Fig. 7(d–f) and Fig. 9(f): the Q–Q series itself,
+    plus scalar summaries of its curvature used as pass/fail checks on
+    "non-Gaussianity grows as Vdd drops". *)
+
+val against_normal : float array -> (float * float) array
+(** [against_normal xs] pairs theoretical standard-normal quantiles (x) with
+    sample order statistics (y), using the (i - 0.5)/n plotting positions. *)
+
+val linearity_r2 : float array -> float
+(** Squared correlation of the Q–Q series — 1.0 for a perfect Gaussian; the
+    Shapiro–Francia W' statistic. *)
+
+val tail_deviation : float array -> float
+(** Relative deviation of the empirical 3-sigma span from the Gaussian
+    prediction: (q(0.99865) - q(0.00135)) / (6 * std) - 1.  Near 0 for a
+    Gaussian sample, positive for heavy upper tails. *)

@@ -1,0 +1,554 @@
+(* Tests for the MNA circuit simulator: stamps, DC, transient, sweeps and
+   measurements — validated against hand-computable circuits. *)
+
+module N = Vstat_circuit.Netlist
+module E = Vstat_circuit.Engine
+module W = Vstat_circuit.Waveform
+module M = Vstat_circuit.Measure
+module Dm = Vstat_device.Device_model
+module Cards = Vstat_device.Cards
+
+(* tiny local bisection helper to avoid depending on vstat_opt here *)
+module Vstat_opt_shim = struct
+  let bisect f lo hi =
+    let lo = ref lo and hi = ref hi in
+    let flo = f !lo in
+    if flo *. f !hi > 0.0 then invalid_arg "shim bisect: no bracket";
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid *. flo > 0.0 then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+end
+
+let vdd = Cards.vdd_nominal
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* --- Waveform --- *)
+
+let test_waveform_dc_var () =
+  check_float "dc" 5.0 (W.value (W.Dc 5.0) 123.0);
+  let r = ref 1.0 in
+  let w = W.Var r in
+  check_float "var" 1.0 (W.value w 0.0);
+  r := 2.0;
+  check_float "var updated" 2.0 (W.value w 0.0)
+
+let test_waveform_pulse () =
+  let p =
+    W.Pulse
+      { low = 0.0; high = 1.0; delay = 10.0; rise = 2.0; fall = 2.0;
+        width = 5.0; period = 20.0 }
+  in
+  check_float "before" 0.0 (W.value p 5.0);
+  check_float "mid rise" 0.5 (W.value p 11.0);
+  check_float "plateau" 1.0 (W.value p 14.0);
+  check_float "mid fall" 0.5 (W.value p 18.0);
+  check_float "after fall" 0.0 (W.value p 19.5);
+  check_float "periodic" 1.0 (W.value p 34.0)
+
+let test_waveform_pwl () =
+  let w = W.Pwl [| (0.0, 0.0); (1.0, 2.0); (3.0, 2.0) |] in
+  check_float "clamp left" 0.0 (W.value w (-5.0));
+  check_float "interp" 1.0 (W.value w 0.5);
+  check_float "flat" 2.0 (W.value w 2.0);
+  check_float "clamp right" 2.0 (W.value w 10.0)
+
+let test_waveform_step () =
+  let w = W.step ~delay:1e-9 ~rise:1e-9 ~low:0.0 ~high:1.0 () in
+  check_float "before" 0.0 (W.value w 0.5e-9);
+  check_float "after" 1.0 (W.value w 3e-9);
+  check_float "mid" 0.5 (W.value w 1.5e-9)
+
+(* --- DC: linear circuits with known solutions --- *)
+
+let test_resistor_divider () =
+  let c = N.create () in
+  let gnd = N.ground c in
+  let top = N.node c "top" in
+  let mid = N.node c "mid" in
+  N.vsource c "v1" ~plus:top ~minus:gnd ~wave:(W.Dc 10.0);
+  N.resistor c "r1" ~a:top ~b:mid ~ohms:1000.0;
+  N.resistor c "r2" ~a:mid ~b:gnd ~ohms:3000.0;
+  let eng = E.compile c in
+  let op = E.dc eng in
+  check_float ~eps:1e-7 "divider" 7.5 (E.voltage eng op mid);
+  (* Current through the source: 10 V across 4 kOhm; it flows out of the
+     plus terminal, so the branch current is negative. *)
+  check_float ~eps:1e-9 "source current" (-0.0025) (E.source_current eng op "v1")
+
+let test_current_source_into_resistor () =
+  let c = N.create () in
+  let gnd = N.ground c in
+  let n1 = N.node c "n1" in
+  (* 1 mA pushed from ground into n1 through the source. *)
+  N.isource c "i1" ~from_:gnd ~to_:n1 ~wave:(W.Dc 1e-3);
+  N.resistor c "r" ~a:n1 ~b:gnd ~ohms:2000.0;
+  let eng = E.compile c in
+  let op = E.dc eng in
+  check_float ~eps:1e-7 "ohm's law" 2.0 (E.voltage eng op n1)
+
+let test_two_sources_superposition () =
+  let c = N.create () in
+  let gnd = N.ground c in
+  let a = N.node c "a" in
+  let b = N.node c "b" in
+  N.vsource c "va" ~plus:a ~minus:gnd ~wave:(W.Dc 1.0);
+  N.vsource c "vb" ~plus:b ~minus:gnd ~wave:(W.Dc 2.0);
+  N.resistor c "r" ~a ~b ~ohms:1000.0;
+  let eng = E.compile c in
+  let op = E.dc eng in
+  (* 1 mA flows from b to a; at va it enters the plus terminal. *)
+  check_float ~eps:1e-9 "va branch" 1e-3 (E.source_current eng op "va");
+  check_float ~eps:1e-9 "vb branch" (-1e-3) (E.source_current eng op "vb")
+
+let test_floating_node_gmin () =
+  (* A node connected only through a capacitor must still solve in DC
+     thanks to the gmin floor. *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let n1 = N.node c "n1" in
+  N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:1e-15;
+  let eng = E.compile c in
+  let op = E.dc eng in
+  check_float ~eps:1e-6 "floating node at 0" 0.0 (E.voltage eng op n1)
+
+(* --- DC: CMOS inverter --- *)
+
+let build_inverter ?(w_in = W.Dc 0.0) () =
+  let c = N.create () in
+  let gnd = N.ground c in
+  let nvdd = N.node c "vdd" in
+  let nin = N.node c "in" in
+  let nout = N.node c "out" in
+  N.vsource c "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc vdd);
+  N.vsource c "vin" ~plus:nin ~minus:gnd ~wave:w_in;
+  N.mosfet c "mp" ~d:nout ~g:nin ~s:nvdd ~b:nvdd
+    ~dev:(Cards.bsim_device ~polarity:Dm.Pmos ~w_nm:600.0 ~l_nm:40.0);
+  N.mosfet c "mn" ~d:nout ~g:nin ~s:gnd ~b:gnd
+    ~dev:(Cards.bsim_device ~polarity:Dm.Nmos ~w_nm:300.0 ~l_nm:40.0);
+  N.capacitor c "cl" ~a:nout ~b:gnd ~farads:1e-15;
+  (c, nin, nout)
+
+let test_inverter_rails () =
+  let c, _, nout = build_inverter ~w_in:(W.Dc 0.0) () in
+  let eng = E.compile c in
+  let op = E.dc eng in
+  check_float ~eps:1e-3 "in=0 -> out=vdd" vdd (E.voltage eng op nout);
+  let c, _, nout = build_inverter ~w_in:(W.Dc vdd) () in
+  let eng = E.compile c in
+  let op = E.dc eng in
+  check_float ~eps:1e-3 "in=vdd -> out=0" 0.0 (E.voltage eng op nout)
+
+let test_inverter_vtc_monotone () =
+  let vin_ref = ref 0.0 in
+  let c, _, nout = build_inverter ~w_in:(W.Var vin_ref) () in
+  let eng = E.compile c in
+  let values = Vstat_util.Floatx.linspace 0.0 vdd 31 in
+  let outs =
+    M.dc_sweep eng
+      ~set:(fun v -> vin_ref := v)
+      ~values
+      ~probe:(fun op -> E.voltage eng op nout)
+  in
+  for i = 0 to Array.length outs - 2 do
+    if outs.(i + 1) > outs.(i) +. 1e-6 then
+      Alcotest.fail "VTC must be non-increasing"
+  done;
+  Alcotest.(check bool) "swings full rail" true
+    (outs.(0) > 0.95 *. vdd && outs.(30) < 0.05 *. vdd)
+
+(* --- transient: RC circuits vs analytic solutions --- *)
+
+let test_rc_discharge () =
+  (* Node starts at vdd (sourced), source steps to 0 at t=0+: V = vdd e^-t/RC *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let drive = N.node c "drive" in
+  let n1 = N.node c "n1" in
+  let r = 1000.0 and cap = 1e-12 in
+  N.vsource c "v1" ~plus:drive ~minus:gnd
+    ~wave:(W.Pwl [| (0.0, 1.0); (1e-12, 0.0) |]);
+  N.resistor c "r1" ~a:drive ~b:n1 ~ohms:r;
+  N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:cap;
+  let eng = E.compile c in
+  let tau = r *. cap in
+  let trace = E.transient eng ~tstop:(5.0 *. tau) ~dt:(tau /. 200.0) in
+  let times = trace.E.times in
+  let wave = E.node_wave eng trace n1 in
+  (* Compare at t = 2 tau (skip the 1 ps edge offset; it is << tau/10). *)
+  let v_2tau =
+    Vstat_util.Floatx.interp_linear ~xs:times ~ys:wave (2.0 *. tau)
+  in
+  check_float ~eps:5e-3 "exp decay at 2tau" (exp (-2.0)) v_2tau
+
+let test_rc_charge_trapezoidal () =
+  let c = N.create () in
+  let gnd = N.ground c in
+  let drive = N.node c "drive" in
+  let n1 = N.node c "n1" in
+  let r = 1000.0 and cap = 1e-12 in
+  N.vsource c "v1" ~plus:drive ~minus:gnd
+    ~wave:(W.Pwl [| (0.0, 0.0); (1e-13, 1.0) |]);
+  N.resistor c "r1" ~a:drive ~b:n1 ~ohms:r;
+  N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:cap;
+  let eng = E.compile c in
+  let tau = r *. cap in
+  let trace = E.transient ~trap:true eng ~tstop:(3.0 *. tau) ~dt:(tau /. 100.0) in
+  let v_tau =
+    Vstat_util.Floatx.interp_linear ~xs:trace.E.times
+      ~ys:(E.node_wave eng trace n1) tau
+  in
+  check_float ~eps:5e-3 "1 - e^-1 at tau" (1.0 -. exp (-1.0)) v_tau
+
+let test_transient_conserves_dc_start () =
+  let c, _, nout = build_inverter ~w_in:(W.Dc 0.0) () in
+  let eng = E.compile c in
+  let trace = E.transient eng ~tstop:10e-12 ~dt:1e-12 in
+  let wave = E.node_wave eng trace nout in
+  (* No input activity: output must hold its DC value. *)
+  check_float ~eps:1e-4 "static output" wave.(0) wave.(Array.length wave - 1)
+
+let test_inverter_switches_in_transient () =
+  let c, nin, nout =
+    build_inverter ~w_in:(W.Pwl [| (20e-12, 0.0); (30e-12, vdd) |]) ()
+  in
+  let eng = E.compile c in
+  let trace = E.transient eng ~tstop:150e-12 ~dt:0.5e-12 in
+  let times = trace.E.times in
+  let win = E.node_wave eng trace nin in
+  let wout = E.node_wave eng trace nout in
+  Alcotest.(check bool) "final low" true
+    (wout.(Array.length wout - 1) < 0.05 *. vdd);
+  match
+    M.propagation_delay ~times ~input:win ~output:wout ~v50:(vdd /. 2.0)
+      ~input_rising:true ~output_rising:false
+  with
+  | Some d -> Alcotest.(check bool) "positive sub-50ps delay" true (d > 0.0 && d < 50e-12)
+  | None -> Alcotest.fail "expected a measured delay"
+
+(* --- AC small-signal analysis --- *)
+
+let test_ac_rc_lowpass () =
+  (* Vsrc - R - node - C - gnd: |H| = 1/sqrt(1+(w R C)^2), fc = 1/(2 pi R C). *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let src = N.node c "src" in
+  let n1 = N.node c "n1" in
+  let r = 1000.0 and cap = 1e-12 in
+  N.vsource c "vin" ~plus:src ~minus:gnd ~wave:(W.Dc 0.0);
+  N.resistor c "r1" ~a:src ~b:n1 ~ohms:r;
+  N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:cap;
+  let eng = E.compile c in
+  let op = E.dc eng in
+  let fc = 1.0 /. (2.0 *. Float.pi *. r *. cap) in
+  let freqs = Vstat_util.Floatx.logspace (log10 fc -. 2.0) (log10 fc +. 2.0) 81 in
+  let ac = Vstat_circuit.Ac.sweep eng ~op ~source:"vin" ~freqs_hz:freqs in
+  let series = Vstat_circuit.Ac.node_transfer eng ac n1 in
+  (* DC gain 1, -3dB at fc, -20 dB/decade asymptote. *)
+  let mag_at f =
+    let _, h =
+      Array.fold_left
+        (fun ((bf, _) as best) ((f', _) as cand) ->
+          if Float.abs (log10 f' -. log10 f) < Float.abs (log10 bf -. log10 f)
+          then cand
+          else best)
+        series.(0) series
+    in
+    Complex.norm h
+  in
+  check_float ~eps:0.01 "dc gain" 1.0 (mag_at (fc /. 100.0));
+  check_float ~eps:0.02 "-3dB at fc" (1.0 /. sqrt 2.0) (mag_at fc);
+  (match Vstat_circuit.Ac.corner_frequency eng ac n1 with
+  | Some f -> check_float ~eps:(0.05 *. fc) "corner frequency" fc f
+  | None -> Alcotest.fail "expected a corner");
+  (* Phase approaches -90 degrees well above fc. *)
+  let _, h_high = series.(Array.length series - 1) in
+  Alcotest.(check bool) "phase -> -90deg" true
+    (Vstat_circuit.Ac.phase_deg h_high < -80.0)
+
+let test_ac_inverter_gain_matches_vtc_slope () =
+  (* Low-frequency small-signal gain at the VTC midpoint must equal the
+     local slope of the DC transfer curve. *)
+  let vin_ref = ref 0.0 in
+  let c, nin, nout = build_inverter ~w_in:(W.Var vin_ref) () in
+  ignore nin;
+  let eng = E.compile c in
+  (* Find the input where out ~ vdd/2 (the high-gain point). *)
+  let vm =
+    Vstat_opt_shim.bisect
+      (fun v ->
+        vin_ref := v;
+        E.voltage eng (E.dc eng) nout -. (vdd /. 2.0))
+      0.2 0.7
+  in
+  vin_ref := vm;
+  let op = E.dc eng in
+  let ac =
+    Vstat_circuit.Ac.sweep eng ~op ~source:"vin" ~freqs_hz:[| 1e3 |]
+  in
+  let gain = Complex.norm (snd (Vstat_circuit.Ac.node_transfer eng ac nout).(0)) in
+  (* Numerical VTC slope. *)
+  let dv = 1e-4 in
+  vin_ref := vm +. dv;
+  let v_plus = E.voltage eng (E.dc eng) nout in
+  vin_ref := vm -. dv;
+  let v_minus = E.voltage eng (E.dc eng) nout in
+  let slope = Float.abs ((v_plus -. v_minus) /. (2.0 *. dv)) in
+  Alcotest.(check bool) "gain matches slope within 5%" true
+    (Float.abs (gain -. slope) < 0.05 *. slope);
+  Alcotest.(check bool) "high gain stage" true (gain > 3.0)
+
+(* --- engine bookkeeping --- *)
+
+let test_unknown_source_raises () =
+  let c, _, _ = build_inverter () in
+  let eng = E.compile c in
+  let op = E.dc eng in
+  match E.source_current eng op "nope" with
+  | _ -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ()
+
+let test_dc_residual_tiny () =
+  (* KCL must balance at the converged operating point. *)
+  let c, _, _ = build_inverter ~w_in:(W.Dc (vdd /. 2.0)) () in
+  let eng = E.compile c in
+  let op = E.dc eng in
+  Alcotest.(check bool) "residual < 1e-9 A" true (E.residual_norm eng op < 1e-9)
+
+let test_stats_counters_advance () =
+  let c, _, _ = build_inverter () in
+  let eng = E.compile c in
+  let _ = E.dc eng in
+  Alcotest.(check bool) "evals counted" true (E.stats_model_evaluations eng > 0);
+  Alcotest.(check bool) "iters counted" true (E.stats_newton_iterations eng > 0)
+
+let test_node_identity () =
+  let c = N.create () in
+  let a = N.node c "x" in
+  let b = N.node c "x" in
+  Alcotest.(check int) "same name same node" (N.node_index a) (N.node_index b);
+  Alcotest.(check int) "ground is 0" 0 (N.node_index (N.ground c));
+  Alcotest.(check string) "name roundtrip" "x" (N.node_name c a)
+
+(* --- measure --- *)
+
+let test_settled_value () =
+  let values = Array.append (Array.make 90 0.0) (Array.make 10 1.0) in
+  check_float "tail mean" 1.0 (M.settled_value ~values ~tail_fraction:0.1)
+
+let test_propagation_delay_ignores_earlier_output_edges () =
+  (* Output crosses before the input edge; the measurement must only count
+     crossings after the input edge. *)
+  let times = [| 0.0; 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  let input = [| 0.0; 0.0; 0.0; 1.0; 1.0; 1.0 |] in
+  let output = [| 1.0; 0.0; 0.0; 0.0; 1.0; 1.0 |] in
+  match
+    M.propagation_delay ~times ~input ~output ~v50:0.5 ~input_rising:true
+      ~output_rising:true
+  with
+  | Some d -> check_float ~eps:1e-12 "delay from input edge" 1.0 d
+  | None -> Alcotest.fail "expected delay"
+
+let rc_error ~trap ~dt =
+  (* Sine-driven RC (smooth, so no startup-discontinuity error): exact
+     response of y' = (u - y)/tau from y(0) = 0. *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let drive = N.node c "drive" in
+  let n1 = N.node c "n1" in
+  let r = 1000.0 and cap = 1e-12 in
+  let freq = 2e8 in
+  N.vsource c "v1" ~plus:drive ~minus:gnd
+    ~wave:(W.Sine { offset = 0.0; amplitude = 1.0; freq_hz = freq; phase = 0.0 });
+  N.resistor c "r1" ~a:drive ~b:n1 ~ohms:r;
+  N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:cap;
+  let eng = E.compile c in
+  let tau = r *. cap in
+  let omega = 2.0 *. Float.pi *. freq in
+  let wt = omega *. tau in
+  let exact t =
+    ((sin (omega *. t) -. (wt *. cos (omega *. t))) +. (wt *. exp (-.t /. tau)))
+    /. (1.0 +. (wt *. wt))
+  in
+  let trace = E.transient ~trap eng ~tstop:(3.0 *. tau) ~dt in
+  let wave = E.node_wave eng trace n1 in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i t -> err := Float.max !err (Float.abs (wave.(i) -. exact t)))
+    trace.E.times;
+  !err
+
+let test_integrator_convergence_order () =
+  let tau = 1e-9 in
+  (* Backward Euler: first order — halving dt roughly halves the error. *)
+  let be1 = rc_error ~trap:false ~dt:(tau /. 50.0) in
+  let be2 = rc_error ~trap:false ~dt:(tau /. 100.0) in
+  let ratio_be = be1 /. be2 in
+  Alcotest.(check bool) "BE ~ O(h)" true (ratio_be > 1.5 && ratio_be < 2.6);
+  (* Trapezoidal: second order — halving dt quarters the error. *)
+  let tr1 = rc_error ~trap:true ~dt:(tau /. 50.0) in
+  let tr2 = rc_error ~trap:true ~dt:(tau /. 100.0) in
+  let ratio_tr = tr1 /. tr2 in
+  Alcotest.(check bool) "trap ~ O(h^2)" true (ratio_tr > 3.0 && ratio_tr < 5.5);
+  (* And trapezoidal beats BE at equal step. *)
+  Alcotest.(check bool) "trap more accurate" true (tr1 < be1)
+
+(* --- failure injection --- *)
+
+let conflicting_sources () =
+  (* Two ideal voltage sources forcing different values on the same node:
+     the MNA matrix is structurally singular. *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let n1 = N.node c "n1" in
+  N.vsource c "v1" ~plus:n1 ~minus:gnd ~wave:(W.Dc 1.0);
+  N.vsource c "v2" ~plus:n1 ~minus:gnd ~wave:(W.Dc 2.0);
+  E.compile c
+
+let test_dc_no_convergence () =
+  let eng = conflicting_sources () in
+  match E.dc eng with
+  | _ -> Alcotest.fail "expected No_convergence"
+  | exception E.No_convergence _ -> ()
+
+let test_transient_no_convergence () =
+  let eng = conflicting_sources () in
+  match E.transient eng ~tstop:1e-9 ~dt:1e-10 with
+  | _ -> Alcotest.fail "expected No_convergence"
+  | exception E.No_convergence _ -> ()
+
+let test_netlist_validation () =
+  let c = N.create () in
+  let gnd = N.ground c in
+  let n1 = N.node c "n1" in
+  (match N.resistor c "r" ~a:n1 ~b:gnd ~ohms:0.0 with
+  | _ -> Alcotest.fail "zero ohms accepted"
+  | exception Invalid_argument _ -> ());
+  match N.capacitor c "c" ~a:n1 ~b:gnd ~farads:(-1e-15) with
+  | _ -> Alcotest.fail "negative farads accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_pwl_empty_rejected () =
+  match W.value (W.Pwl [||]) 0.0 with
+  | _ -> Alcotest.fail "empty pwl accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- qcheck: random RC ladders solve and are stable --- *)
+
+let prop_rc_ladder_stable =
+  QCheck.Test.make ~name:"random RC ladders settle to the source value"
+    ~count:25
+    QCheck.(pair (int_range 1 5) (int_range 0 1000))
+    (fun (stages, seed) ->
+      let rng = Vstat_util.Rng.create ~seed in
+      let c = N.create () in
+      let gnd = N.ground c in
+      let src = N.node c "src" in
+      N.vsource c "v" ~plus:src ~minus:gnd
+        ~wave:(W.Pwl [| (0.0, 0.0); (1e-12, 1.0) |]);
+      let prev = ref src in
+      for i = 1 to stages do
+        let n = N.node c (Printf.sprintf "n%d" i) in
+        N.resistor c (Printf.sprintf "r%d" i) ~a:!prev ~b:n
+          ~ohms:(Vstat_util.Rng.uniform rng ~lo:100.0 ~hi:10_000.0);
+        N.capacitor c (Printf.sprintf "c%d" i) ~a:n ~b:gnd
+          ~farads:(Vstat_util.Rng.uniform rng ~lo:1e-15 ~hi:1e-13);
+        prev := n
+      done;
+      let eng = E.compile c in
+      (* Worst-case time constant bound: all R and C at max, times stages^2. *)
+      let trace = E.transient eng ~tstop:100e-9 ~dt:0.5e-9 in
+      let final = (E.node_wave eng trace !prev).(Array.length trace.E.times - 1) in
+      Float.abs (final -. 1.0) < 0.01)
+
+let () =
+  Alcotest.run "vstat_circuit"
+    [
+      ( "waveform",
+        [
+          Alcotest.test_case "dc/var" `Quick test_waveform_dc_var;
+          Alcotest.test_case "pulse" `Quick test_waveform_pulse;
+          Alcotest.test_case "pwl" `Quick test_waveform_pwl;
+          Alcotest.test_case "step" `Quick test_waveform_step;
+        ] );
+      ( "dc",
+        [
+          Alcotest.test_case "divider" `Quick test_resistor_divider;
+          Alcotest.test_case "isource" `Quick test_current_source_into_resistor;
+          Alcotest.test_case "two sources" `Quick test_two_sources_superposition;
+          Alcotest.test_case "floating node" `Quick test_floating_node_gmin;
+          Alcotest.test_case "inverter rails" `Quick test_inverter_rails;
+          Alcotest.test_case "inverter VTC" `Quick test_inverter_vtc_monotone;
+        ] );
+      ( "transient",
+        [
+          Alcotest.test_case "rc discharge" `Quick test_rc_discharge;
+          Alcotest.test_case "rc charge (trap)" `Quick test_rc_charge_trapezoidal;
+          Alcotest.test_case "static hold" `Quick test_transient_conserves_dc_start;
+          Alcotest.test_case "inverter switches" `Quick test_inverter_switches_in_transient;
+          QCheck_alcotest.to_alcotest prop_rc_ladder_stable;
+          Alcotest.test_case "integrator order" `Quick test_integrator_convergence_order;
+        ] );
+      ( "ac",
+        [
+          Alcotest.test_case "rc lowpass" `Quick test_ac_rc_lowpass;
+          Alcotest.test_case "inverter gain" `Quick test_ac_inverter_gain_matches_vtc_slope;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "unknown source" `Quick test_unknown_source_raises;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters_advance;
+          Alcotest.test_case "dc residual" `Quick test_dc_residual_tiny;
+          Alcotest.test_case "node identity" `Quick test_node_identity;
+        ] );
+      ( "ac-extra",
+        [
+          Alcotest.test_case "magnitude helpers" `Quick (fun () ->
+              check_float ~eps:1e-9 "0 dB" 0.0
+                (Vstat_circuit.Ac.magnitude_db Complex.one);
+              check_float ~eps:1e-6 "-20 dB" (-20.0)
+                (Vstat_circuit.Ac.magnitude_db { Complex.re = 0.1; im = 0.0 });
+              check_float ~eps:1e-9 "phase -90" (-90.0)
+                (Vstat_circuit.Ac.phase_deg { Complex.re = 0.0; im = -1.0 }));
+          Alcotest.test_case "two-pole ladder corner order" `Quick (fun () ->
+              (* Two cascaded RC sections: the 3 dB corner of the second
+                 node sits below the first node's. *)
+              let c = N.create () in
+              let gnd = N.ground c in
+              let src = N.node c "src" in
+              let n1 = N.node c "n1" in
+              let n2 = N.node c "n2" in
+              N.vsource c "vin" ~plus:src ~minus:gnd ~wave:(W.Dc 0.0);
+              N.resistor c "r1" ~a:src ~b:n1 ~ohms:1000.0;
+              N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:1e-12;
+              N.resistor c "r2" ~a:n1 ~b:n2 ~ohms:1000.0;
+              N.capacitor c "c2" ~a:n2 ~b:gnd ~farads:1e-12;
+              let eng = E.compile c in
+              let op = E.dc eng in
+              let freqs = Vstat_util.Floatx.logspace 6.0 10.0 121 in
+              let ac = Vstat_circuit.Ac.sweep eng ~op ~source:"vin" ~freqs_hz:freqs in
+              match
+                ( Vstat_circuit.Ac.corner_frequency eng ac n1,
+                  Vstat_circuit.Ac.corner_frequency eng ac n2 )
+              with
+              | Some f1, Some f2 ->
+                Alcotest.(check bool) "second pole corner lower" true (f2 < f1)
+              | _ -> Alcotest.fail "expected corners for both nodes");
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "dc no convergence" `Quick test_dc_no_convergence;
+          Alcotest.test_case "transient no convergence" `Quick test_transient_no_convergence;
+          Alcotest.test_case "netlist validation" `Quick test_netlist_validation;
+          Alcotest.test_case "empty pwl" `Quick test_pwl_empty_rejected;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "settled value" `Quick test_settled_value;
+          Alcotest.test_case "delay after input edge" `Quick
+            test_propagation_delay_ignores_earlier_output_edges;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Tests for the compact models: VS, Bsim4lite, the device wrapper, cards
+   and electrical metrics. *)
+
+module Dm = Vstat_device.Device_model
+module Vs = Vstat_device.Vs_model
+module B = Vstat_device.Bsim4lite
+module Cards = Vstat_device.Cards
+module Metrics = Vstat_device.Metrics
+
+let vdd = Cards.vdd_nominal
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let nmos_vs = Cards.vs_seed_device ~polarity:Dm.Nmos ~w_nm:600.0 ~l_nm:40.0
+let pmos_vs = Cards.vs_seed_device ~polarity:Dm.Pmos ~w_nm:600.0 ~l_nm:40.0
+let nmos_b = Cards.bsim_device ~polarity:Dm.Nmos ~w_nm:600.0 ~l_nm:40.0
+let pmos_b = Cards.bsim_device ~polarity:Dm.Pmos ~w_nm:600.0 ~l_nm:40.0
+
+let all_devices =
+  [ ("vs-n", nmos_vs); ("vs-p", pmos_vs); ("bsim-n", nmos_b); ("bsim-p", pmos_b) ]
+
+(* --- generic device-model laws --- *)
+
+let test_zero_vds_zero_current () =
+  List.iter
+    (fun (name, d) ->
+      let id = Dm.ids d ~vg:vdd ~vd:0.3 ~vs:0.3 ~vb:0.0 in
+      check_float ~eps:1e-15 (name ^ ": id(vds=0)") 0.0 id)
+    all_devices
+
+let test_source_drain_antisymmetry () =
+  (* Swapping drain and source must negate the current. *)
+  List.iter
+    (fun (name, d) ->
+      let i1 = Dm.ids d ~vg:0.6 ~vd:0.5 ~vs:0.1 ~vb:0.0 in
+      let i2 = Dm.ids d ~vg:0.6 ~vd:0.1 ~vs:0.5 ~vb:0.0 in
+      Alcotest.(check bool)
+        (name ^ ": antisymmetric")
+        true
+        (Vstat_util.Floatx.close ~rtol:1e-9 i1 (-.i2)))
+    all_devices
+
+let test_nmos_current_sign () =
+  let id = Dm.ids nmos_vs ~vg:vdd ~vd:vdd ~vs:0.0 ~vb:0.0 in
+  Alcotest.(check bool) "nmos id > 0" true (id > 0.0)
+
+let test_pmos_current_sign () =
+  (* PMOS on: source at vdd, gate low: conventional current flows from
+     source to drain, i.e. *out* of the drain terminal -> negative id. *)
+  let id = Dm.ids pmos_vs ~vg:0.0 ~vd:0.0 ~vs:vdd ~vb:vdd in
+  Alcotest.(check bool) "pmos id < 0" true (id < 0.0)
+
+let test_monotone_in_vgs () =
+  List.iter
+    (fun (name, d) ->
+      let prev = ref (-1.0) in
+      Array.iter
+        (fun vg ->
+          let id =
+            match d.Dm.polarity with
+            | Dm.Nmos -> Dm.ids d ~vg ~vd:vdd ~vs:0.0 ~vb:0.0
+            | Dm.Pmos ->
+              Float.abs (Dm.ids d ~vg:(vdd -. vg) ~vd:0.0 ~vs:vdd ~vb:vdd)
+          in
+          if id <= !prev then
+            Alcotest.fail (name ^ ": current not monotone in vgs");
+          prev := id)
+        (Vstat_util.Floatx.linspace 0.0 vdd 19))
+    all_devices
+
+let test_monotone_in_vds () =
+  List.iter
+    (fun (name, d) ->
+      let prev = ref (-1.0) in
+      Array.iter
+        (fun vd ->
+          let id =
+            match d.Dm.polarity with
+            | Dm.Nmos -> Dm.ids d ~vg:vdd ~vd ~vs:0.0 ~vb:0.0
+            | Dm.Pmos ->
+              Float.abs (Dm.ids d ~vg:0.0 ~vd:(vdd -. vd) ~vs:vdd ~vb:vdd)
+          in
+          if id < !prev -. 1e-12 then
+            Alcotest.fail (name ^ ": output curve non-monotone");
+          prev := id)
+        (Vstat_util.Floatx.linspace 0.0 vdd 19))
+    all_devices
+
+let test_charge_conservation () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun (vg, vd, vs) ->
+          let st = d.Dm.eval ~vg ~vd ~vs ~vb:0.0 in
+          let total = st.qg +. st.qd +. st.qs +. st.qb in
+          check_float ~eps:1e-22 (name ^ ": charge neutral") 0.0 total)
+        [ (0.0, vdd, 0.0); (vdd, vdd, 0.0); (0.5, 0.2, 0.1); (vdd, 0.0, 0.0) ])
+    all_devices
+
+let test_gm_positive_in_strong_inversion () =
+  List.iter
+    (fun (name, d) ->
+      let gm =
+        match d.Dm.polarity with
+        | Dm.Nmos -> Dm.gm d ~vg:vdd ~vd:vdd ~vs:0.0 ~vb:0.0
+        | Dm.Pmos -> Dm.gm d ~vg:0.0 ~vd:0.0 ~vs:vdd ~vb:vdd
+      in
+      (* For PMOS, dId/dVg is positive too (less negative current as the
+         gate rises), so both polarities give gm > 0 at these corners. *)
+      Alcotest.(check bool) (name ^ ": gm sign") true (Float.abs gm > 1e-6))
+    all_devices
+
+let test_cgg_positive_and_scales_with_width () =
+  let narrow = Cards.vs_seed_device ~polarity:Dm.Nmos ~w_nm:300.0 ~l_nm:40.0 in
+  let c_wide = Metrics.cgg nmos_vs ~vdd in
+  let c_narrow = Metrics.cgg narrow ~vdd in
+  Alcotest.(check bool) "positive" true (c_narrow > 0.0);
+  check_float ~eps:0.02 "cgg ratio ~ width ratio" 2.0 (c_wide /. c_narrow)
+
+let test_body_effect_reduces_current () =
+  (* Reverse body bias (vb < vs for NMOS) raises VT and cuts current. *)
+  List.iter
+    (fun (name, d) ->
+      match d.Dm.polarity with
+      | Dm.Pmos -> ()
+      | Dm.Nmos ->
+        let i0 = Dm.ids d ~vg:0.5 ~vd:vdd ~vs:0.0 ~vb:0.0 in
+        let irb = Dm.ids d ~vg:0.5 ~vd:vdd ~vs:0.0 ~vb:(-0.5) in
+        Alcotest.(check bool) (name ^ ": RBB cuts current") true (irb < i0))
+    all_devices
+
+(* --- VS model specifics --- *)
+
+let test_vs_dibl_raises_current () =
+  let p = Cards.vs_seed_nmos ~w_nm:600.0 ~l_nm:40.0 in
+  let strong = { p with Vs.dibl = { p.dibl with delta0 = 0.15 } } in
+  let weak = { p with Vs.dibl = { p.dibl with delta0 = 0.01 } } in
+  let id delta_params =
+    let d = Vs.device ~polarity:Dm.Nmos delta_params in
+    Dm.ids d ~vg:0.45 ~vd:vdd ~vs:0.0 ~vb:0.0
+  in
+  Alcotest.(check bool) "more DIBL, more current" true (id strong > id weak)
+
+let test_vs_delta_of_length () =
+  let d = { Vs.delta0 = 0.1; l_nominal = 40e-9; l_scale = 25e-9 } in
+  check_float ~eps:1e-12 "nominal" 0.1 (Vs.delta_of_length d 40e-9);
+  Alcotest.(check bool) "short channel raises DIBL" true
+    (Vs.delta_of_length d 35e-9 > 0.1);
+  Alcotest.(check bool) "long channel lowers DIBL" true
+    (Vs.delta_of_length d 80e-9 < 0.03);
+  Alcotest.(check bool) "clamped above" true (Vs.delta_of_length d 1e-9 <= 0.4)
+
+let test_vs_subthreshold_slope () =
+  (* In subthreshold, d(log10 Id)/dVg ~ 1/(n0 phit ln 10). *)
+  let p = Cards.vs_seed_nmos ~w_nm:600.0 ~l_nm:40.0 in
+  let d = Vs.device ~polarity:Dm.Nmos p in
+  let id vg = Dm.ids d ~vg ~vd:vdd ~vs:0.0 ~vb:0.0 in
+  let slope = (log10 (id 0.12) -. log10 (id 0.08)) /. 0.04 in
+  let ideal = 1.0 /. (p.n0 *. p.phit *. log 10.0) in
+  (* The Ff inversion-transition function softens the slope below the ideal
+     1/(n phit ln 10) until vgs is several alpha*phit below VT. *)
+  Alcotest.(check bool) "slope within (0.7, 1.05) of ideal" true
+    (slope > 0.7 *. ideal && slope < 1.05 *. ideal)
+
+let test_vs_saturation_flattens () =
+  (* Fsat -> 1: current at vds = vdd should exceed vds = vdsat/2 but by far
+     less than proportionally. *)
+  let d = nmos_vs in
+  let i_half = Dm.ids d ~vg:vdd ~vd:0.1 ~vs:0.0 ~vb:0.0 in
+  let i_full = Dm.ids d ~vg:vdd ~vd:vdd ~vs:0.0 ~vb:0.0 in
+  Alcotest.(check bool) "saturates" true (i_full < 3.0 *. i_half)
+
+let test_vs_dc_parameter_count () =
+  Alcotest.(check int) "headline param count" 11 Vs.dc_parameter_count
+
+(* --- Bsim4lite specifics --- *)
+
+let test_bsim_vth_rolloff_and_dibl () =
+  let p = Cards.bsim_nmos ~w_nm:600.0 ~l_nm:40.0 in
+  let vth_long = B.vth { p with B.l = 200e-9 } ~vds:0.0 ~vbs:0.0 in
+  let vth_short = B.vth p ~vds:0.0 ~vbs:0.0 in
+  Alcotest.(check bool) "roll-off lowers short-channel vth" true
+    (vth_short < vth_long);
+  let vth_dibl = B.vth p ~vds:vdd ~vbs:0.0 in
+  Alcotest.(check bool) "DIBL lowers vth further" true (vth_dibl < vth_short)
+
+let test_bsim_geometry_offsets () =
+  let p = { (Cards.bsim_nmos ~w_nm:600.0 ~l_nm:40.0) with B.dl = 5e-9; dw = 10e-9 } in
+  check_float ~eps:1e-15 "leff" 35e-9 (B.leff p);
+  check_float ~eps:1e-15 "weff" 590e-9 (B.weff p)
+
+let test_bsim_parameter_count () =
+  Alcotest.(check bool) "bsim has more parameters than vs" true
+    (B.parameter_count > Vs.dc_parameter_count)
+
+(* --- Metrics --- *)
+
+let test_metrics_ordering () =
+  List.iter
+    (fun (name, d) ->
+      let on = Metrics.idsat d ~vdd in
+      let off = Metrics.ioff d ~vdd in
+      Alcotest.(check bool) (name ^ ": ion >> ioff") true (on > 1e3 *. off))
+    all_devices
+
+let test_metrics_polarity_symmetric_magnitudes () =
+  (* N and P on-currents are both positive magnitudes. *)
+  Alcotest.(check bool) "N idsat > 0" true (Metrics.idsat nmos_b ~vdd > 0.0);
+  Alcotest.(check bool) "P idsat > 0" true (Metrics.idsat pmos_b ~vdd > 0.0);
+  Alcotest.(check bool) "N stronger than P" true
+    (Metrics.idsat nmos_b ~vdd > Metrics.idsat pmos_b ~vdd)
+
+let test_metrics_log10_ioff_consistent () =
+  let v = Metrics.log10_ioff nmos_b ~vdd in
+  check_float ~eps:1e-9 "log10 of ioff"
+    (log10 (Metrics.ioff nmos_b ~vdd))
+    v
+
+let test_curve_shapes () =
+  let curve =
+    Metrics.id_vd_curve nmos_b ~vgs:vdd
+      ~vds_points:(Vstat_util.Floatx.linspace 0.0 vdd 11)
+  in
+  Alcotest.(check int) "points" 11 (Array.length curve);
+  check_float ~eps:1e-15 "starts at 0" 0.0 (snd curve.(0))
+
+(* --- Cards --- *)
+
+let test_unit_conversions () =
+  check_float ~eps:1e-18 "nm" 40e-9 (Cards.nm 40.0);
+  check_float ~eps:1e-12 "uF/cm2" 0.017 (Cards.uf_per_cm2 1.7);
+  check_float ~eps:1e-12 "cm2/Vs" 0.025 (Cards.cm2_per_vs 250.0);
+  check_float ~eps:1e-9 "cm/s" 1e5 (Cards.cm_per_s 1e7)
+
+let test_cards_current_density_sane () =
+  (* On-current per micron should be hundreds of uA for a 40 nm node. *)
+  let per_um = Metrics.idsat nmos_b ~vdd /. 0.6 *. 1e6 in
+  Alcotest.(check bool) "0.2mA/um < Ion < 2mA/um" true
+    (per_um > 2e-4 *. 1e6 /. 1e3 && per_um < 2e-3 *. 1e6)
+
+(* --- qcheck: outputs stay finite over the full bias box --- *)
+
+let bias_gen =
+  QCheck.Gen.(
+    let v = float_range (-1.2) 1.2 in
+    quad v v v v)
+
+let prop_finite_everywhere =
+  QCheck.Test.make ~name:"device outputs finite over bias box" ~count:500
+    (QCheck.make bias_gen)
+    (fun (vg, vd, vs, vb) ->
+      List.for_all
+        (fun (_, d) ->
+          let st = d.Dm.eval ~vg ~vd ~vs ~vb in
+          Float.is_finite st.id && Float.is_finite st.qg
+          && Float.is_finite st.qd && Float.is_finite st.qs)
+        all_devices)
+
+let prop_width_scaling =
+  QCheck.Test.make ~name:"current scales linearly with width" ~count:50
+    QCheck.(float_range 100.0 2000.0)
+    (fun w_nm ->
+      let d1 = Cards.vs_seed_device ~polarity:Dm.Nmos ~w_nm ~l_nm:40.0 in
+      let d2 =
+        Cards.vs_seed_device ~polarity:Dm.Nmos ~w_nm:(2.0 *. w_nm) ~l_nm:40.0
+      in
+      let i1 = Metrics.idsat d1 ~vdd and i2 = Metrics.idsat d2 ~vdd in
+      Float.abs ((i2 /. i1) -. 2.0) < 1e-6)
+
+let () =
+  Alcotest.run "vstat_device"
+    [
+      ( "model-laws",
+        [
+          Alcotest.test_case "id(vds=0)=0" `Quick test_zero_vds_zero_current;
+          Alcotest.test_case "antisymmetry" `Quick test_source_drain_antisymmetry;
+          Alcotest.test_case "nmos sign" `Quick test_nmos_current_sign;
+          Alcotest.test_case "pmos sign" `Quick test_pmos_current_sign;
+          Alcotest.test_case "monotone vgs" `Quick test_monotone_in_vgs;
+          Alcotest.test_case "monotone vds" `Quick test_monotone_in_vds;
+          Alcotest.test_case "charge conservation" `Quick test_charge_conservation;
+          Alcotest.test_case "gm" `Quick test_gm_positive_in_strong_inversion;
+          Alcotest.test_case "cgg scaling" `Quick test_cgg_positive_and_scales_with_width;
+          Alcotest.test_case "body effect" `Quick test_body_effect_reduces_current;
+          QCheck_alcotest.to_alcotest prop_finite_everywhere;
+          QCheck_alcotest.to_alcotest prop_width_scaling;
+        ] );
+      ( "vs-model",
+        [
+          Alcotest.test_case "DIBL raises current" `Quick test_vs_dibl_raises_current;
+          Alcotest.test_case "delta(L)" `Quick test_vs_delta_of_length;
+          Alcotest.test_case "subthreshold slope" `Quick test_vs_subthreshold_slope;
+          Alcotest.test_case "saturation" `Quick test_vs_saturation_flattens;
+          Alcotest.test_case "param count" `Quick test_vs_dc_parameter_count;
+        ] );
+      ( "bsim4lite",
+        [
+          Alcotest.test_case "vth roll-off/DIBL" `Quick test_bsim_vth_rolloff_and_dibl;
+          Alcotest.test_case "geometry offsets" `Quick test_bsim_geometry_offsets;
+          Alcotest.test_case "param count" `Quick test_bsim_parameter_count;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "ion >> ioff" `Quick test_metrics_ordering;
+          Alcotest.test_case "polarity magnitudes" `Quick test_metrics_polarity_symmetric_magnitudes;
+          Alcotest.test_case "log10 consistency" `Quick test_metrics_log10_ioff_consistent;
+          Alcotest.test_case "curve shapes" `Quick test_curve_shapes;
+        ] );
+      ( "cards",
+        [
+          Alcotest.test_case "unit conversions" `Quick test_unit_conversions;
+          Alcotest.test_case "current density" `Quick test_cards_current_density_sane;
+        ] );
+    ]

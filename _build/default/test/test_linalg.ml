@@ -1,0 +1,325 @@
+(* Unit and property tests for Vstat_linalg. *)
+
+module M = Vstat_linalg.Matrix
+module Lu = Vstat_linalg.Lu
+module Qr = Vstat_linalg.Qr
+module Nnls = Vstat_linalg.Nnls
+module Eigen = Vstat_linalg.Eigen_sym
+module Vec = Vstat_linalg.Vec
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* --- Matrix --- *)
+
+let test_create_zero () =
+  let m = M.create ~rows:2 ~cols:3 in
+  Alcotest.(check int) "rows" 2 (M.rows m);
+  Alcotest.(check int) "cols" 3 (M.cols m);
+  check_float "zero" 0.0 (M.get m 1 2)
+
+let test_init_get_set () =
+  let m = M.init ~rows:3 ~cols:3 ~f:(fun i j -> Float.of_int ((10 * i) + j)) in
+  check_float "get" 21.0 (M.get m 2 1);
+  M.set m 2 1 5.0;
+  check_float "set" 5.0 (M.get m 2 1);
+  M.add_to m 2 1 1.5;
+  check_float "add_to" 6.5 (M.get m 2 1)
+
+let test_identity_mul () =
+  let a = M.init ~rows:3 ~cols:3 ~f:(fun i j -> Float.of_int (i + (2 * j))) in
+  Alcotest.(check bool) "I*A = A" true (M.equal (M.mul (M.identity 3) a) a);
+  Alcotest.(check bool) "A*I = A" true (M.equal (M.mul a (M.identity 3)) a)
+
+let test_transpose () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let t = M.transpose a in
+  Alcotest.(check int) "rows" 2 (M.rows t);
+  check_float "entry" 6.0 (M.get t 1 2)
+
+let test_mul_vec () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let y = M.mul_vec a [| 1.0; 1.0 |] in
+  check_float "row0" 3.0 y.(0);
+  check_float "row1" 7.0 y.(1)
+
+let test_of_rows_ragged () =
+  match M.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_add_sub_scale () =
+  let a = M.of_rows [| [| 1.0; 2.0 |] |] in
+  let b = M.of_rows [| [| 3.0; 5.0 |] |] in
+  check_float "add" 7.0 (M.get (M.add a b) 0 1);
+  check_float "sub" (-2.0) (M.get (M.sub a b) 0 0);
+  check_float "scale" 4.0 (M.get (M.scale 2.0 a) 0 1);
+  check_float "max_abs" 5.0 (M.max_abs b)
+
+(* --- Lu --- *)
+
+let test_lu_solve_known () =
+  let a = M.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Lu.solve a [| 5.0; 10.0 |] in
+  check_float "x0" 1.0 x.(0);
+  check_float "x1" 3.0 x.(1)
+
+let test_lu_det () =
+  let a = M.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  check_float "det" 5.0 (Lu.det (Lu.factor a));
+  let perm = M.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  check_float "permutation det" (-1.0) (Lu.det (Lu.factor perm))
+
+let test_lu_singular () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Lu.factor a with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Lu.Singular _ -> ()
+
+let test_lu_inverse () =
+  let a = M.of_rows [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let inv = Lu.inverse a in
+  Alcotest.(check bool) "A * A^-1 = I" true
+    (M.equal ~tol:1e-12 (M.mul a inv) (M.identity 2))
+
+let test_lu_needs_pivoting () =
+  (* Zero on the leading diagonal forces a row swap. *)
+  let a = M.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Lu.solve a [| 2.0; 3.0 |] in
+  check_float "x0" 3.0 x.(0);
+  check_float "x1" 2.0 x.(1)
+
+(* --- Qr --- *)
+
+let test_qr_least_squares_exact () =
+  (* Square consistent system behaves like solve. *)
+  let a = M.of_rows [| [| 1.0; 1.0 |]; [| 1.0; -1.0 |] |] in
+  let x = Qr.least_squares a [| 3.0; 1.0 |] in
+  check_float "x0" 2.0 x.(0);
+  check_float "x1" 1.0 x.(1)
+
+let test_qr_least_squares_overdetermined () =
+  (* Fit y = 2x + 1 through noisy-free points: exact recovery. *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let a = M.init ~rows:4 ~cols:2 ~f:(fun i j -> if j = 0 then xs.(i) else 1.0) in
+  let b = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  let c = Qr.least_squares a b in
+  check_float ~eps:1e-10 "slope" 2.0 c.(0);
+  check_float ~eps:1e-10 "intercept" 1.0 c.(1)
+
+let test_qr_r_upper_triangular () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  let r = Qr.r (Qr.factor a) in
+  check_float "below diagonal" 0.0 (M.get r 1 0)
+
+(* --- Nnls --- *)
+
+let test_nnls_unconstrained_interior () =
+  (* When the LS solution is positive, NNLS must match it. *)
+  let a = M.of_rows [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let b = [| 1.0; 2.0; 3.0 |] in
+  let x = Nnls.solve a b in
+  check_float ~eps:1e-10 "x0" 1.0 x.(0);
+  check_float ~eps:1e-10 "x1" 2.0 x.(1)
+
+let test_nnls_clamps_negative () =
+  (* Unconstrained solution has a negative coordinate; NNLS clamps to 0. *)
+  let a = M.of_rows [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let b = [| -1.0; 2.0 |] in
+  let x = Nnls.solve a b in
+  check_float "clamped" 0.0 x.(0);
+  check_float "free" 2.0 x.(1)
+
+let test_nnls_zero_rhs () =
+  let a = M.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let x = Nnls.solve a [| 0.0; 0.0 |] in
+  check_float "x0" 0.0 x.(0);
+  check_float "x1" 0.0 x.(1)
+
+(* --- Eigen --- *)
+
+let test_eigen_diagonal () =
+  let a = M.of_rows [| [| 3.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let { Eigen.values; _ } = Eigen.decompose a in
+  check_float "largest" 3.0 values.(0);
+  check_float "smallest" 1.0 values.(1)
+
+let test_eigen_known_2x2 () =
+  (* [[2,1],[1,2]] has eigenvalues 3 and 1. *)
+  let a = M.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let { Eigen.values; vectors } = Eigen.decompose a in
+  check_float ~eps:1e-10 "lambda1" 3.0 values.(0);
+  check_float ~eps:1e-10 "lambda2" 1.0 values.(1);
+  (* Eigenvector for 3 is (1,1)/sqrt2 up to sign. *)
+  let vx = M.get vectors 0 0 and vy = M.get vectors 1 0 in
+  check_float ~eps:1e-9 "eigvec ratio" 1.0 (vx /. vy)
+
+let test_eigen_reconstruction () =
+  let a =
+    M.of_rows [| [| 4.0; 1.0; 0.5 |]; [| 1.0; 3.0; 0.2 |]; [| 0.5; 0.2; 1.0 |] |]
+  in
+  let { Eigen.values; vectors } = Eigen.decompose a in
+  (* A = V diag(values) V^T *)
+  let d = M.init ~rows:3 ~cols:3 ~f:(fun i j -> if i = j then values.(i) else 0.0) in
+  let recon = M.mul (M.mul vectors d) (M.transpose vectors) in
+  Alcotest.(check bool) "reconstruct" true (M.equal ~tol:1e-9 recon a)
+
+(* --- Cmatrix --- *)
+
+module Cm = Vstat_linalg.Cmatrix
+
+let complex_close a b =
+  Complex.norm (Complex.sub a b) < 1e-9
+
+let test_cmatrix_solve_real_system () =
+  (* A purely real complex system must agree with the real LU solver. *)
+  let a = M.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Cm.solve (Cm.of_real a) [| Complex.{ re = 5.0; im = 0.0 }; Complex.{ re = 10.0; im = 0.0 } |] in
+  Alcotest.(check bool) "x0" true (complex_close x.(0) { re = 1.0; im = 0.0 });
+  Alcotest.(check bool) "x1" true (complex_close x.(1) { re = 3.0; im = 0.0 })
+
+let test_cmatrix_solve_complex_diag () =
+  (* (j) x = 1  ->  x = -j *)
+  let g = M.of_rows [| [| 0.0 |] |] in
+  let c = M.of_rows [| [| 1.0 |] |] in
+  let a = Cm.combine ~g ~c ~omega:1.0 in
+  let x = Cm.solve a [| Complex.one |] in
+  Alcotest.(check bool) "x = -j" true
+    (complex_close x.(0) { re = 0.0; im = -1.0 })
+
+let test_cmatrix_residual () =
+  let g = M.of_rows [| [| 1.0; 0.5 |]; [| 0.2; 2.0 |] |] in
+  let c = M.of_rows [| [| 0.3; 0.0 |]; [| 0.1; 0.7 |] |] in
+  let a = Cm.combine ~g ~c ~omega:3.0 in
+  let b = [| Complex.{ re = 1.0; im = -2.0 }; Complex.{ re = 0.5; im = 0.25 } |] in
+  let x = Cm.solve a b in
+  let r = Cm.mul_vec a x in
+  Array.iteri
+    (fun i ri ->
+      Alcotest.(check bool) "residual ~ 0" true (complex_close ri b.(i)))
+    r
+
+let test_cmatrix_singular () =
+  let g = M.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  let a = Cm.of_real g in
+  match Cm.solve a [| Complex.one; Complex.one |] with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Cm.Singular _ -> ()
+
+(* --- Vec --- *)
+
+let test_vec_ops () =
+  check_float "dot" 11.0 (Vec.dot [| 1.0; 2.0 |] [| 3.0; 4.0 |]);
+  check_float "norm2" 5.0 (Vec.norm2 [| 3.0; 4.0 |]);
+  check_float "norm_inf" 4.0 (Vec.norm_inf [| 3.0; -4.0 |]);
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy ~alpha:2.0 ~x:[| 1.0; 2.0 |] ~y;
+  check_float "axpy" 5.0 y.(1)
+
+(* --- qcheck --- *)
+
+let random_dd_system =
+  (* Diagonally dominant matrices are well-conditioned: LU must solve them. *)
+  QCheck.make
+    ~print:(fun (n, _) -> Printf.sprintf "n=%d" n)
+    QCheck.Gen.(
+      int_range 1 8 >>= fun n ->
+      list_repeat (n * n) (float_range (-1.0) 1.0) >>= fun entries ->
+      list_repeat n (float_range (-10.0) 10.0) >>= fun b ->
+      return (n, (entries, b)))
+
+let prop_lu_solves_dd =
+  QCheck.Test.make ~name:"LU solves diagonally dominant systems" ~count:200
+    random_dd_system
+    (fun (n, (entries, b)) ->
+      let entries = Array.of_list entries in
+      let a =
+        Vstat_linalg.Matrix.init ~rows:n ~cols:n ~f:(fun i j ->
+            let v = entries.((i * n) + j) in
+            if i = j then v +. Float.of_int n +. 1.0 else v)
+      in
+      let b = Array.of_list b in
+      let x = Lu.solve a b in
+      let r = Vec.sub (M.mul_vec a x) b in
+      Vec.norm_inf r < 1e-8)
+
+let prop_nnls_nonnegative =
+  QCheck.Test.make ~name:"NNLS solutions are non-negative" ~count:200
+    random_dd_system
+    (fun (n, (entries, b)) ->
+      let entries = Array.of_list entries in
+      let a =
+        Vstat_linalg.Matrix.init ~rows:n ~cols:n ~f:(fun i j ->
+            let v = entries.((i * n) + j) in
+            if i = j then Float.abs v +. Float.of_int n +. 1.0 else v)
+      in
+      let b = Array.of_list b in
+      let x = Nnls.solve a b in
+      Array.for_all (fun v -> v >= 0.0) x)
+
+let prop_qr_matches_lu_on_square =
+  QCheck.Test.make ~name:"QR least squares = LU solve on square systems"
+    ~count:100 random_dd_system
+    (fun (n, (entries, b)) ->
+      let entries = Array.of_list entries in
+      let a =
+        Vstat_linalg.Matrix.init ~rows:n ~cols:n ~f:(fun i j ->
+            let v = entries.((i * n) + j) in
+            if i = j then v +. Float.of_int n +. 1.0 else v)
+      in
+      let b = Array.of_list b in
+      let x1 = Lu.solve a b in
+      let x2 = Qr.least_squares a b in
+      Vec.norm_inf (Vec.sub x1 x2) < 1e-7)
+
+let () =
+  Alcotest.run "vstat_linalg"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "create" `Quick test_create_zero;
+          Alcotest.test_case "init/get/set" `Quick test_init_get_set;
+          Alcotest.test_case "identity mul" `Quick test_identity_mul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+          Alcotest.test_case "ragged rejected" `Quick test_of_rows_ragged;
+          Alcotest.test_case "add/sub/scale" `Quick test_add_sub_scale;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve known" `Quick test_lu_solve_known;
+          Alcotest.test_case "det" `Quick test_lu_det;
+          Alcotest.test_case "singular" `Quick test_lu_singular;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+          Alcotest.test_case "pivoting" `Quick test_lu_needs_pivoting;
+          QCheck_alcotest.to_alcotest prop_lu_solves_dd;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "square" `Quick test_qr_least_squares_exact;
+          Alcotest.test_case "overdetermined" `Quick test_qr_least_squares_overdetermined;
+          Alcotest.test_case "R upper" `Quick test_qr_r_upper_triangular;
+          QCheck_alcotest.to_alcotest prop_qr_matches_lu_on_square;
+        ] );
+      ( "nnls",
+        [
+          Alcotest.test_case "interior" `Quick test_nnls_unconstrained_interior;
+          Alcotest.test_case "clamps" `Quick test_nnls_clamps_negative;
+          Alcotest.test_case "zero rhs" `Quick test_nnls_zero_rhs;
+          QCheck_alcotest.to_alcotest prop_nnls_nonnegative;
+        ] );
+      ( "eigen",
+        [
+          Alcotest.test_case "diagonal" `Quick test_eigen_diagonal;
+          Alcotest.test_case "known 2x2" `Quick test_eigen_known_2x2;
+          Alcotest.test_case "reconstruction" `Quick test_eigen_reconstruction;
+        ] );
+      ( "cmatrix",
+        [
+          Alcotest.test_case "real system" `Quick test_cmatrix_solve_real_system;
+          Alcotest.test_case "complex diag" `Quick test_cmatrix_solve_complex_diag;
+          Alcotest.test_case "residual" `Quick test_cmatrix_residual;
+          Alcotest.test_case "singular" `Quick test_cmatrix_singular;
+        ] );
+      ("vec", [ Alcotest.test_case "ops" `Quick test_vec_ops ]);
+    ]

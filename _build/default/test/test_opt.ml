@@ -1,0 +1,186 @@
+(* Tests for Vstat_opt: Nelder-Mead and scalar search. *)
+
+module Nm = Vstat_opt.Nelder_mead
+module S = Vstat_opt.Scalar
+
+let check_float ?(eps = 1e-6) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* --- Nelder-Mead --- *)
+
+let test_nm_quadratic () =
+  let f x = ((x.(0) -. 3.0) ** 2.0) +. ((x.(1) +. 1.0) ** 2.0) in
+  let r = Nm.minimize ~f ~x0:[| 0.0; 0.0 |] () in
+  Alcotest.(check bool) "converged" true r.converged;
+  check_float ~eps:1e-4 "x0" 3.0 r.x.(0);
+  check_float ~eps:1e-4 "x1" (-1.0) r.x.(1)
+
+let test_nm_rosenbrock () =
+  let f x =
+    let a = 1.0 -. x.(0) in
+    let b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100.0 *. b *. b)
+  in
+  let r = Nm.minimize_restarts ~restarts:4 ~max_iter:5000 ~f ~x0:[| -1.2; 1.0 |] () in
+  check_float ~eps:1e-3 "rosenbrock x" 1.0 r.x.(0);
+  check_float ~eps:1e-3 "rosenbrock y" 1.0 r.x.(1)
+
+let test_nm_1d () =
+  (* |x - c| is non-smooth at the optimum; restarts recover from simplex
+     stagnation on the kink. *)
+  let f x = Float.abs (x.(0) -. 0.25) in
+  let r = Nm.minimize_restarts ~restarts:5 ~f ~x0:[| 10.0 |] () in
+  check_float ~eps:1e-3 "1d" 0.25 r.x.(0)
+
+let test_nm_respects_initial_step () =
+  let f x = (x.(0) -. 100.0) ** 2.0 in
+  let r = Nm.minimize ~initial_step:[| 50.0 |] ~f ~x0:[| 0.0 |] () in
+  check_float ~eps:1e-3 "large step reaches far optimum" 100.0 r.x.(0)
+
+let test_nm_empty_rejected () =
+  match Nm.minimize ~f:(fun _ -> 0.0) ~x0:[||] () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_nm_iterations_bounded () =
+  let f x = x.(0) *. x.(0) in
+  let r = Nm.minimize ~max_iter:5 ~f ~x0:[| 1.0 |] () in
+  Alcotest.(check bool) "stopped at cap" true (r.iterations <= 5)
+
+(* --- Levenberg-Marquardt --- *)
+
+module Lm = Vstat_opt.Levenberg_marquardt
+
+let test_lm_linear_fit () =
+  (* Fit y = a x + b exactly through noise-free points. *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (1.7 *. x) -. 0.4) xs in
+  let residual p = Array.mapi (fun i x -> (p.(0) *. x) +. p.(1) -. ys.(i)) xs in
+  let r = Lm.minimize ~residual ~x0:[| 0.0; 0.0 |] () in
+  check_float ~eps:1e-8 "slope" 1.7 r.x.(0);
+  check_float ~eps:1e-8 "intercept" (-0.4) r.x.(1);
+  Alcotest.(check bool) "tiny residual" true (r.residual_norm < 1e-8)
+
+let test_lm_exponential_fit () =
+  (* Nonlinear: y = A exp(k x). *)
+  let xs = [| 0.0; 0.5; 1.0; 1.5; 2.0; 2.5 |] in
+  let ys = Array.map (fun x -> 2.0 *. exp (0.8 *. x)) xs in
+  let residual p =
+    Array.mapi (fun i x -> (p.(0) *. exp (p.(1) *. x)) -. ys.(i)) xs
+  in
+  let r = Lm.minimize ~residual ~x0:[| 1.0; 0.1 |] () in
+  check_float ~eps:1e-6 "amplitude" 2.0 r.x.(0);
+  check_float ~eps:1e-6 "rate" 0.8 r.x.(1)
+
+let test_lm_rosenbrock_as_least_squares () =
+  (* Rosenbrock is a 2-residual least-squares problem. *)
+  let residual p = [| 1.0 -. p.(0); 10.0 *. (p.(1) -. (p.(0) *. p.(0))) |] in
+  let r = Lm.minimize ~max_iter:500 ~residual ~x0:[| -1.2; 1.0 |] () in
+  check_float ~eps:1e-6 "x" 1.0 r.x.(0);
+  check_float ~eps:1e-6 "y" 1.0 r.x.(1)
+
+let test_lm_overdetermined_regression () =
+  (* Least squares solution of an inconsistent system matches QR. *)
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = [| 0.1; 1.9; 4.2; 5.8 |] in
+  let residual p = Array.mapi (fun i x -> (p.(0) *. x) +. p.(1) -. ys.(i)) xs in
+  let r = Lm.minimize ~residual ~x0:[| 0.0; 0.0 |] () in
+  (* Reference solution from QR least squares on the same system. *)
+  let a =
+    Vstat_linalg.Matrix.init ~rows:4 ~cols:2 ~f:(fun i j ->
+        if j = 0 then xs.(i) else 1.0)
+  in
+  let q = Vstat_linalg.Qr.least_squares a ys in
+  check_float ~eps:1e-6 "slope" q.(0) r.x.(0);
+  check_float ~eps:1e-6 "intercept" q.(1) r.x.(1)
+
+let test_lm_empty_rejected () =
+  match Lm.minimize ~residual:(fun _ -> [| 0.0 |]) ~x0:[||] () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Scalar --- *)
+
+let test_bisect_root () =
+  let root = S.bisect ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 () in
+  check_float ~eps:1e-9 "sqrt 2" (sqrt 2.0) root
+
+let test_bisect_linear () =
+  let root = S.bisect ~f:(fun x -> x -. 0.3) ~lo:(-1.0) ~hi:1.0 () in
+  check_float ~eps:1e-9 "linear root" 0.3 root
+
+let test_bisect_requires_bracket () =
+  match S.bisect ~f:(fun x -> x +. 10.0) ~lo:0.0 ~hi:1.0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_bisect_predicate () =
+  let boundary = S.bisect_predicate ~f:(fun x -> x > 0.7) ~lo:0.0 ~hi:1.0 () in
+  check_float ~eps:1e-9 "predicate boundary" 0.7 boundary
+
+let test_bisect_predicate_requires_transition () =
+  match S.bisect_predicate ~f:(fun _ -> true) ~lo:0.0 ~hi:1.0 () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_golden_max () =
+  let x, fx = S.golden_max ~f:(fun x -> -.((x -. 0.4) ** 2.0)) ~lo:0.0 ~hi:1.0 () in
+  check_float ~eps:1e-6 "argmax" 0.4 x;
+  check_float ~eps:1e-9 "max value" 0.0 fx
+
+let test_golden_max_asymmetric () =
+  let x, _ = S.golden_max ~f:(fun x -> x *. exp (-.x)) ~lo:0.0 ~hi:10.0 () in
+  check_float ~eps:1e-5 "x e^-x peaks at 1" 1.0 x
+
+(* --- qcheck --- *)
+
+let prop_nm_finds_shifted_quadratic =
+  QCheck.Test.make ~name:"NM minimizes shifted quadratics" ~count:50
+    QCheck.(pair (float_range (-20.0) 20.0) (float_range (-20.0) 20.0))
+    (fun (a, b) ->
+      let f x = ((x.(0) -. a) ** 2.0) +. (2.0 *. ((x.(1) -. b) ** 2.0)) in
+      let r = Nm.minimize_restarts ~restarts:3 ~f ~x0:[| 0.0; 0.0 |] () in
+      Float.abs (r.x.(0) -. a) < 1e-2 && Float.abs (r.x.(1) -. b) < 1e-2)
+
+let prop_bisect_finds_root_of_monotone =
+  QCheck.Test.make ~name:"bisect solves monotone cubics" ~count:100
+    QCheck.(float_range (-3.0) 3.0)
+    (fun c ->
+      let f x = (x ** 3.0) +. x -. c in
+      (* f is strictly increasing; root within +-4 for |c| <= 3. *)
+      let root = S.bisect ~f ~lo:(-4.0) ~hi:4.0 () in
+      Float.abs (f root) < 1e-6)
+
+let () =
+  Alcotest.run "vstat_opt"
+    [
+      ( "nelder-mead",
+        [
+          Alcotest.test_case "quadratic" `Quick test_nm_quadratic;
+          Alcotest.test_case "rosenbrock" `Quick test_nm_rosenbrock;
+          Alcotest.test_case "1d" `Quick test_nm_1d;
+          Alcotest.test_case "initial step" `Quick test_nm_respects_initial_step;
+          Alcotest.test_case "empty rejected" `Quick test_nm_empty_rejected;
+          Alcotest.test_case "iteration cap" `Quick test_nm_iterations_bounded;
+          QCheck_alcotest.to_alcotest prop_nm_finds_shifted_quadratic;
+        ] );
+      ( "levenberg-marquardt",
+        [
+          Alcotest.test_case "linear fit" `Quick test_lm_linear_fit;
+          Alcotest.test_case "exponential fit" `Quick test_lm_exponential_fit;
+          Alcotest.test_case "rosenbrock" `Quick test_lm_rosenbrock_as_least_squares;
+          Alcotest.test_case "overdetermined" `Quick test_lm_overdetermined_regression;
+          Alcotest.test_case "empty rejected" `Quick test_lm_empty_rejected;
+        ] );
+      ( "scalar",
+        [
+          Alcotest.test_case "bisect root" `Quick test_bisect_root;
+          Alcotest.test_case "bisect linear" `Quick test_bisect_linear;
+          Alcotest.test_case "bisect bracket" `Quick test_bisect_requires_bracket;
+          Alcotest.test_case "predicate" `Quick test_bisect_predicate;
+          Alcotest.test_case "predicate transition" `Quick test_bisect_predicate_requires_transition;
+          Alcotest.test_case "golden max" `Quick test_golden_max;
+          Alcotest.test_case "golden asymmetric" `Quick test_golden_max_asymmetric;
+          QCheck_alcotest.to_alcotest prop_bisect_finds_root_of_monotone;
+        ] );
+    ]

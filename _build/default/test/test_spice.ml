@@ -1,0 +1,240 @@
+(* Tests for the SPICE-deck front end. *)
+
+module P = Vstat_circuit.Spice_parser
+module N = Vstat_circuit.Netlist
+module E = Vstat_circuit.Engine
+module W = Vstat_circuit.Waveform
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* --- values --- *)
+
+let test_parse_value () =
+  check_float "plain" 42.0 (P.parse_value "42");
+  check_float "exponent" 1e-9 (P.parse_value "1e-9");
+  check_float ~eps:1e-12 "kilo" 2500.0 (P.parse_value "2.5k");
+  check_float ~eps:1e-24 "pico" 10e-12 (P.parse_value "10p");
+  check_float ~eps:1e-27 "femto" 2e-15 (P.parse_value "2f");
+  check_float "meg" 3e6 (P.parse_value "3meg");
+  check_float ~eps:1e-15 "milli" 5e-3 (P.parse_value "5m");
+  check_float ~eps:1e-18 "nano" 7e-9 (P.parse_value "7n");
+  check_float ~eps:1e-12 "micro" 9e-6 (P.parse_value "9u");
+  check_float "giga" 1e9 (P.parse_value "1g")
+
+let test_parse_value_malformed () =
+  match P.parse_value "abc" with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ()
+
+(* --- deck structure --- *)
+
+let divider_deck =
+  "resistor divider\n\
+   V1 top 0 DC 10\n\
+   R1 top mid 1k\n\
+   R2 mid 0 3k\n\
+   .end\n"
+
+let test_parse_divider () =
+  let deck = P.parse_string divider_deck in
+  Alcotest.(check string) "title" "resistor divider" deck.title;
+  Alcotest.(check int) "nodes" 2 (N.node_count deck.netlist);
+  Alcotest.(check int) "elements" 3 (List.length (N.elements deck.netlist));
+  let eng = E.compile deck.netlist in
+  let op = E.dc eng in
+  let mid =
+    match N.find_node deck.netlist "mid" with
+    | Some n -> n
+    | None -> Alcotest.fail "mid node missing"
+  in
+  check_float ~eps:1e-6 "divider solves" 7.5 (E.voltage eng op mid)
+
+let test_comments_and_continuations () =
+  let deck =
+    P.parse_string
+      "title\n\
+       * a comment line\n\
+       R1 a 0 $ trailing comment\n\
+       + 2k\n\
+       V1 a 0 DC 1 $ more\n"
+  in
+  Alcotest.(check int) "two elements" 2 (List.length (N.elements deck.netlist));
+  match N.elements deck.netlist with
+  | [ N.Resistor { ohms; _ }; N.Vsource _ ] -> check_float "joined value" 2000.0 ohms
+  | _ -> Alcotest.fail "unexpected element shapes"
+
+let test_case_insensitive_nodes () =
+  let deck = P.parse_string "t\nR1 OUT 0 1k\nV1 out 0 DC 1\n" in
+  (* OUT and out are the same node. *)
+  Alcotest.(check int) "one node" 1 (N.node_count deck.netlist)
+
+let test_pulse_source () =
+  let deck =
+    P.parse_string "t\nV1 a 0 PULSE(0 0.9 20p 10p 10p 60p 200p)\nR1 a 0 1k\n"
+  in
+  match N.elements deck.netlist with
+  | [ N.Vsource { wave = W.Pulse p; _ }; _ ] ->
+    check_float ~eps:1e-15 "high" 0.9 p.high;
+    check_float ~eps:1e-24 "delay" 20e-12 p.delay;
+    check_float ~eps:1e-24 "period" 200e-12 p.period
+  | _ -> Alcotest.fail "expected pulse source"
+
+let test_pwl_and_sin_sources () =
+  let deck =
+    P.parse_string
+      "t\nV1 a 0 PWL(0 0 1n 1)\nV2 b 0 SIN(0.45 0.1 1meg)\nR1 a b 1k\n"
+  in
+  match N.elements deck.netlist with
+  | [ N.Vsource { wave = W.Pwl pts; _ }; N.Vsource { wave = W.Sine s; _ }; _ ] ->
+    Alcotest.(check int) "pwl points" 2 (Array.length pts);
+    check_float "sin offset" 0.45 s.offset;
+    check_float "sin freq" 1e6 s.freq_hz
+  | _ -> Alcotest.fail "expected PWL and SIN sources"
+
+let test_mosfet_and_model () =
+  let deck =
+    P.parse_string
+      "t\n\
+       .model nvs vs (type=n vt0=0.42)\n\
+       Vd d 0 DC 0.9\n\
+       Vg g 0 DC 0.9\n\
+       M1 d g 0 0 nvs W=600n L=40n\n"
+  in
+  (match
+     List.find_opt
+       (function N.Mosfet _ -> true | _ -> false)
+       (N.elements deck.netlist)
+   with
+  | Some (N.Mosfet { dev; _ }) ->
+    check_float ~eps:1e-12 "width" 600e-9 dev.width;
+    check_float ~eps:1e-12 "length" 40e-9 dev.length;
+    (* The overridden vt0 lowers the current vs the default card. *)
+    let id = Vstat_device.Device_model.ids dev ~vg:0.9 ~vd:0.9 ~vs:0.0 ~vb:0.0 in
+    let default_dev =
+      Vstat_device.Cards.vs_seed_device ~polarity:Vstat_device.Device_model.Nmos
+        ~w_nm:600.0 ~l_nm:40.0
+    in
+    let id_default =
+      Vstat_device.Device_model.ids default_dev ~vg:0.9 ~vd:0.9 ~vs:0.0 ~vb:0.0
+    in
+    Alcotest.(check bool) "vt0 override lowers id" true (id < id_default)
+  | _ -> Alcotest.fail "expected a mosfet");
+  (* And the deck solves. *)
+  let eng = E.compile deck.netlist in
+  let op = E.dc eng in
+  Alcotest.(check bool) "drain current flows" true
+    (Float.abs (E.source_current eng op "vd") > 1e-5)
+
+let test_bsim_model_family () =
+  let deck =
+    P.parse_string
+      "t\n.model nb bsim4lite (type=n u0=0.03)\nV1 d 0 DC 0.9\nM1 d d 0 0 nb\n"
+  in
+  let eng = E.compile deck.netlist in
+  let op = E.dc eng in
+  Alcotest.(check bool) "diode-connected conducts" true
+    (Float.abs (E.source_current eng op "v1") > 1e-5)
+
+let test_analyses_parsed () =
+  let deck =
+    P.parse_string
+      "t\n\
+       V1 a 0 DC 1\n\
+       R1 a 0 1k\n\
+       .tran 1p 100p\n\
+       .dc v1 0 1 0.1\n\
+       .ac dec 10 1k 1meg v1\n"
+  in
+  match deck.analyses with
+  | [ P.Tran t; P.Dc_sweep d; P.Ac a ] ->
+    check_float ~eps:1e-24 "tstep" 1e-12 t.tstep;
+    check_float "sweep stop" 1.0 d.stop;
+    Alcotest.(check string) "sweep source" "v1" d.source;
+    Alcotest.(check int) "ppd" 10 a.points_per_decade
+  | _ -> Alcotest.fail "expected three analyses in order"
+
+let test_errors_carry_line_numbers () =
+  let expect_error text expected_line =
+    match P.parse_string text with
+    | _ -> Alcotest.fail "expected Parse_error"
+    | exception P.Parse_error { line; _ } ->
+      Alcotest.(check int) "line number" expected_line line
+  in
+  expect_error "t\nR1 a 0\n" 2;
+  expect_error "t\nV1 a 0 DC 1\nM1 a a 0 0 nope\n" 3;
+  expect_error "t\n.unknown 1 2\n" 2
+
+let test_unknown_model_rejected () =
+  match P.parse_string "t\nM1 d g 0 0 missing\n" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception P.Parse_error { message; _ } ->
+    Alcotest.(check bool) "mentions model" true
+      (String.length message > 0)
+
+(* --- end-to-end: the shipped example decks parse and solve --- *)
+
+let test_example_decks () =
+  (* Locate the source tree from the test binary's location
+     (_build/default/test/...) so the shipped decks are really tested. *)
+  let rec find_root dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else begin
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_root parent
+    end
+  in
+  let source_root =
+    (* _build/default mirrors the sources; decks live under examples/. *)
+    find_root (Filename.dirname Sys.executable_name)
+  in
+  match source_root with
+  | None -> Alcotest.fail "could not locate the workspace root"
+  | Some root ->
+    let dir = Filename.concat root "examples/netlists" in
+    let checked = ref 0 in
+    List.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        if Sys.file_exists path then begin
+          incr checked;
+          let deck = P.parse_file path in
+          let eng = E.compile deck.netlist in
+          ignore (E.dc eng)
+        end)
+      [ "inverter.sp"; "rc_filter.sp"; "nmos_iv.sp" ];
+    (* The decks are not copied into _build, so fall back to the real source
+       tree when the mirror lacks them. *)
+    if !checked = 0 then begin
+      let alt = "/root/repo/examples/netlists" in
+      if Sys.file_exists alt then
+        List.iter
+          (fun name ->
+            let deck = P.parse_file (Filename.concat alt name) in
+            ignore (E.dc (E.compile deck.netlist)))
+          [ "inverter.sp"; "rc_filter.sp"; "nmos_iv.sp" ]
+    end
+
+let () =
+  Alcotest.run "vstat_spice"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "engineering suffixes" `Quick test_parse_value;
+          Alcotest.test_case "malformed" `Quick test_parse_value_malformed;
+        ] );
+      ( "decks",
+        [
+          Alcotest.test_case "divider" `Quick test_parse_divider;
+          Alcotest.test_case "comments/continuations" `Quick test_comments_and_continuations;
+          Alcotest.test_case "case-insensitive nodes" `Quick test_case_insensitive_nodes;
+          Alcotest.test_case "pulse" `Quick test_pulse_source;
+          Alcotest.test_case "pwl/sin" `Quick test_pwl_and_sin_sources;
+          Alcotest.test_case "mosfet + model" `Quick test_mosfet_and_model;
+          Alcotest.test_case "bsim family" `Quick test_bsim_model_family;
+          Alcotest.test_case "analyses" `Quick test_analyses_parsed;
+          Alcotest.test_case "error line numbers" `Quick test_errors_carry_line_numbers;
+          Alcotest.test_case "unknown model" `Quick test_unknown_model_rejected;
+          Alcotest.test_case "example decks" `Quick test_example_decks;
+        ] );
+    ]

@@ -1,0 +1,343 @@
+(* Unit and property tests for Vstat_stats. *)
+
+module D = Vstat_stats.Descriptive
+module H = Vstat_stats.Histogram
+module Qq = Vstat_stats.Qq
+module E = Vstat_stats.Ellipse
+module C = Vstat_stats.Compare
+module Rng = Vstat_util.Rng
+
+let check_float ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let gaussian_sample ~seed ~n ~mean ~sigma =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> Rng.gaussian_scaled rng ~mean ~sigma)
+
+(* --- Descriptive --- *)
+
+let test_mean_var_std () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "mean" 5.0 (D.mean xs);
+  check_float ~eps:1e-12 "variance (unbiased)" (32.0 /. 7.0) (D.variance xs);
+  check_float ~eps:1e-12 "std" (sqrt (32.0 /. 7.0)) (D.std xs)
+
+let test_min_max () =
+  let lo, hi = D.min_max [| 3.0; -1.0; 7.0; 2.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_quantiles () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "median" 3.0 (D.median xs);
+  check_float "q0" 1.0 (D.quantile xs 0.0);
+  check_float "q1" 5.0 (D.quantile xs 1.0);
+  check_float "q interp" 1.5 (D.quantile xs 0.125)
+
+let test_quantile_unsorted () =
+  let xs = [| 5.0; 1.0; 3.0; 2.0; 4.0 |] in
+  check_float "median of unsorted" 3.0 (D.median xs)
+
+let test_skewness_symmetric () =
+  let xs = gaussian_sample ~seed:1 ~n:50_000 ~mean:0.0 ~sigma:1.0 in
+  check_float ~eps:0.05 "gaussian skew ~ 0" 0.0 (D.skewness xs)
+
+let test_skewness_positive_for_lognormal () =
+  let rng = Rng.create ~seed:2 in
+  let xs = Array.init 20_000 (fun _ -> Rng.lognormal rng ~mu:0.0 ~sigma:0.6) in
+  Alcotest.(check bool) "lognormal skew > 0.5" true (D.skewness xs > 0.5)
+
+let test_kurtosis_gaussian () =
+  let xs = gaussian_sample ~seed:3 ~n:100_000 ~mean:0.0 ~sigma:2.0 in
+  check_float ~eps:0.1 "excess kurtosis ~ 0" 0.0 (D.excess_kurtosis xs)
+
+let test_covariance_correlation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  check_float ~eps:1e-12 "corr linear = 1" 1.0 (D.correlation xs ys);
+  let ys_neg = Array.map (fun x -> -.x) xs in
+  check_float ~eps:1e-12 "corr anti = -1" (-1.0) (D.correlation xs ys_neg);
+  check_float ~eps:1e-12 "cov" (2.0 *. D.variance xs) (D.covariance xs ys)
+
+let test_sigma_over_mu () =
+  let xs = [| 9.0; 10.0; 11.0 |] in
+  check_float ~eps:1e-12 "sigma/mu" (1.0 /. 10.0) (D.sigma_over_mu xs)
+
+let test_empty_rejected () =
+  match D.mean [||] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- Histogram --- *)
+
+let test_histogram_counts () =
+  let xs = [| 0.0; 0.1; 0.9; 1.0 |] in
+  let h = H.build ~bins:2 xs in
+  Alcotest.(check int) "total" 4 h.total;
+  Alcotest.(check int) "bin0" 2 h.counts.(0);
+  Alcotest.(check int) "bin1" 2 h.counts.(1)
+
+let test_histogram_density_integrates_to_one () =
+  let xs = gaussian_sample ~seed:4 ~n:5000 ~mean:1.0 ~sigma:2.0 in
+  let h = H.build xs in
+  let d = H.density h in
+  let integral =
+    Array.fold_left
+      (fun acc (i, (_, rho)) ->
+        let width = h.edges.(i + 1) -. h.edges.(i) in
+        acc +. (rho *. width))
+      0.0
+      (Array.mapi (fun i p -> (i, p)) d)
+  in
+  check_float ~eps:1e-9 "density integral" 1.0 integral
+
+let test_kde_integrates_to_one () =
+  let xs = gaussian_sample ~seed:5 ~n:2000 ~mean:0.0 ~sigma:1.0 in
+  let series = H.kde ~points:201 xs in
+  let integral = ref 0.0 in
+  for i = 0 to Array.length series - 2 do
+    let x0, y0 = series.(i) and x1, y1 = series.(i + 1) in
+    integral := !integral +. (0.5 *. (y0 +. y1) *. (x1 -. x0))
+  done;
+  check_float ~eps:0.02 "kde integral" 1.0 !integral
+
+let test_kde_peak_near_mean () =
+  let xs = gaussian_sample ~seed:6 ~n:5000 ~mean:3.0 ~sigma:0.5 in
+  let series = H.kde xs in
+  let best =
+    Array.fold_left
+      (fun (bx, by) (x, y) -> if y > by then (x, y) else (bx, by))
+      (0.0, neg_infinity) series
+  in
+  check_float ~eps:0.2 "peak position" 3.0 (fst best)
+
+let test_sparkline_length () =
+  let s = H.sparkline ~width:10 (Array.init 100 Float.of_int) in
+  Alcotest.(check bool) "non-empty" true (String.length s > 0)
+
+(* --- Qq --- *)
+
+let test_qq_gaussian_is_linear () =
+  let xs = gaussian_sample ~seed:7 ~n:4000 ~mean:5.0 ~sigma:2.0 in
+  Alcotest.(check bool) "r2 > 0.995" true (Qq.linearity_r2 xs > 0.995)
+
+let test_qq_lognormal_is_nonlinear () =
+  let rng = Rng.create ~seed:8 in
+  let xs = Array.init 4000 (fun _ -> Rng.lognormal rng ~mu:0.0 ~sigma:0.8) in
+  Alcotest.(check bool) "r2 < 0.97" true (Qq.linearity_r2 xs < 0.97)
+
+let test_qq_series_monotone () =
+  let xs = gaussian_sample ~seed:9 ~n:100 ~mean:0.0 ~sigma:1.0 in
+  let series = Qq.against_normal xs in
+  let ok = ref true in
+  for i = 0 to Array.length series - 2 do
+    if snd series.(i) > snd series.(i + 1) then ok := false;
+    if fst series.(i) >= fst series.(i + 1) then ok := false
+  done;
+  Alcotest.(check bool) "monotone" true !ok
+
+let test_tail_deviation_gaussian () =
+  let xs = gaussian_sample ~seed:10 ~n:100_000 ~mean:0.0 ~sigma:1.0 in
+  check_float ~eps:0.05 "gaussian tail dev ~ 0" 0.0 (Qq.tail_deviation xs)
+
+(* --- Ellipse --- *)
+
+let bivariate_sample ~seed ~n =
+  let rng = Rng.create ~seed in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let u = Rng.gaussian rng and v = Rng.gaussian rng in
+    xs.(i) <- (2.0 *. u) +. 1.0;
+    (* correlated pair *)
+    ys.(i) <- u +. (0.5 *. v) -. 3.0
+  done;
+  (xs, ys)
+
+let test_ellipse_coverage () =
+  let xs, ys = bivariate_sample ~seed:11 ~n:20_000 in
+  List.iter
+    (fun (k, expected) ->
+      let e = E.of_sigma_level ~n_sigma:k xs ys in
+      let cov = E.coverage e xs ys in
+      check_float ~eps:0.02 (Printf.sprintf "%d-sigma coverage" k) expected cov)
+    [ (1, 0.3935); (2, 0.8647); (3, 0.9889) ]
+
+let test_ellipse_of_samples_coverage () =
+  let xs, ys = bivariate_sample ~seed:12 ~n:20_000 in
+  let e = E.of_samples ~confidence:0.5 xs ys in
+  check_float ~eps:0.02 "50% ellipse" 0.5 (E.coverage e xs ys)
+
+let test_ellipse_center () =
+  let xs, ys = bivariate_sample ~seed:13 ~n:20_000 in
+  let e = E.of_sigma_level ~n_sigma:1 xs ys in
+  let cx, cy = e.center in
+  check_float ~eps:0.05 "center x" 1.0 cx;
+  check_float ~eps:0.05 "center y" (-3.0) cy
+
+let test_ellipse_points_on_boundary () =
+  let xs, ys = bivariate_sample ~seed:14 ~n:5000 in
+  let e = E.of_sigma_level ~n_sigma:2 xs ys in
+  let pts = E.points e ~n:36 in
+  Alcotest.(check int) "count" 36 (Array.length pts);
+  (* Boundary points must be inside (closed ellipse) but barely: shrink by
+     10% -> inside, grow by 10% -> outside. *)
+  let cx, cy = e.center in
+  Array.iter
+    (fun (x, y) ->
+      let inside_shrunk =
+        E.contains e (cx +. (0.9 *. (x -. cx)), cy +. (0.9 *. (y -. cy)))
+      in
+      let outside_grown =
+        not (E.contains e (cx +. (1.1 *. (x -. cx)), cy +. (1.1 *. (y -. cy))))
+      in
+      if not (inside_shrunk && outside_grown) then
+        Alcotest.fail "boundary point mis-located")
+    pts
+
+(* --- Compare --- *)
+
+let test_ks_identical () =
+  let xs = gaussian_sample ~seed:15 ~n:500 ~mean:0.0 ~sigma:1.0 in
+  check_float "ks self" 0.0 (C.ks_statistic xs xs)
+
+let test_ks_disjoint () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 10.0; 11.0; 12.0 |] in
+  check_float "ks disjoint" 1.0 (C.ks_statistic a b)
+
+let test_ks_same_distribution_pvalue () =
+  let a = gaussian_sample ~seed:16 ~n:800 ~mean:0.0 ~sigma:1.0 in
+  let b = gaussian_sample ~seed:17 ~n:800 ~mean:0.0 ~sigma:1.0 in
+  Alcotest.(check bool) "p > 0.01" true (C.ks_p_value a b > 0.01)
+
+let test_ks_different_distribution_pvalue () =
+  let a = gaussian_sample ~seed:18 ~n:800 ~mean:0.0 ~sigma:1.0 in
+  let b = gaussian_sample ~seed:19 ~n:800 ~mean:1.0 ~sigma:1.0 in
+  Alcotest.(check bool) "p < 0.01" true (C.ks_p_value a b < 0.01)
+
+let test_density_overlap () =
+  let a = gaussian_sample ~seed:20 ~n:2000 ~mean:0.0 ~sigma:1.0 in
+  let b = gaussian_sample ~seed:21 ~n:2000 ~mean:0.0 ~sigma:1.0 in
+  Alcotest.(check bool) "self-family overlap > 0.9" true (C.density_overlap a b > 0.9);
+  let c = gaussian_sample ~seed:22 ~n:2000 ~mean:8.0 ~sigma:1.0 in
+  Alcotest.(check bool) "far overlap < 0.1" true (C.density_overlap a c < 0.1)
+
+let test_relative_diffs () =
+  let a = [| 1.0; 2.0; 3.0 |] in
+  let b = Array.map (fun x -> 2.0 *. x) a in
+  check_float ~eps:1e-12 "mean diff" 0.5 (C.relative_mean_diff a b);
+  check_float ~eps:1e-12 "std diff" 0.5 (C.relative_std_diff a b)
+
+(* --- degenerate inputs --- *)
+
+let test_histogram_constant_sample () =
+  let h = H.build (Array.make 10 5.0) in
+  Alcotest.(check int) "all binned" 10 h.total
+
+let test_variance_needs_two () =
+  match D.variance [| 1.0 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_ks_p_value_bounds () =
+  let rng = Rng.create ~seed:40 in
+  for _ = 1 to 20 do
+    let a = Array.init 50 (fun _ -> Rng.gaussian rng) in
+    let b = Array.init 50 (fun _ -> Rng.gaussian rng +. Rng.float rng) in
+    let p = C.ks_p_value a b in
+    if p < 0.0 || p > 1.0 then Alcotest.fail "p out of [0,1]"
+  done
+
+let test_ellipse_degenerate_constant () =
+  (* Zero-variance axis: the ellipse collapses; contains must not crash and
+     coverage must be 0 (nothing strictly inside a zero-area ellipse). *)
+  let xs = Array.make 10 1.0 in
+  let ys = Array.init 10 Float.of_int in
+  let e = E.of_sigma_level ~n_sigma:1 xs ys in
+  let cov = E.coverage e xs ys in
+  Alcotest.(check bool) "no crash, bounded" true (cov >= 0.0 && cov <= 1.0)
+
+(* --- qcheck --- *)
+
+let nonempty_floats =
+  QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.0) 1000.0))
+
+let prop_quantile_bounds =
+  QCheck.Test.make ~name:"quantiles stay within min/max" ~count:200
+    QCheck.(pair nonempty_floats (float_range 0.0 1.0))
+    (fun (xs, p) ->
+      let xs = Array.of_list xs in
+      let lo, hi = D.min_max xs in
+      let q = D.quantile xs p in
+      q >= lo -. 1e-9 && q <= hi +. 1e-9)
+
+let prop_std_shift_invariant =
+  QCheck.Test.make ~name:"std is shift invariant" ~count:200
+    QCheck.(pair nonempty_floats (float_range (-100.0) 100.0))
+    (fun (xs, shift) ->
+      let xs = Array.of_list xs in
+      let shifted = Array.map (fun x -> x +. shift) xs in
+      Float.abs (D.std xs -. D.std shifted)
+      <= 1e-6 *. Float.max 1.0 (D.std xs))
+
+let prop_ks_symmetric =
+  QCheck.Test.make ~name:"KS statistic is symmetric" ~count:100
+    QCheck.(pair nonempty_floats nonempty_floats)
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      Float.abs (C.ks_statistic a b -. C.ks_statistic b a) < 1e-12)
+
+let () =
+  Alcotest.run "vstat_stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean/var/std" `Quick test_mean_var_std;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "quantile unsorted" `Quick test_quantile_unsorted;
+          Alcotest.test_case "skew symmetric" `Slow test_skewness_symmetric;
+          Alcotest.test_case "skew lognormal" `Slow test_skewness_positive_for_lognormal;
+          Alcotest.test_case "kurtosis gaussian" `Slow test_kurtosis_gaussian;
+          Alcotest.test_case "cov/corr" `Quick test_covariance_correlation;
+          Alcotest.test_case "sigma/mu" `Quick test_sigma_over_mu;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "variance needs two" `Quick test_variance_needs_two;
+          QCheck_alcotest.to_alcotest prop_quantile_bounds;
+          QCheck_alcotest.to_alcotest prop_std_shift_invariant;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts" `Quick test_histogram_counts;
+          Alcotest.test_case "density integral" `Quick test_histogram_density_integrates_to_one;
+          Alcotest.test_case "kde integral" `Quick test_kde_integrates_to_one;
+          Alcotest.test_case "kde peak" `Quick test_kde_peak_near_mean;
+          Alcotest.test_case "sparkline" `Quick test_sparkline_length;
+          Alcotest.test_case "constant sample" `Quick test_histogram_constant_sample;
+        ] );
+      ( "qq",
+        [
+          Alcotest.test_case "gaussian linear" `Quick test_qq_gaussian_is_linear;
+          Alcotest.test_case "lognormal nonlinear" `Quick test_qq_lognormal_is_nonlinear;
+          Alcotest.test_case "series monotone" `Quick test_qq_series_monotone;
+          Alcotest.test_case "tail deviation" `Slow test_tail_deviation_gaussian;
+        ] );
+      ( "ellipse",
+        [
+          Alcotest.test_case "sigma coverage" `Slow test_ellipse_coverage;
+          Alcotest.test_case "confidence coverage" `Slow test_ellipse_of_samples_coverage;
+          Alcotest.test_case "center" `Quick test_ellipse_center;
+          Alcotest.test_case "boundary points" `Quick test_ellipse_points_on_boundary;
+          Alcotest.test_case "degenerate constant" `Quick test_ellipse_degenerate_constant;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "ks identical" `Quick test_ks_identical;
+          Alcotest.test_case "ks disjoint" `Quick test_ks_disjoint;
+          Alcotest.test_case "ks same dist" `Quick test_ks_same_distribution_pvalue;
+          Alcotest.test_case "ks different dist" `Quick test_ks_different_distribution_pvalue;
+          Alcotest.test_case "density overlap" `Quick test_density_overlap;
+          Alcotest.test_case "relative diffs" `Quick test_relative_diffs;
+          Alcotest.test_case "ks p bounds" `Quick test_ks_p_value_bounds;
+          QCheck_alcotest.to_alcotest prop_ks_symmetric;
+        ] );
+    ]
