@@ -5,7 +5,12 @@
    - fit/*      : nominal extraction cost (Fig. 1)
    - bpv/*      : sensitivity + stacked solve cost, tied vs untied (Fig. 2,
                   Table II ablation)
-   - mc/*       : device-level Monte Carlo (Fig. 3/4, Table III)
+   - mc/*       : device-level Monte Carlo (Fig. 3/4, Table III), pinned
+                  to the serial jobs:1 runtime path
+   - mc-parallel/* : the same device-level Monte Carlo through the
+                  Vstat_runtime domain pool at the recommended worker
+                  count -- compare against mc/* for the parallel speedup
+                  (identical samples by the determinism contract)
    - circuit/*  : one Monte Carlo sample of each benchmark circuit
                   (Figs. 5-9)
    - speed/*    : raw model-evaluation cost and per-sample circuit cost for
@@ -20,9 +25,16 @@ open Toolkit
 let pipeline = Vstat_core.Pipeline.build ~seed:42 ~mc_per_geometry:600 ()
 let vdd = pipeline.vdd
 
-(* Deterministic per-iteration RNG would make samples identical; a shared
-   mutable stream is fine for benchmarking since cost is state-independent. *)
-let rng = Vstat_util.Rng.create ~seed:99
+(* Every benchmark owns a private substream of the master bench seed, so
+   adding, removing or reordering benches never perturbs another bench's
+   sample path.  (Deterministic per-iteration RNG would make samples
+   identical; a per-bench mutable stream is fine since cost is
+   state-independent.) *)
+let bench_rng =
+  let next = ref 0 in
+  fun () ->
+    incr next;
+    Vstat_util.Rng.substream ~seed:99 ~index:!next
 
 let nominal_golden_nmos =
   Vstat_core.Bsim_statistical.nominal_device pipeline.golden_nmos ~w_nm:300.0
@@ -66,16 +78,37 @@ let bench_sensitivity_row =
            ~l_nm:40.0 ~vdd))
 
 let bench_mc_device_vs =
+  let rng = bench_rng () in
   Test.make ~name:"mc/device-vs-100"
     (Staged.stage (fun () ->
-         Vstat_core.Mc_device.of_vs pipeline.vs_nmos ~rng ~n:100 ~w_nm:600.0
-           ~l_nm:40.0 ~vdd))
+         Vstat_core.Mc_device.of_vs pipeline.vs_nmos ~jobs:1 ~rng ~n:100
+           ~w_nm:600.0 ~l_nm:40.0 ~vdd))
 
 let bench_mc_device_bsim =
+  let rng = bench_rng () in
   Test.make ~name:"mc/device-bsim-100"
     (Staged.stage (fun () ->
-         Vstat_core.Mc_device.of_bsim pipeline.golden_nmos ~rng ~n:100
+         Vstat_core.Mc_device.of_bsim pipeline.golden_nmos ~jobs:1 ~rng ~n:100
            ~w_nm:600.0 ~l_nm:40.0 ~vdd))
+
+(* Same workload through the domain pool: the ratio to the mc/* twin is the
+   parallel speedup (the samples are bit-identical; only scheduling
+   differs). *)
+let pool_jobs = Vstat_runtime.Runtime.default_jobs ()
+
+let bench_mc_parallel_vs =
+  let rng = bench_rng () in
+  Test.make ~name:(Printf.sprintf "mc-parallel/device-vs-100-j%d" pool_jobs)
+    (Staged.stage (fun () ->
+         Vstat_core.Mc_device.of_vs pipeline.vs_nmos ~jobs:pool_jobs ~rng
+           ~n:100 ~w_nm:600.0 ~l_nm:40.0 ~vdd))
+
+let bench_mc_parallel_bsim =
+  let rng = bench_rng () in
+  Test.make ~name:(Printf.sprintf "mc-parallel/device-bsim-100-j%d" pool_jobs)
+    (Staged.stage (fun () ->
+         Vstat_core.Mc_device.of_bsim pipeline.golden_nmos ~jobs:pool_jobs
+           ~rng ~n:100 ~w_nm:600.0 ~l_nm:40.0 ~vdd))
 
 let bench_ellipse =
   let samples =
@@ -95,6 +128,7 @@ let vs_tech rng = Vstat_core.Techs.stochastic_vs pipeline ~rng ~vdd
 let bsim_tech rng = Vstat_core.Techs.stochastic_bsim pipeline ~rng ~vdd
 
 let bench_inv_sample name tech_of =
+  let rng = bench_rng () in
   Test.make ~name
     (Staged.stage (fun () ->
          let tech = tech_of (Vstat_util.Rng.split rng) in
@@ -104,6 +138,7 @@ let bench_inv_sample name tech_of =
          Vstat_cells.Inverter.measure s))
 
 let bench_nand2_sample name tech_of =
+  let rng = bench_rng () in
   Test.make ~name
     (Staged.stage (fun () ->
          let tech = tech_of (Vstat_util.Rng.split rng) in
@@ -115,6 +150,7 @@ let bench_nand2_sample name tech_of =
 let bench_dff_capture name tech_of =
   (* One capture transient: the unit of work inside the setup-time
      bisection (a full bisection is ~10 of these). *)
+  let rng = bench_rng () in
   Test.make ~name
     (Staged.stage (fun () ->
          let tech = tech_of (Vstat_util.Rng.split rng) in
@@ -122,6 +158,7 @@ let bench_dff_capture name tech_of =
          Vstat_cells.Dff.capture_ok s ~t_d:150e-12 ~data_rising:true))
 
 let bench_sram_snm name tech_of =
+  let rng = bench_rng () in
   Test.make ~name
     (Staged.stage (fun () ->
          let tech = tech_of (Vstat_util.Rng.split rng) in
@@ -190,6 +227,7 @@ let bench_trap_engine =
          Vstat_circuit.Engine.transient ~trap:true eng ~tstop:400e-12 ~dt:1e-12))
 
 let bench_ring_oscillator =
+  let rng = bench_rng () in
   Test.make ~name:"circuit/ring-oscillator-vs"
     (Staged.stage (fun () ->
          let tech = vs_tech (Vstat_util.Rng.split rng) in
@@ -197,6 +235,7 @@ let bench_ring_oscillator =
            (Vstat_cells.Ring_oscillator.sample tech)))
 
 let bench_chain =
+  let rng = bench_rng () in
   Test.make ~name:"circuit/ssta-chain-vs"
     (Staged.stage (fun () ->
          let tech = vs_tech (Vstat_util.Rng.split rng) in
@@ -234,6 +273,8 @@ let tests =
       bench_bpv_untied;
       bench_mc_device_vs;
       bench_mc_device_bsim;
+      bench_mc_parallel_vs;
+      bench_mc_parallel_bsim;
       bench_ellipse;
       bench_inv_sample "circuit/fig5-inv-delay-vs" vs_tech;
       bench_inv_sample "speed/table4-inv-bsim" bsim_tech;

@@ -17,6 +17,26 @@ open Cmdliner
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable progress logging.")
 
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> Ok j
+    | Some _ -> Error (`Msg "must be a positive integer (>= 1)")
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_t =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains for Monte Carlo sampling (Vstat_runtime). Defaults \
+           to $(b,VSTAT_JOBS) from the environment, else the machine's \
+           recommended domain count. Results are bit-identical for any \
+           value.")
+
 let seed_t =
   Arg.(
     value & opt int 42
@@ -37,15 +57,18 @@ let geometry_mc_t =
 let std_formatter_flush () = Format.pp_print_flush Format.std_formatter ()
 
 let run_cmd name doc ~default_n f =
-  let run verbose seed bpv_n n =
+  let run verbose jobs seed bpv_n n =
     setup_logs verbose;
+    Option.iter Vstat_runtime.Runtime.set_default_jobs jobs;
     let p = pipeline bpv_n seed in
     f p ~n ~seed;
     std_formatter_flush ()
   in
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(const run $ verbose_t $ seed_t $ geometry_mc_t $ samples_t default_n)
+    Term.(
+      const run $ verbose_t $ jobs_t $ seed_t $ geometry_mc_t
+      $ samples_t default_n)
 
 let fmt = Format.std_formatter
 
@@ -142,8 +165,9 @@ let export_cmd =
       value & opt string "csv"
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run verbose seed bpv_n n dir =
+  let run verbose jobs seed bpv_n n dir =
     setup_logs verbose;
+    Option.iter Vstat_runtime.Runtime.set_default_jobs jobs;
     let p = pipeline bpv_n seed in
     export dir p ~n ~seed;
     std_formatter_flush ()
@@ -151,7 +175,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc:"Export figure data series to CSV files")
     Term.(
-      const run $ verbose_t $ seed_t $ geometry_mc_t $ samples_t 300 $ dir_t)
+      const run $ verbose_t $ jobs_t $ seed_t $ geometry_mc_t $ samples_t 300
+      $ dir_t)
 
 let cmds =
   [

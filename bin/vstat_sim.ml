@@ -170,10 +170,24 @@ let run_deck ~csv path =
     deck.analyses
 
 let () =
-  let args = Array.to_list Sys.argv in
+  (* Strip "--jobs N" (Vstat_runtime worker count, also settable via
+     VSTAT_JOBS) before the positional parse. *)
+  let rec extract_jobs acc = function
+    | "--jobs" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 ->
+        Vstat_runtime.Runtime.set_default_jobs j;
+        extract_jobs acc rest
+      | _ ->
+        prerr_endline "vstat_sim: --jobs expects a positive integer";
+        exit 2)
+    | a :: rest -> extract_jobs (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_jobs [] (List.tl (Array.to_list Sys.argv)) in
   match args with
-  | [ _; path ] -> run_deck ~csv:false path
-  | [ _; path; "--csv" ] | [ _; "--csv"; path ] -> run_deck ~csv:true path
+  | [ path ] -> run_deck ~csv:false path
+  | [ path; "--csv" ] | [ "--csv"; path ] -> run_deck ~csv:true path
   | _ ->
-    prerr_endline "usage: vstat_sim <deck.sp> [--csv]";
+    prerr_endline "usage: vstat_sim <deck.sp> [--csv] [--jobs N]";
     exit 2

@@ -6,14 +6,15 @@ type observation = {
   sigma_cgg : float;
 }
 
-let observe_golden golden ~rng ~n ~vdd ~w_nm ~l_nm =
-  let s = Mc_device.of_bsim golden ~rng ~n ~w_nm ~l_nm ~vdd in
+let observe_golden ?jobs golden ~rng ~n ~vdd ~w_nm ~l_nm =
+  let s = Mc_device.of_bsim ?jobs golden ~rng ~n ~w_nm ~l_nm ~vdd in
+  let acc_idsat, acc_log10_ioff, acc_cgg = Mc_device.summary s in
   {
     w_nm;
     l_nm;
-    sigma_idsat = Vstat_stats.Descriptive.std s.idsat;
-    sigma_log10_ioff = Vstat_stats.Descriptive.std s.log10_ioff;
-    sigma_cgg = Vstat_stats.Descriptive.std s.cgg;
+    sigma_idsat = Vstat_runtime.Accum.std acc_idsat;
+    sigma_log10_ioff = Vstat_runtime.Accum.std acc_log10_ioff;
+    sigma_cgg = Vstat_runtime.Accum.std acc_cgg;
   }
 
 type options = {

@@ -18,12 +18,15 @@ type observation = {
 }
 
 val observe_golden :
+  ?jobs:int ->
   Bsim_statistical.t ->
   rng:Vstat_util.Rng.t -> n:int -> vdd:float ->
   w_nm:float -> l_nm:float ->
   observation
 (** "Measure" one geometry by Monte Carlo on the golden statistical model —
-    the stand-in for the paper's silicon / design-kit measurements. *)
+    the stand-in for the paper's silicon / design-kit measurements.  The MC
+    runs on {!Vstat_runtime.Runtime} ([jobs] workers; result independent of
+    the worker count). *)
 
 type options = {
   tie_l_w : bool;

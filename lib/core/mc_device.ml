@@ -4,23 +4,45 @@ type samples = {
   cgg : float array;
 }
 
-let run ~sampler ~rng ~n ~vdd =
+let run ?jobs ~sampler ~rng ~n ~vdd () =
   if n < 1 then invalid_arg "Mc_device.run: n >= 1";
+  let r =
+    Vstat_runtime.Runtime.map_rng_samples ?jobs ~rng ~n ~f:(fun sample_rng ->
+        let dev = sampler sample_rng in
+        ( Vstat_device.Metrics.idsat dev ~vdd,
+          Vstat_device.Metrics.log10_ioff dev ~vdd,
+          Vstat_device.Metrics.cgg dev ~vdd ))
+      ()
+  in
+  (* Device metrics are closed-form: any exception is a programming error,
+     not statistical bad luck, so the budget is zero. *)
+  Vstat_runtime.Runtime.reraise_first_failure r;
   let idsat = Array.make n 0.0 in
   let log10_ioff = Array.make n 0.0 in
   let cgg = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    let dev = sampler rng in
-    idsat.(i) <- Vstat_device.Metrics.idsat dev ~vdd;
-    log10_ioff.(i) <- Vstat_device.Metrics.log10_ioff dev ~vdd;
-    cgg.(i) <- Vstat_device.Metrics.cgg dev ~vdd
-  done;
+  Array.iteri
+    (fun i cell ->
+      match cell with
+      | Ok (a, b, c) ->
+        idsat.(i) <- a;
+        log10_ioff.(i) <- b;
+        cgg.(i) <- c
+      | Error _ -> assert false)
+    r.cells;
   { idsat; log10_ioff; cgg }
 
-let of_vs t ~rng ~n ~w_nm ~l_nm ~vdd =
-  run ~sampler:(fun rng -> Vs_statistical.sample_device t rng ~w_nm ~l_nm)
-    ~rng ~n ~vdd
+let of_vs ?jobs t ~rng ~n ~w_nm ~l_nm ~vdd =
+  run ?jobs
+    ~sampler:(fun rng -> Vs_statistical.sample_device t rng ~w_nm ~l_nm)
+    ~rng ~n ~vdd ()
 
-let of_bsim t ~rng ~n ~w_nm ~l_nm ~vdd =
-  run ~sampler:(fun rng -> Bsim_statistical.sample_device t rng ~w_nm ~l_nm)
-    ~rng ~n ~vdd
+let of_bsim ?jobs t ~rng ~n ~w_nm ~l_nm ~vdd =
+  run ?jobs
+    ~sampler:(fun rng -> Bsim_statistical.sample_device t rng ~w_nm ~l_nm)
+    ~rng ~n ~vdd ()
+
+let summary s =
+  Vstat_runtime.Accum.
+    ( of_array s.idsat,
+      of_array s.log10_ioff,
+      of_array s.cgg )

@@ -1,5 +1,9 @@
 (** Device-level Monte Carlo: sample mismatch instances and collect the
-    electrical metric distributions (paper Table III, Figs. 3 and 4). *)
+    electrical metric distributions (paper Table III, Figs. 3 and 4).
+
+    Sampling runs on {!Vstat_runtime.Runtime}: sample [i] draws from
+    [Rng.substream] index [i] (the base seed is one draw off [rng]), so the
+    returned arrays are index-stable and bit-identical for any [jobs]. *)
 
 type samples = {
   idsat : float array;        (** A *)
@@ -8,17 +12,29 @@ type samples = {
 }
 
 val run :
+  ?jobs:int ->
   sampler:(Vstat_util.Rng.t -> Vstat_device.Device_model.t) ->
   rng:Vstat_util.Rng.t ->
   n:int ->
   vdd:float ->
+  unit ->
   samples
-(** Draw [n] devices and measure all three metrics on each. *)
+(** Draw [n] devices and measure all three metrics on each.  [jobs]
+    defaults to {!Vstat_runtime.Runtime.default_jobs}; any sampler
+    exception is re-raised (zero failure budget). *)
 
 val of_vs :
+  ?jobs:int ->
   Vs_statistical.t -> rng:Vstat_util.Rng.t -> n:int ->
   w_nm:float -> l_nm:float -> vdd:float -> samples
 
 val of_bsim :
+  ?jobs:int ->
   Bsim_statistical.t -> rng:Vstat_util.Rng.t -> n:int ->
   w_nm:float -> l_nm:float -> vdd:float -> samples
+
+val summary :
+  samples ->
+  Vstat_runtime.Accum.t * Vstat_runtime.Accum.t * Vstat_runtime.Accum.t
+(** Streaming-accumulator summaries of (idsat, log10_ioff, cgg) — count,
+    mean, unbiased std, extrema — as used by BPV observation. *)

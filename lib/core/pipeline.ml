@@ -23,7 +23,7 @@ let default_geometries =
     (1500.0, 40.0);
   ]
 
-let build ?(seed = 42) ?(mc_per_geometry = 2000)
+let build ?(seed = 42) ?jobs ?(mc_per_geometry = 2000)
     ?(geometries = default_geometries)
     ?(vdd = Vstat_device.Cards.vdd_nominal) () =
   let rng = Vstat_util.Rng.create ~seed in
@@ -48,7 +48,7 @@ let build ?(seed = 42) ?(mc_per_geometry = 2000)
   let observe golden =
     List.map
       (fun (w_nm, l_nm) ->
-        Bpv.observe_golden golden
+        Bpv.observe_golden ?jobs golden
           ~rng:(Vstat_util.Rng.split rng)
           ~n:mc_per_geometry ~vdd ~w_nm ~l_nm)
       geometries

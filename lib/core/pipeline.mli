@@ -32,11 +32,15 @@ val default_geometries : (float * float) list
 
 val build :
   ?seed:int ->
+  ?jobs:int ->
   ?mc_per_geometry:int ->
   ?geometries:(float * float) list ->
   ?vdd:float ->
   unit ->
   t
+(** [jobs] is the {!Vstat_runtime.Runtime} worker count for the per-geometry
+    sigma measurements (step 2); the built pipeline is bit-identical for any
+    [jobs] value. *)
 
 val default : unit -> t
 (** Memoized [build ~seed:42 ~mc_per_geometry:2000 ()]. *)

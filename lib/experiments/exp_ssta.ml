@@ -11,22 +11,15 @@ type per_vdd = {
 
 type t = { stages : int; n : int; results : per_vdd list }
 
-(* Rare extreme-mismatch samples fail to switch near threshold; skip them
-   (with a cap) exactly as Mc_compare does. *)
-let collect ~n ~rng ~measure =
-  let out = ref [] and failures = ref 0 in
-  for _ = 1 to n do
-    let sample_rng = Vstat_util.Rng.split rng in
-    match measure sample_rng with
-    | v -> out := v :: !out
-    | exception e ->
-      incr failures;
-      Logs.warn (fun m -> m "ssta sample failed: %s" (Printexc.to_string e))
-  done;
-  if !failures * 5 > n then failwith "Exp_ssta: too many failed samples";
-  Array.of_list (List.rev !out)
+(* Rare extreme-mismatch samples fail to switch near threshold; the runtime
+   captures them and enforces the same 20 % failure budget as Mc_compare. *)
+let collect ?jobs ~label ~n ~rng ~measure () =
+  let r = Vstat_runtime.Runtime.map_rng_samples ?jobs ~rng ~n ~f:measure () in
+  Vstat_runtime.Runtime.check_budget ~label:("Exp_ssta:" ^ label)
+    ~max_failure_frac:0.2 r;
+  Vstat_runtime.Runtime.values r
 
-let run ?(vdds = [ 0.9; 0.55 ]) ?(stages = 8) ?(n = 300) ?(seed = 59)
+let run ?jobs ?(vdds = [ 0.9; 0.55 ]) ?(stages = 8) ?(n = 300) ?(seed = 59)
     (p : Vstat_core.Pipeline.t) =
   let results =
     List.map
@@ -34,15 +27,18 @@ let run ?(vdds = [ 0.9; 0.55 ]) ?(stages = 8) ?(n = 300) ?(seed = 59)
         let rng = Vstat_util.Rng.create ~seed in
         (* Transistor-level path Monte Carlo. *)
         let mc_delays =
-          collect ~n ~rng ~measure:(fun sample_rng ->
+          collect ?jobs ~label:"path-mc" ~n ~rng
+            ~measure:(fun sample_rng ->
               let tech =
                 Vstat_core.Techs.stochastic_vs p ~rng:sample_rng ~vdd
               in
               Vstat_cells.Chain.measure (Vstat_cells.Chain.sample ~stages tech))
+            ()
         in
         (* Per-stage characterization: FO1 inverter delays. *)
         let stage_delays =
-          collect ~n ~rng ~measure:(fun sample_rng ->
+          collect ?jobs ~label:"stage-mc" ~n ~rng
+            ~measure:(fun sample_rng ->
               let tech =
                 Vstat_core.Techs.stochastic_vs p ~rng:sample_rng ~vdd
               in
@@ -51,6 +47,7 @@ let run ?(vdds = [ 0.9; 0.55 ]) ?(stages = 8) ?(n = 300) ?(seed = 59)
                   ~fanout:1
               in
               (Vstat_cells.Inverter.measure s).tpd)
+            ()
         in
         let stage_mean = Vstat_stats.Descriptive.mean stage_delays in
         let stage_sigma = Vstat_stats.Descriptive.std stage_delays in

@@ -23,7 +23,9 @@ type per_vdd = {
 type t = { stages : int; n : int; results : per_vdd list }
 
 val run :
-  ?vdds:float list -> ?stages:int -> ?n:int -> ?seed:int ->
+  ?jobs:int -> ?vdds:float list -> ?stages:int -> ?n:int -> ?seed:int ->
   Vstat_core.Pipeline.t -> t
+(** Both Monte Carlo passes run on {!Vstat_runtime.Runtime} with a 20 %
+    failure budget; results are independent of [jobs]. *)
 
 val pp : Format.formatter -> t -> unit

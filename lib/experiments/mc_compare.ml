@@ -9,21 +9,21 @@ type pair = {
   overlap : float;
 }
 
-let collect ~n ~tech_of_rng ~rng ~measure =
-  let results = ref [] in
-  let failures = ref 0 in
-  for _ = 1 to n do
-    let sample_rng = Vstat_util.Rng.split rng in
-    match measure (tech_of_rng sample_rng) with
-    | value -> results := value :: !results
-    | exception e ->
-      incr failures;
-      Logs.warn (fun m -> m "mc sample failed: %s" (Printexc.to_string e))
-  done;
-  if !failures * 5 > n then
-    failwith
-      (Printf.sprintf "Mc_compare: %d/%d samples failed" !failures n);
-  Array.of_list (List.rev !results)
+(* Default failure budget: the 80 %-must-survive rule the serial loop used
+   to hard-code.  Rare extreme-mismatch samples legitimately fail to
+   converge or to switch; anything beyond the budget is a modeling bug. *)
+let default_max_failure_frac = 0.2
+
+let collect ?jobs ?(max_failure_frac = default_max_failure_frac) ~label ~n
+    ~tech_of_rng ~rng ~measure () =
+  let r =
+    Vstat_runtime.Runtime.map_rng_samples ?jobs ~rng ~n
+      ~f:(fun sample_rng -> measure (tech_of_rng sample_rng))
+      ()
+  in
+  Vstat_runtime.Runtime.check_budget ~label:("Mc_compare:" ^ label)
+    ~max_failure_frac r;
+  Vstat_runtime.Runtime.values r
 
 let summarize ~label golden vs =
   {
@@ -37,30 +37,33 @@ let summarize ~label golden vs =
     overlap = Vstat_stats.Compare.density_overlap golden vs;
   }
 
-let run_lists p ~label ~vdd ~n ~seed ~measure =
+let run_lists ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure =
   let rng_g = Vstat_util.Rng.create ~seed in
   let rng_v = Vstat_util.Rng.create ~seed:(seed + 1) in
   let golden =
-    collect ~n
+    collect ?jobs ?max_failure_frac ~label:(label ^ "/golden") ~n
       ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_bsim p ~rng ~vdd)
-      ~rng:rng_g ~measure
+      ~rng:rng_g ~measure ()
   in
   let vs =
-    collect ~n
+    collect ?jobs ?max_failure_frac ~label:(label ^ "/vs") ~n
       ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_vs p ~rng ~vdd)
-      ~rng:rng_v ~measure
+      ~rng:rng_v ~measure ()
   in
   (label, golden, vs)
 
-let run p ~label ~vdd ~n ~seed ~measure =
+let run ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure =
   let label, golden, vs =
-    run_lists p ~label ~vdd ~n ~seed ~measure:(fun tech -> [ measure tech ])
+    run_lists ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed
+      ~measure:(fun tech -> [ measure tech ])
   in
   summarize ~label (Array.map (fun l -> List.hd l) golden)
     (Array.map (fun l -> List.hd l) vs)
 
-let run_many p ~label ~vdd ~n ~seed ~measure =
-  let label, golden, vs = run_lists p ~label ~vdd ~n ~seed ~measure in
+let run_many ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure =
+  let label, golden, vs =
+    run_lists ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure
+  in
   if Array.length golden = 0 then []
   else begin
     let arity = List.length golden.(0) in

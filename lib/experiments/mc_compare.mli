@@ -14,6 +14,8 @@ type pair = {
 }
 
 val run :
+  ?jobs:int ->
+  ?max_failure_frac:float ->
   Vstat_core.Pipeline.t ->
   label:string ->
   vdd:float ->
@@ -22,11 +24,17 @@ val run :
   measure:(Vstat_cells.Celltech.t -> float) ->
   pair
 (** [measure tech] must draw fresh devices from [tech] (each call is one
-    Monte Carlo sample).  Failed samples (convergence or measurement
-    failures) are skipped with a warning; at least 80 % of samples must
-    survive or the run raises [Failure]. *)
+    Monte Carlo sample).  Sampling runs on {!Vstat_runtime.Runtime}
+    ([jobs] workers; sample [i] always sees substream [i], so results do
+    not depend on the worker count).  Failed samples (convergence or
+    measurement failures) are captured and skipped; if more than
+    [max_failure_frac] (default 0.2) of either model's samples fail, the
+    run raises [Failure] with per-exception-constructor failure counts in
+    the message. *)
 
 val run_many :
+  ?jobs:int ->
+  ?max_failure_frac:float ->
   Vstat_core.Pipeline.t ->
   label:string ->
   vdd:float ->

@@ -1,0 +1,88 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; lo = Float.infinity; hi = Float.neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. Float.of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let na = Float.of_int a.n and nb = Float.of_int b.n in
+    let delta = b.mean -. a.mean in
+    {
+      n;
+      mean = a.mean +. (delta *. nb /. Float.of_int n);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. Float.of_int n);
+      lo = Float.min a.lo b.lo;
+      hi = Float.max a.hi b.hi;
+    }
+  end
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let count t = t.n
+let mean t = if t.n = 0 then Float.nan else t.mean
+let variance t = if t.n < 2 then Float.nan else t.m2 /. Float.of_int (t.n - 1)
+let std t = sqrt (variance t)
+let min t = t.lo
+let max t = t.hi
+
+module Histogram = struct
+  type h = {
+    lo : float;
+    hi : float;
+    bins : int array;
+    mutable under : int;
+    mutable over : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    if bins < 1 then invalid_arg "Accum.Histogram.create: bins >= 1";
+    if not (lo < hi) then invalid_arg "Accum.Histogram.create: lo < hi";
+    { lo; hi; bins = Array.make bins 0; under = 0; over = 0 }
+
+  let add h x =
+    if x < h.lo then h.under <- h.under + 1
+    else if x >= h.hi then h.over <- h.over + 1
+    else begin
+      let k = Array.length h.bins in
+      let i = Float.to_int (Float.of_int k *. ((x -. h.lo) /. (h.hi -. h.lo))) in
+      let i = Int.min i (k - 1) in
+      h.bins.(i) <- h.bins.(i) + 1
+    end
+
+  let merge a b =
+    if a.lo <> b.lo || a.hi <> b.hi
+       || Array.length a.bins <> Array.length b.bins
+    then invalid_arg "Accum.Histogram.merge: bin geometry mismatch";
+    {
+      lo = a.lo;
+      hi = a.hi;
+      bins = Array.init (Array.length a.bins) (fun i -> a.bins.(i) + b.bins.(i));
+      under = a.under + b.under;
+      over = a.over + b.over;
+    }
+
+  let counts h = Array.copy h.bins
+  let underflow h = h.under
+  let overflow h = h.over
+  let total h = h.under + h.over + Array.fold_left ( + ) 0 h.bins
+end

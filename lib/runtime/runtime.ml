@@ -1,0 +1,211 @@
+let log_src =
+  Logs.Src.create "vstat.runtime" ~doc:"Parallel Monte Carlo execution engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type failure = {
+  index : int;
+  exn_name : string;
+  detail : string;
+  exn : exn;
+}
+
+type stats = {
+  jobs : int;
+  n : int;
+  wall_s : float;
+  samples_per_sec : float;
+  per_worker : int array;
+}
+
+type 'a run = {
+  cells : ('a, failure) result array;
+  stats : stats;
+}
+
+(* --- worker-count policy --- *)
+
+let forced_jobs = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "VSTAT_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Some j
+    | _ ->
+      Log.warn (fun m -> m "ignoring invalid VSTAT_JOBS=%S" s);
+      None)
+
+let default_jobs () =
+  match !forced_jobs with
+  | Some j -> j
+  | None -> (
+    match env_jobs () with
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ())
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Runtime.set_default_jobs: jobs must be >= 1";
+  forced_jobs := Some j
+
+(* --- execution --- *)
+
+let capture index exn =
+  { index; exn_name = Printexc.exn_slot_name exn;
+    detail = Printexc.to_string exn; exn }
+
+let eval f i = match f i with v -> Ok v | exception e -> Error (capture i e)
+
+let run_serial ?on_progress ~n ~f () =
+  let chunk = Int.max 1 (n / 20) in
+  Array.init n (fun i ->
+      let cell = eval f i in
+      (match on_progress with
+      | Some cb when (i + 1) mod chunk = 0 || i = n - 1 ->
+        cb ~completed:(i + 1) ~n
+      | _ -> ());
+      cell)
+
+let run_parallel ?on_progress ~jobs ~n ~f () =
+  let cells = Array.make n None in
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let per_worker = Array.make jobs 0 in
+  let progress_mutex = Mutex.create () in
+  (* Small chunks give dynamic load balancing (samples have very uneven
+     cost: a DFF bisection vs a device metric); the atomic counter is the
+     only shared mutable word on the hot path. *)
+  let chunk = Int.max 1 (n / (jobs * 8)) in
+  let worker w =
+    let rec loop () =
+      let start = Atomic.fetch_and_add next chunk in
+      if start < n then begin
+        let stop = Int.min n (start + chunk) in
+        for i = start to stop - 1 do
+          cells.(i) <- Some (eval f i)
+        done;
+        per_worker.(w) <- per_worker.(w) + (stop - start);
+        let total =
+          Atomic.fetch_and_add completed (stop - start) + (stop - start)
+        in
+        (match on_progress with
+        | Some cb ->
+          Mutex.protect progress_mutex (fun () -> cb ~completed:total ~n)
+        | None -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    Array.init (jobs - 1) (fun w -> Domain.spawn (fun () -> worker (w + 1)))
+  in
+  worker 0;
+  Array.iter Domain.join helpers;
+  let cells =
+    Array.map (function Some c -> c | None -> assert false) cells
+  in
+  (cells, per_worker)
+
+let failed_count run =
+  Array.fold_left
+    (fun acc -> function Ok _ -> acc | Error _ -> acc + 1)
+    0 run.cells
+
+let ok_count run = run.stats.n - failed_count run
+
+let map_samples ?jobs ?on_progress ~n ~f () =
+  if n < 0 then invalid_arg "Runtime.map_samples: n must be >= 0";
+  let jobs =
+    match jobs with Some j -> Int.max 1 j | None -> default_jobs ()
+  in
+  let jobs = Int.max 1 (Int.min jobs n) in
+  let t0 = Unix.gettimeofday () in
+  let cells, per_worker =
+    if jobs = 1 then (run_serial ?on_progress ~n ~f (), [| n |])
+    else run_parallel ?on_progress ~jobs ~n ~f ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let stats =
+    {
+      jobs;
+      n;
+      wall_s;
+      samples_per_sec =
+        (if wall_s > 0.0 then Float.of_int n /. wall_s else Float.infinity);
+      per_worker;
+    }
+  in
+  let run = { cells; stats } in
+  Log.info (fun m ->
+      m "map_samples: n=%d jobs=%d wall=%.3fs rate=%.0f/s failed=%d" n jobs
+        wall_s stats.samples_per_sec (failed_count run));
+  run
+
+let map_rng_samples ?jobs ?on_progress ~rng ~n ~f () =
+  let seed = Int64.to_int (Vstat_util.Rng.bits64 rng) in
+  map_samples ?jobs ?on_progress ~n
+    ~f:(fun i -> f (Vstat_util.Rng.substream ~seed ~index:i))
+    ()
+
+(* --- result access --- *)
+
+let values run =
+  Array.of_list
+    (Array.fold_right
+       (fun cell acc -> match cell with Ok v -> v :: acc | Error _ -> acc)
+       run.cells [])
+
+let failures run =
+  Array.fold_right
+    (fun cell acc -> match cell with Ok _ -> acc | Error f -> f :: acc)
+    run.cells []
+
+let failure_census run =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tbl f.exn_name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.exn_name)))
+    (failures run);
+  let census = Hashtbl.fold (fun name c acc -> (name, c) :: acc) tbl [] in
+  List.sort (fun (na, ca) (nb, cb) -> compare (cb, na) (ca, nb)) census
+
+let census_to_string census =
+  String.concat ", "
+    (List.map (fun (name, c) -> Printf.sprintf "%s:%d" name c) census)
+
+let check_budget ?(label = "runtime") ~max_failure_frac run =
+  let failed = failed_count run in
+  if failed > 0 then begin
+    let n = run.stats.n in
+    let census = failure_census run in
+    let first =
+      match failures run with f :: _ -> f.detail | [] -> assert false
+    in
+    if Float.of_int failed > max_failure_frac *. Float.of_int n then
+      failwith
+        (Printf.sprintf
+           "%s: %d/%d samples failed, over the %.0f%% failure budget \
+            (by exception: %s; first: %s)"
+           label failed n
+           (100.0 *. max_failure_frac)
+           (census_to_string census) first)
+    else
+      Log.warn (fun m ->
+          m "%s: %d/%d samples failed within the %.0f%% budget \
+             (by exception: %s; first: %s)"
+            label failed n
+            (100.0 *. max_failure_frac)
+            (census_to_string census) first)
+  end
+
+let reraise_first_failure run =
+  match failures run with [] -> () | f :: _ -> raise f.exn
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "n=%d jobs=%d wall=%.3fs rate=%.0f samples/s per-worker=[%s]" s.n s.jobs
+    s.wall_s s.samples_per_sec
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.per_worker)))

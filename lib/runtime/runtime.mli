@@ -1,0 +1,102 @@
+(** Deterministic, fault-tolerant parallel Monte Carlo execution engine.
+
+    Every Monte Carlo loop in the repository routes through this module.
+    The contract:
+
+    - {b Determinism.}  Work is addressed by sample index.  Combined with
+      counter-indexed RNG substreams ({!Vstat_util.Rng.substream}), sample
+      [i] computes exactly the same value whether the pool runs 1 worker or
+      16, in any scheduling order: results land in an index-stable array,
+      so [jobs:1] and [jobs:n] outputs are bit-identical.
+    - {b Fault policy.}  A sample that raises is captured as an [Error]
+      cell (constructor name + printed exception), never a torn run.  Call
+      sites enforce a failure budget with {!check_budget}, which raises
+      [Failure] with a per-constructor failure census, or re-raise the
+      first failure with {!reraise_first_failure} for zero-tolerance paths.
+    - {b Observability.}  Each run reports wall time, throughput and
+      per-worker sample tallies ({!stats}); [Logs] gets a debug line per
+      run ("vstat.runtime" source).
+
+    [jobs:1] executes on the calling domain with no pool, no atomics and no
+    per-sample allocation beyond the result cells — the serial fast path.
+    [jobs:n] spawns [n-1] additional domains (OCaml 5) and chunk-steals
+    indices off a shared counter. *)
+
+type failure = {
+  index : int;        (** sample index that raised *)
+  exn_name : string;  (** exception constructor, e.g. ["Failure"] *)
+  detail : string;    (** [Printexc.to_string] of the exception *)
+  exn : exn;          (** the exception itself, for re-raising *)
+}
+
+type stats = {
+  jobs : int;               (** workers actually used *)
+  n : int;                  (** samples requested *)
+  wall_s : float;           (** wall-clock time of the run *)
+  samples_per_sec : float;
+  per_worker : int array;   (** samples executed by each worker; length [jobs] *)
+}
+
+type 'a run = {
+  cells : ('a, failure) result array;  (** index-stable, length [n] *)
+  stats : stats;
+}
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: the value forced by
+    {!set_default_jobs} if any, else the [VSTAT_JOBS] environment variable,
+    else [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Force the process-wide default ([--jobs] in the CLIs). *)
+
+val map_samples :
+  ?jobs:int ->
+  ?on_progress:(completed:int -> n:int -> unit) ->
+  n:int ->
+  f:(int -> 'a) ->
+  unit ->
+  'a run
+(** [map_samples ~n ~f] evaluates [f i] for [i] in [0 .. n-1] across the
+    worker pool.  [f] must be safe to call concurrently from several
+    domains (pure up to private state — true of all samplers here, which
+    derive everything from their substream index).  [on_progress] is
+    invoked under a mutex from worker context after each chunk. *)
+
+val map_rng_samples :
+  ?jobs:int ->
+  ?on_progress:(completed:int -> n:int -> unit) ->
+  rng:Vstat_util.Rng.t ->
+  n:int ->
+  f:(Vstat_util.Rng.t -> 'a) ->
+  unit ->
+  'a run
+(** RNG-threading convenience: derives a base seed from [rng] (advancing it
+    by one draw) and hands sample [i] the substream
+    [Rng.substream ~seed:base ~index:i].  This is the canonical way to make
+    an existing [~rng] Monte Carlo loop order- and worker-independent. *)
+
+val values : 'a run -> 'a array
+(** Successful samples in index order (failures skipped). *)
+
+val failures : 'a run -> failure list
+(** In index order. *)
+
+val ok_count : 'a run -> int
+val failed_count : 'a run -> int
+
+val failure_census : 'a run -> (string * int) list
+(** Failure counts per exception constructor, most frequent first. *)
+
+val check_budget : ?label:string -> max_failure_frac:float -> 'a run -> unit
+(** Enforce the failure budget: if more than [max_failure_frac * n] samples
+    failed, raise [Failure] whose message includes the failed/total counts
+    and the per-constructor census.  Surviving failures below the budget are
+    reported once through [Logs.warn] (constructor counts, first detail)
+    rather than one line per sample. *)
+
+val reraise_first_failure : 'a run -> unit
+(** Zero-tolerance policy: re-raise the exception of the lowest-index
+    failed sample, if any. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -42,6 +42,28 @@ let split t =
   let seed = Int64.to_int (bits64 t) in
   create ~seed
 
+(* Golden-ratio increment, the SplitMix64 stream constant. *)
+let gamma = 0x9E3779B97F4A7C15L
+
+let substream ~seed ~index =
+  if index < 0 then invalid_arg "Rng.substream: index must be >= 0";
+  (* Counter-indexed stream derivation: expand the seed once, jump the
+     SplitMix64 counter by [index] gammas, then expand into xoshiro state.
+     A pure function of (seed, index) — no shared mutable state — so sample
+     [index] sees the same stream under any scheduling of the others. *)
+  let state = ref (Int64.of_int seed) in
+  let key = splitmix64 state in
+  (* The output mix is a bijection of the jumped counter, so distinct
+     indices land on distinct, well-separated expansion counters (no
+     overlapping windows between neighbouring indices). *)
+  let counter = ref (Int64.add key (Int64.mul (Int64.of_int index) gamma)) in
+  let state = ref (splitmix64 counter) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; cached_gaussian = None }
+
 let copy t =
   { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3;
     cached_gaussian = t.cached_gaussian }

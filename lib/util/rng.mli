@@ -17,6 +17,16 @@ val split : t -> t
     Used to give each Monte Carlo sample its own stream so that per-sample
     results do not depend on evaluation order. *)
 
+val substream : seed:int -> index:int -> t
+(** [substream ~seed ~index] is the [index]-th member of a family of
+    generators derived from [seed] by a SplitMix64 counter jump.  Unlike
+    {!split}, it is a pure function of its arguments: sample [index] always
+    sees the same stream regardless of how many workers evaluate the family
+    or in what order, which is what makes parallel Monte Carlo results
+    independent of the worker count ({!Vstat_runtime.Runtime}).
+    [index] must be non-negative; streams at distinct indices are
+    statistically independent. *)
+
 val copy : t -> t
 (** [copy t] is a snapshot of [t]; advancing one does not affect the other. *)
 

@@ -1,0 +1,30 @@
+(* @smoke: a tiny (n=50) device-level Monte Carlo pushed through the
+   Vstat_runtime domain pool, so every `dune runtest` (and `dune build
+   @smoke`) exercises the OCaml 5 parallel path and its determinism
+   contract, not just the serial fallback. *)
+
+let () =
+  let vdd = Vstat_device.Cards.vdd_nominal in
+  let run jobs =
+    Vstat_core.Mc_device.of_vs Vstat_core.Vs_statistical.seed_nmos ~jobs
+      ~rng:(Vstat_util.Rng.create ~seed:2026)
+      ~n:50 ~w_nm:600.0 ~l_nm:40.0 ~vdd
+  in
+  let serial = run 1 in
+  let parallel = run 4 in
+  if
+    not
+      (serial.idsat = parallel.idsat
+      && serial.log10_ioff = parallel.log10_ioff
+      && serial.cgg = parallel.cgg)
+  then begin
+    prerr_endline "smoke: jobs:1 and jobs:4 Monte Carlo samples diverged";
+    exit 1
+  end;
+  let acc, _, _ = Vstat_core.Mc_device.summary parallel in
+  if Vstat_runtime.Accum.count acc <> 50 then begin
+    prerr_endline "smoke: accumulator lost samples";
+    exit 1
+  end;
+  print_endline
+    "smoke: parallel device MC deterministic (n=50, jobs 1 == jobs 4)"

@@ -1,0 +1,248 @@
+(* Tests for the parallel Monte Carlo runtime: substream determinism,
+   worker-count invariance (the bit-identity contract), fault capture and
+   failure budgets, and the mergeable streaming accumulators. *)
+
+module Rng = Vstat_util.Rng
+module Rt = Vstat_runtime.Runtime
+module Accum = Vstat_runtime.Accum
+module D = Vstat_stats.Descriptive
+module Mc = Vstat_core.Mc_device
+module Vss = Vstat_core.Vs_statistical
+
+let vdd = Vstat_device.Cards.vdd_nominal
+
+let draws k rng = Array.init k (fun _ -> Rng.bits64 rng)
+
+(* --- Rng.substream --- *)
+
+let test_substream_reproducible () =
+  let a = draws 32 (Rng.substream ~seed:7 ~index:5) in
+  let b = draws 32 (Rng.substream ~seed:7 ~index:5) in
+  Alcotest.(check bool) "identical streams" true (a = b)
+
+let test_substream_distinct () =
+  let a = draws 8 (Rng.substream ~seed:7 ~index:0) in
+  let b = draws 8 (Rng.substream ~seed:7 ~index:1) in
+  let c = draws 8 (Rng.substream ~seed:8 ~index:0) in
+  Alcotest.(check bool) "distinct across indices" true (a <> b);
+  Alcotest.(check bool) "distinct across seeds" true (a <> c)
+
+let test_substream_negative_index () =
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Rng.substream: index must be >= 0") (fun () ->
+      ignore (Rng.substream ~seed:1 ~index:(-1)))
+
+let prop_substream_reproducible =
+  QCheck.Test.make ~name:"substream is a pure function of (seed, index)"
+    ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, index) ->
+      draws 8 (Rng.substream ~seed ~index)
+      = draws 8 (Rng.substream ~seed ~index))
+
+let prop_substream_distinct_indices =
+  QCheck.Test.make ~name:"substreams at distinct indices differ" ~count:200
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (seed, i, dj) ->
+      let j = i + dj + 1 in
+      draws 8 (Rng.substream ~seed ~index:i)
+      <> draws 8 (Rng.substream ~seed ~index:j))
+
+(* --- Runtime.map_samples --- *)
+
+let test_map_identity () =
+  List.iter
+    (fun jobs ->
+      let r = Rt.map_samples ~jobs ~n:17 ~f:(fun i -> i * i) () in
+      Alcotest.(check int) "all ok" 17 (Rt.ok_count r);
+      Alcotest.(check bool) "index-stable cells" true
+        (Array.to_list r.cells
+        = List.init 17 (fun i -> Ok (i * i))))
+    [ 1; 3 ]
+
+let test_map_empty () =
+  let r = Rt.map_samples ~jobs:4 ~n:0 ~f:(fun i -> i) () in
+  Alcotest.(check int) "no samples" 0 (Array.length r.cells)
+
+let prop_map_rng_jobs_invariant =
+  QCheck.Test.make ~name:"map_rng_samples is independent of jobs" ~count:25
+    QCheck.(pair (int_range 1 40) (int_range 2 5))
+    (fun (n, jobs) ->
+      let f rng = Rng.gaussian rng in
+      let run jobs =
+        Rt.values (Rt.map_rng_samples ~jobs ~rng:(Rng.create ~seed:5) ~n ~f ())
+      in
+      run 1 = run jobs)
+
+exception Boom of int
+
+let test_fault_capture () =
+  let r =
+    Rt.map_samples ~jobs:2 ~n:20
+      ~f:(fun i -> if i mod 5 = 0 then raise (Boom i) else i)
+      ()
+  in
+  Alcotest.(check int) "failed count" 4 (Rt.failed_count r);
+  Alcotest.(check int) "ok count" 16 (Rt.ok_count r);
+  Alcotest.(check (list int)) "failure indices in order" [ 0; 5; 10; 15 ]
+    (List.map (fun f -> f.Rt.index) (Rt.failures r));
+  (match Rt.failure_census r with
+  | [ (_, 4) ] -> ()
+  | census ->
+    Alcotest.failf "expected one constructor with count 4, got %d entries"
+      (List.length census));
+  Alcotest.(check bool) "values keep index order, skip failures" true
+    (Rt.values r
+    = Array.of_list (List.filter (fun i -> i mod 5 <> 0) (List.init 20 Fun.id)))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_budget () =
+  let r =
+    Rt.map_samples ~jobs:1 ~n:10
+      ~f:(fun i -> if i < 3 then failwith "sample blew up" else i)
+      ()
+  in
+  Rt.check_budget ~label:"t" ~max_failure_frac:0.5 r;
+  match Rt.check_budget ~label:"t" ~max_failure_frac:0.1 r with
+  | () -> Alcotest.fail "over budget must raise Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "message has failed/total counts" true
+      (contains ~sub:"3/10" msg);
+    Alcotest.(check bool) "message has the exception census" true
+      (contains ~sub:"Failure:3" msg)
+
+let test_reraise_first_failure () =
+  let r =
+    Rt.map_samples ~jobs:3 ~n:12
+      ~f:(fun i -> if i >= 7 then raise (Boom i) else i)
+      ()
+  in
+  Alcotest.check_raises "lowest-index exception rethrown" (Boom 7) (fun () ->
+      Rt.reraise_first_failure r)
+
+let test_stats_and_progress () =
+  let last = ref 0 in
+  let r =
+    Rt.map_samples ~jobs:2 ~n:30
+      ~on_progress:(fun ~completed ~n:_ -> last := Int.max !last completed)
+      ~f:(fun i -> i)
+      ()
+  in
+  Alcotest.(check int) "progress saw the last sample" 30 !last;
+  Alcotest.(check int) "per-worker tallies sum to n" 30
+    (Array.fold_left ( + ) 0 r.stats.per_worker);
+  Alcotest.(check int) "worker slots" 2 (Array.length r.stats.per_worker);
+  Alcotest.(check bool) "wall time measured" true (r.stats.wall_s >= 0.0)
+
+(* --- jobs-count invariance end to end (Mc_device) --- *)
+
+let test_mc_device_jobs_invariant () =
+  let run jobs =
+    Mc.of_vs Vss.seed_nmos ~jobs ~rng:(Rng.create ~seed:11) ~n:64 ~w_nm:600.0
+      ~l_nm:40.0 ~vdd
+  in
+  let s1 = run 1 and s4 = run 4 in
+  Alcotest.(check bool) "idsat bit-identical" true (s1.idsat = s4.idsat);
+  Alcotest.(check bool) "log10_ioff bit-identical" true
+    (s1.log10_ioff = s4.log10_ioff);
+  Alcotest.(check bool) "cgg bit-identical" true (s1.cgg = s4.cgg)
+
+(* --- Accum --- *)
+
+let close ?(eps = 1e-9) name a b =
+  Alcotest.(check bool) name true
+    (Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)))
+
+let test_accum_matches_descriptive () =
+  let rng = Rng.create ~seed:3 in
+  let xs = Array.init 257 (fun _ -> Rng.gaussian_scaled rng ~mean:5.0 ~sigma:2.0) in
+  let a = Accum.of_array xs in
+  Alcotest.(check int) "count" 257 (Accum.count a);
+  close ~eps:1e-12 "mean" (D.mean xs) (Accum.mean a);
+  close ~eps:1e-12 "std" (D.std xs) (Accum.std a)
+
+let prop_accum_merge =
+  QCheck.Test.make ~name:"merged accumulator = serial fold" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 2 50) (float_range (-10.) 10.)) (int_range 0 49))
+    (fun (xs, cut) ->
+      let xs = Array.of_list xs in
+      let cut = cut mod Array.length xs in
+      let left = Array.sub xs 0 cut in
+      let right = Array.sub xs cut (Array.length xs - cut) in
+      let whole = Accum.of_array xs in
+      let merged = Accum.merge (Accum.of_array left) (Accum.of_array right) in
+      let feq a b =
+        (Float.is_nan a && Float.is_nan b)
+        || Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs a)
+      in
+      Accum.count merged = Accum.count whole
+      && feq (Accum.mean merged) (Accum.mean whole)
+      && feq (Accum.variance merged) (Accum.variance whole)
+      && Accum.min merged = Accum.min whole
+      && Accum.max merged = Accum.max whole)
+
+let test_histogram_merge () =
+  let module H = Accum.Histogram in
+  let mk xs =
+    let h = H.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+    List.iter (H.add h) xs;
+    h
+  in
+  let a = mk [ -1.0; 0.5; 3.0; 9.9 ] in
+  let b = mk [ 0.7; 12.0; 5.0 ] in
+  let m = H.merge a b in
+  Alcotest.(check int) "total" 7 (H.total m);
+  Alcotest.(check int) "underflow" 1 (H.underflow m);
+  Alcotest.(check int) "overflow" 1 (H.overflow m);
+  Alcotest.(check (list int)) "bins add" [ 2; 1; 1; 0; 1 ]
+    (Array.to_list (H.counts m))
+
+(* --- default jobs policy (mutates process state: keep last) --- *)
+
+let test_default_jobs_policy () =
+  Alcotest.(check bool) "recommended default >= 1" true (Rt.default_jobs () >= 1);
+  Rt.set_default_jobs 3;
+  Alcotest.(check int) "forced default wins" 3 (Rt.default_jobs ());
+  Alcotest.check_raises "jobs >= 1 enforced"
+    (Invalid_argument "Runtime.set_default_jobs: jobs must be >= 1") (fun () ->
+      Rt.set_default_jobs 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vstat_runtime"
+    [
+      ( "substream",
+        [
+          Alcotest.test_case "reproducible" `Quick test_substream_reproducible;
+          Alcotest.test_case "distinct" `Quick test_substream_distinct;
+          Alcotest.test_case "negative index" `Quick
+            test_substream_negative_index;
+          q prop_substream_reproducible;
+          q prop_substream_distinct_indices;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "map identity" `Quick test_map_identity;
+          Alcotest.test_case "map empty" `Quick test_map_empty;
+          Alcotest.test_case "fault capture" `Quick test_fault_capture;
+          Alcotest.test_case "failure budget" `Quick test_budget;
+          Alcotest.test_case "reraise first" `Quick test_reraise_first_failure;
+          Alcotest.test_case "stats + progress" `Quick test_stats_and_progress;
+          Alcotest.test_case "mc_device jobs-invariant" `Quick
+            test_mc_device_jobs_invariant;
+          q prop_map_rng_jobs_invariant;
+        ] );
+      ( "accum",
+        [
+          Alcotest.test_case "matches descriptive" `Quick
+            test_accum_matches_descriptive;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          q prop_accum_merge;
+        ] );
+      ( "policy",
+        [ Alcotest.test_case "default jobs" `Quick test_default_jobs_policy ] );
+    ]
