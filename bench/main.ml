@@ -215,7 +215,7 @@ let bench_trap_engine =
     Vstat_circuit.Netlist.vsource net "vvdd" ~plus:nvdd ~minus:gnd
       ~wave:(Vstat_circuit.Waveform.Dc vdd);
     Vstat_circuit.Netlist.vsource net "vin" ~plus:nin ~minus:gnd
-      ~wave:(Vstat_circuit.Waveform.Pwl [| (50e-12, 0.0); (60e-12, vdd) |]);
+      ~wave:(Vstat_circuit.Waveform.pwl [| (50e-12, 0.0); (60e-12, vdd) |]);
     Vstat_cells.Gates.add_inverter net ~name:"x" ~devices ~input:nin
       ~output:nout ~vdd_node:nvdd ~gnd;
     Vstat_circuit.Netlist.capacitor net "cl" ~a:nout ~b:gnd ~farads:2e-15;
@@ -225,6 +225,49 @@ let bench_trap_engine =
     (Staged.stage (fun () ->
          let eng = build () in
          Vstat_circuit.Engine.transient ~trap:true eng ~tstop:400e-12 ~dt:1e-12))
+
+(* Analytic-vs-FD Jacobian ablation: the same inverter transient with the
+   devices' analytic derivative path stripped, forcing the 5-evals-per-device
+   finite-difference linearization the engine used to always pay. *)
+let build_inverter_engine ~strip_derivs =
+  let tech = Vstat_core.Techs.nominal_vs pipeline ~vdd in
+  let devices =
+    Vstat_cells.Gates.sample_inverter tech ~wp_nm:600.0 ~wn_nm:300.0
+  in
+  let devices =
+    if strip_derivs then
+      {
+        Vstat_cells.Gates.pmos =
+          Vstat_device.Device_model.without_derivs devices.pmos;
+        nmos = Vstat_device.Device_model.without_derivs devices.nmos;
+      }
+    else devices
+  in
+  let net = Vstat_circuit.Netlist.create () in
+  let gnd = Vstat_circuit.Netlist.ground net in
+  let nvdd = Vstat_circuit.Netlist.node net "vdd" in
+  let nin = Vstat_circuit.Netlist.node net "in" in
+  let nout = Vstat_circuit.Netlist.node net "out" in
+  Vstat_circuit.Netlist.vsource net "vvdd" ~plus:nvdd ~minus:gnd
+    ~wave:(Vstat_circuit.Waveform.Dc vdd);
+  Vstat_circuit.Netlist.vsource net "vin" ~plus:nin ~minus:gnd
+    ~wave:(Vstat_circuit.Waveform.pwl [| (50e-12, 0.0); (60e-12, vdd) |]);
+  Vstat_cells.Gates.add_inverter net ~name:"x" ~devices ~input:nin
+    ~output:nout ~vdd_node:nvdd ~gnd;
+  Vstat_circuit.Netlist.capacitor net "cl" ~a:nout ~b:gnd ~farads:2e-15;
+  Vstat_circuit.Engine.compile net
+
+let bench_jacobian_variant name ~strip_derivs =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let eng = build_inverter_engine ~strip_derivs in
+         Vstat_circuit.Engine.transient eng ~tstop:400e-12 ~dt:1e-12))
+
+let bench_jacobian_analytic =
+  bench_jacobian_variant "ablation/jacobian-analytic" ~strip_derivs:false
+
+let bench_jacobian_fd =
+  bench_jacobian_variant "ablation/jacobian-fd" ~strip_derivs:true
 
 let bench_ring_oscillator =
   let rng = bench_rng () in
@@ -288,6 +331,8 @@ let tests =
       bench_model_eval "speed/table4-bsim-eval-100" bsim_dev;
       bench_transient_be;
       bench_trap_engine;
+      bench_jacobian_analytic;
+      bench_jacobian_fd;
       bench_ring_oscillator;
       bench_chain;
       bench_ac_sweep;
@@ -317,4 +362,22 @@ let () =
             else Fmt.pr "%-40s %12.0f w/run@." name per_run
           | _ -> Fmt.pr "%-40s (no estimate)@." name)
         (List.sort compare rows))
-    instances
+    instances;
+  (* Aggregate circuit-engine work across every bench iteration above: a
+     quick sanity check that the analytic Jacobian path dominates (fd > 0
+     only from the ablation/jacobian-fd group and FD-only devices). *)
+  let c = Vstat_circuit.Engine.global_counters () in
+  Fmt.pr "== engine counters (all benches) ==@.";
+  List.iter
+    (fun (name, v) -> Fmt.pr "%-24s %12d@." name v)
+    [
+      ("newton-iterations", c.Vstat_circuit.Engine.newton_iterations);
+      ("model-evaluations", c.model_evaluations);
+      ("analytic-evals", c.analytic_evaluations);
+      ("fd-evals", c.fd_evaluations);
+      ("assemblies", c.assemblies);
+      ("lu-factorizations", c.lu_factorizations);
+      ("accepted-steps", c.accepted_steps);
+      ("rejected-steps", c.rejected_steps);
+      ("breakpoint-hits", c.breakpoint_hits);
+    ]

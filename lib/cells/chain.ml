@@ -32,7 +32,7 @@ let measure ?window ?(steps = 600) s =
   let nin = N.node net "in" in
   N.vsource net "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc s.vdd);
   N.vsource net "vin" ~plus:nin ~minus:gnd
-    ~wave:(W.Pwl [| (0.06 *. window, 0.0); (0.06 *. window *. 1.3, s.vdd) |]);
+    ~wave:(W.pwl [| (0.06 *. window, 0.0); (0.06 *. window *. 1.3, s.vdd) |]);
   let first = N.node net "s0" in
   Gates.add_inverter net ~name:"xdrv" ~devices:s.driver ~input:nin
     ~output:first ~vdd_node:nvdd ~gnd;

@@ -60,11 +60,11 @@ let build s ~clk ~clkb ~d_wave =
 
 let capture_ok ?(t_clk = 200e-12) ?(settle = 300e-12) s ~t_d ~data_rising =
   let vdd = s.vdd in
-  let clk = W.Pwl [| (t_clk, vdd); (t_clk +. edge, 0.0) |] in
-  let clkb = W.Pwl [| (t_clk, 0.0); (t_clk +. edge, vdd) |] in
+  let clk = W.pwl [| (t_clk, vdd); (t_clk +. edge, 0.0) |] in
+  let clkb = W.pwl [| (t_clk, 0.0); (t_clk +. edge, vdd) |] in
   let d_wave =
-    if data_rising then W.Pwl [| (t_d, 0.0); (t_d +. edge, vdd) |]
-    else W.Pwl [| (t_d, vdd); (t_d +. edge, 0.0) |]
+    if data_rising then W.pwl [| (t_d, 0.0); (t_d +. edge, vdd) |]
+    else W.pwl [| (t_d, vdd); (t_d +. edge, 0.0) |]
   in
   let net, q_node = build s ~clk ~clkb ~d_wave in
   let eng = E.compile net in

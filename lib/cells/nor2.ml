@@ -61,7 +61,7 @@ let build s ~window =
   let t_fall = 0.54 *. window in
   N.vsource net "vin" ~plus:nin ~minus:gnd
     ~wave:
-      (W.Pwl
+      (W.pwl
          [|
            (t_rise, 0.0); (t_rise +. edge, s.vdd);
            (t_fall, s.vdd); (t_fall +. edge, 0.0);

@@ -39,7 +39,7 @@ let build s =
     s.stages;
   N.isource net "ikick" ~from_:nodes.(0) ~to_:gnd
     ~wave:
-      (W.Pwl
+      (W.pwl
          [| (0.0, 0.0); (1e-12, 50e-6); (15e-12, 50e-6); (16e-12, 0.0) |]);
   (net, nodes.(0))
 

@@ -2,6 +2,68 @@ exception No_convergence of string
 
 type mode = Dc | Tran of { h : float; trap : bool }
 
+(* ------------------------------------------------------------------ *)
+(* Per-phase work counters.                                            *)
+
+type counters = {
+  newton_iterations : int;
+  model_evaluations : int;
+  analytic_evaluations : int;
+  fd_evaluations : int;
+  assemblies : int;
+  lu_factorizations : int;
+  accepted_steps : int;
+  rejected_steps : int;
+  breakpoint_hits : int;
+}
+
+let n_counters = 9
+let c_newton = 0
+let c_model = 1
+let c_analytic = 2
+let c_fd = 3
+let c_assembly = 4
+let c_lu = 5
+let c_accepted = 6
+let c_rejected = 7
+let c_breakpoint = 8
+
+let counters_of_array a =
+  {
+    newton_iterations = a.(c_newton);
+    model_evaluations = a.(c_model);
+    analytic_evaluations = a.(c_analytic);
+    fd_evaluations = a.(c_fd);
+    assemblies = a.(c_assembly);
+    lu_factorizations = a.(c_lu);
+    accepted_steps = a.(c_accepted);
+    rejected_steps = a.(c_rejected);
+    breakpoint_hits = a.(c_breakpoint);
+  }
+
+let counters_diff a b =
+  {
+    newton_iterations = a.newton_iterations - b.newton_iterations;
+    model_evaluations = a.model_evaluations - b.model_evaluations;
+    analytic_evaluations = a.analytic_evaluations - b.analytic_evaluations;
+    fd_evaluations = a.fd_evaluations - b.fd_evaluations;
+    assemblies = a.assemblies - b.assemblies;
+    lu_factorizations = a.lu_factorizations - b.lu_factorizations;
+    accepted_steps = a.accepted_steps - b.accepted_steps;
+    rejected_steps = a.rejected_steps - b.rejected_steps;
+    breakpoint_hits = a.breakpoint_hits - b.breakpoint_hits;
+  }
+
+(* Process-wide totals, aggregated across every engine instance on every
+   domain.  Engines accumulate locally and flush the delta at the end of
+   each public solve so the hot loops never touch an atomic. *)
+let totals = Array.init n_counters (fun _ -> Atomic.make 0)
+
+let global_counters () =
+  counters_of_array (Array.map Atomic.get totals)
+
+let reset_global_counters () = Array.iter (fun a -> Atomic.set a 0) totals
+
 type t = {
   elems : Netlist.element array;
   nn : int;                          (* node-voltage unknowns *)
@@ -9,8 +71,18 @@ type t = {
   vsrc_index : (string * int) list;  (* source name -> branch slot *)
   charge_offset : int array;         (* per element; -1 = no charge state *)
   n_charges : int;
-  mutable newton_iters : int;
-  mutable model_evals : int;
+  cnt : int array;                   (* per-phase counters, local *)
+  flushed : int array;               (* portion already pushed to [totals] *)
+  (* Reusable per-instance workspace: one allocation at compile time, zero
+     allocations per Newton iteration afterwards. *)
+  jac : Vstat_linalg.Matrix.t;
+  res : float array;
+  rhs : float array;                 (* negated residual, then the update *)
+  pivots : int array;
+  xws : float array;                 (* Newton iterate *)
+  mutable q_work : float array;      (* charges at the current candidate *)
+  mutable i_work : float array;      (* charge currents at the candidate *)
+  dbuf : Vstat_device.Device_model.derivs;
 }
 
 let compile netlist =
@@ -34,6 +106,8 @@ let compile netlist =
         incr nv
       | Netlist.Resistor _ | Netlist.Isource _ -> ())
     elems;
+  let n = Int.max (nn + !nv) 1 in
+  let nq = Int.max !n_charges 1 in
   {
     elems;
     nn;
@@ -41,11 +115,30 @@ let compile netlist =
     vsrc_index = List.rev !vsrc_index;
     charge_offset;
     n_charges = !n_charges;
-    newton_iters = 0;
-    model_evals = 0;
+    cnt = Array.make n_counters 0;
+    flushed = Array.make n_counters 0;
+    jac = Vstat_linalg.Matrix.create ~rows:n ~cols:n;
+    res = Array.make n 0.0;
+    rhs = Array.make n 0.0;
+    pivots = Array.make n 0;
+    xws = Array.make n 0.0;
+    q_work = Array.make nq 0.0;
+    i_work = Array.make nq 0.0;
+    dbuf = Vstat_device.Device_model.make_derivs ();
   }
 
 let unknowns t = t.nn + t.nv
+
+let bump t c n = t.cnt.(c) <- t.cnt.(c) + n
+
+let flush_counters t =
+  for c = 0 to n_counters - 1 do
+    let d = t.cnt.(c) - t.flushed.(c) in
+    if d <> 0 then begin
+      ignore (Atomic.fetch_and_add totals.(c) d);
+      t.flushed.(c) <- t.cnt.(c)
+    end
+  done
 
 let fd_dv = 1e-6
 
@@ -54,12 +147,15 @@ let nodev x n =
   let i = Netlist.node_index n in
   if i = 0 then 0.0 else x.(i - 1)
 
-(* Assemble Jacobian and residual at candidate [x]; also writes the present
-   element charges into [q_out] and (in transient) terminal currents into
-   [i_out] so the accepted solution can become the next step's state. *)
-let assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res ~q_out
-    ~i_out =
+(* Assemble Jacobian and residual at candidate [x] into the instance
+   workspace (t.jac, t.res); also writes the present element charges into
+   [t.q_work] and (in transient) terminal currents into [t.i_work] so the
+   accepted solution can become the next step's state. *)
+let assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale =
   let nn = t.nn in
+  let jac = t.jac and res = t.res in
+  let q_out = t.q_work and i_out = t.i_work in
+  bump t c_assembly 1;
   Vstat_linalg.Matrix.fill jac 0.0;
   Array.fill res 0 (Array.length res) 0.0;
   for i = 0 to nn - 1 do
@@ -78,6 +174,12 @@ let assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res ~q_out
   let jac_add_node n ncol v =
     let j = Netlist.node_index ncol in
     if j > 0 then jac_add n (j - 1) v
+  in
+  (* Integer-index variants for the MOSFET hot path (indices are the raw
+     [Netlist.node_index] values; 0 is ground and is dropped). *)
+  let res_addi i v = if i > 0 then res.(i - 1) <- res.(i - 1) +. v in
+  let jac_addi i j v =
+    if i > 0 && j > 0 then Vstat_linalg.Matrix.add_to jac (i - 1) (j - 1) v
   in
   let branch = ref 0 in
   Array.iteri
@@ -134,98 +236,159 @@ let assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res ~q_out
         res_add from_ i;
         res_add to_ (-.i)
       | Netlist.Mosfet { d; g; s; b; dev; _ } ->
+        let ni_g = Netlist.node_index g
+        and ni_d = Netlist.node_index d
+        and ni_s = Netlist.node_index s
+        and ni_b = Netlist.node_index b in
         let vg = nodev x g and vd = nodev x d and vs = nodev x s
         and vb = nodev x b in
-        let eval ~vg ~vd ~vs ~vb =
-          t.model_evals <- t.model_evals + 1;
-          dev.Vstat_device.Device_model.eval ~vg ~vd ~vs ~vb
-        in
-        let base = eval ~vg ~vd ~vs ~vb in
-        let perturbed =
-          [|
-            eval ~vg:(vg +. fd_dv) ~vd ~vs ~vb;
-            eval ~vg ~vd:(vd +. fd_dv) ~vs ~vb;
-            eval ~vg ~vd ~vs:(vs +. fd_dv) ~vb;
-            eval ~vg ~vd ~vs ~vb:(vb +. fd_dv);
-          |]
-        in
-        let terminals = [| g; d; s; b |] in
-        (* Channel current. *)
-        res_add d base.id;
-        res_add s (-.base.id);
-        Array.iteri
-          (fun j p ->
-            let did =
-              (p.Vstat_device.Device_model.id -. base.id) /. fd_dv
-            in
-            jac_add_node d terminals.(j) did;
-            jac_add_node s terminals.(j) (-.did))
-          perturbed;
-        (* Terminal charges. *)
         let off = t.charge_offset.(k) in
-        let q_of (st : Vstat_device.Device_model.terminal_state) = function
-          | 0 -> st.qg
-          | 1 -> st.qd
-          | 2 -> st.qs
-          | _ -> st.qb
-        in
-        for c = 0 to 3 do
-          q_out.(off + c) <- q_of base c
-        done;
-        (match mode with
-        | Dc ->
-          for c = 0 to 3 do
-            i_out.(off + c) <- 0.0
-          done
-        | Tran { h; trap } ->
-          let factor = (if trap then 2.0 else 1.0) /. h in
-          for c = 0 to 3 do
-            let q = q_out.(off + c) in
-            let i =
-              (factor *. (q -. q_prev.(off + c)))
-              -. (if trap then i_prev.(off + c) else 0.0)
+        (match dev.Vstat_device.Device_model.eval_derivs with
+        | Some eval_derivs ->
+          (* Analytic path: one model call yields values, conductances and
+             the 4x4 transcapacitance block. *)
+          bump t c_model 1;
+          bump t c_analytic 1;
+          eval_derivs ~vg ~vd ~vs ~vb t.dbuf;
+          let db = t.dbuf in
+          let did = db.Vstat_device.Device_model.did
+          and dq = db.Vstat_device.Device_model.dq in
+          (* Channel current (columns in terminal order g, d, s, b). *)
+          res_addi ni_d db.v_id;
+          res_addi ni_s (-.db.v_id);
+          jac_addi ni_d ni_g did.(0);
+          jac_addi ni_d ni_d did.(1);
+          jac_addi ni_d ni_s did.(2);
+          jac_addi ni_d ni_b did.(3);
+          jac_addi ni_s ni_g (-.did.(0));
+          jac_addi ni_s ni_d (-.did.(1));
+          jac_addi ni_s ni_s (-.did.(2));
+          jac_addi ni_s ni_b (-.did.(3));
+          (* Terminal charges. *)
+          q_out.(off) <- db.v_qg;
+          q_out.(off + 1) <- db.v_qd;
+          q_out.(off + 2) <- db.v_qs;
+          q_out.(off + 3) <- db.v_qb;
+          (match mode with
+          | Dc ->
+            for c = 0 to 3 do
+              i_out.(off + c) <- 0.0
+            done
+          | Tran { h; trap } ->
+            let factor = (if trap then 2.0 else 1.0) /. h in
+            let stamp_charge_row c row_idx =
+              let q = q_out.(off + c) in
+              let i =
+                (factor *. (q -. q_prev.(off + c)))
+                -. (if trap then i_prev.(off + c) else 0.0)
+              in
+              i_out.(off + c) <- i;
+              res_addi row_idx i;
+              let o = 4 * c in
+              jac_addi row_idx ni_g (factor *. dq.(o));
+              jac_addi row_idx ni_d (factor *. dq.(o + 1));
+              jac_addi row_idx ni_s (factor *. dq.(o + 2));
+              jac_addi row_idx ni_b (factor *. dq.(o + 3))
             in
-            i_out.(off + c) <- i;
-            res_add terminals.(c) i;
-            Array.iteri
-              (fun j p ->
-                let dq = (q_of p c -. q) /. fd_dv in
-                jac_add_node terminals.(c) terminals.(j) (factor *. dq))
-              perturbed
-          done))
+            stamp_charge_row 0 ni_g;
+            stamp_charge_row 1 ni_d;
+            stamp_charge_row 2 ni_s;
+            stamp_charge_row 3 ni_b)
+        | None ->
+          (* Finite-difference fallback: 5 evals per linearization. *)
+          let eval ~vg ~vd ~vs ~vb =
+            bump t c_model 1;
+            bump t c_fd 1;
+            dev.Vstat_device.Device_model.eval ~vg ~vd ~vs ~vb
+          in
+          let base = eval ~vg ~vd ~vs ~vb in
+          let perturbed =
+            [|
+              eval ~vg:(vg +. fd_dv) ~vd ~vs ~vb;
+              eval ~vg ~vd:(vd +. fd_dv) ~vs ~vb;
+              eval ~vg ~vd ~vs:(vs +. fd_dv) ~vb;
+              eval ~vg ~vd ~vs ~vb:(vb +. fd_dv);
+            |]
+          in
+          let terminals = [| g; d; s; b |] in
+          (* Channel current. *)
+          res_add d base.id;
+          res_add s (-.base.id);
+          Array.iteri
+            (fun j p ->
+              let did =
+                (p.Vstat_device.Device_model.id -. base.id) /. fd_dv
+              in
+              jac_add_node d terminals.(j) did;
+              jac_add_node s terminals.(j) (-.did))
+            perturbed;
+          (* Terminal charges. *)
+          let q_of (st : Vstat_device.Device_model.terminal_state) = function
+            | 0 -> st.qg
+            | 1 -> st.qd
+            | 2 -> st.qs
+            | _ -> st.qb
+          in
+          for c = 0 to 3 do
+            q_out.(off + c) <- q_of base c
+          done;
+          (match mode with
+          | Dc ->
+            for c = 0 to 3 do
+              i_out.(off + c) <- 0.0
+            done
+          | Tran { h; trap } ->
+            let factor = (if trap then 2.0 else 1.0) /. h in
+            for c = 0 to 3 do
+              let q = q_out.(off + c) in
+              let i =
+                (factor *. (q -. q_prev.(off + c)))
+                -. (if trap then i_prev.(off + c) else 0.0)
+              in
+              i_out.(off + c) <- i;
+              res_add terminals.(c) i;
+              Array.iteri
+                (fun j p ->
+                  let dq = (q_of p c -. q) /. fd_dv in
+                  jac_add_node terminals.(c) terminals.(j) (factor *. dq))
+                perturbed
+            done)))
     t.elems
 
-type newton_result = {
-  nx : float array;
-  nq : float array;
-  ni : float array;
-}
-
-let newton t ~mode ~time ~x0 ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
+(* Newton iteration in place on [x] (normally [t.xws]).  Returns [true] on
+   convergence, leaving the solution in [x] and the matching charge state in
+   [t.q_work]/[t.i_work]; on [false] the contents of [x] are unspecified.
+   Performs no allocation. *)
+let newton t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
   let n = unknowns t in
-  let x = Array.copy x0 in
-  let jac = Vstat_linalg.Matrix.create ~rows:(Int.max n 1) ~cols:(Int.max n 1) in
-  let res = Array.make n 0.0 in
-  let q_out = Array.make (Int.max t.n_charges 1) 0.0 in
-  let i_out = Array.make (Int.max t.n_charges 1) 0.0 in
+  let rhs = t.rhs in
   let rec loop iter =
-    if iter >= max_iter then None
+    if iter >= max_iter then false
     else begin
-      t.newton_iters <- t.newton_iters + 1;
-      assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res ~q_out
-        ~i_out;
-      match Vstat_linalg.Lu.solve jac (Array.map (fun r -> -.r) res) with
-      | exception Vstat_linalg.Lu.Singular _ -> None
-      | delta ->
-        if Array.exists (fun d -> not (Float.is_finite d)) delta then None
+      bump t c_newton 1;
+      assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale;
+      for i = 0 to n - 1 do
+        rhs.(i) <- -.t.res.(i)
+      done;
+      bump t c_lu 1;
+      match Vstat_linalg.Lu.factor_in_place t.jac ~pivots:t.pivots with
+      | exception Vstat_linalg.Lu.Singular _ -> false
+      | _sign ->
+        Vstat_linalg.Lu.solve_in_place ~lu:t.jac ~pivots:t.pivots rhs;
+        let finite = ref true in
+        for i = 0 to n - 1 do
+          if not (Float.is_finite rhs.(i)) then finite := false
+        done;
+        if not !finite then false
         else begin
           (* Damp voltage updates; exponential nonlinearities diverge under
              full Newton steps far from the solution. *)
           let dmax = ref 0.0 in
           for i = 0 to n - 1 do
             let d =
-              if i < t.nn then Vstat_util.Floatx.clamp ~lo:(-0.5) ~hi:0.5 delta.(i)
-              else delta.(i)
+              if i < t.nn then
+                Vstat_util.Floatx.clamp ~lo:(-0.5) ~hi:0.5 rhs.(i)
+              else rhs.(i)
             in
             x.(i) <- x.(i) +. d;
             if i < t.nn then dmax := Float.max !dmax (Float.abs d)
@@ -236,9 +399,8 @@ let newton t ~mode ~time ~x0 ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
           done;
           if !dmax < 1e-11 then begin
             (* Final assembly at the accepted solution refreshes q/i state. *)
-            assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~jac ~res
-              ~q_out ~i_out;
-            Some { nx = x; nq = Array.copy q_out; ni = Array.copy i_out }
+            assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale;
+            true
           end
           else loop (iter + 1)
         end
@@ -248,49 +410,41 @@ let newton t ~mode ~time ~x0 ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
 
 type op = { x : float array; time : float }
 
-let zeros t = Array.make (Int.max t.n_charges 1) 0.0
-
 let dc ?guess ?(time = 0.0) t =
   let n = unknowns t in
-  let x0 = match guess with Some g -> g | None -> Array.make n 0.0 in
-  let q = zeros t and i = zeros t in
-  let attempt ~x0 ~gmin ~sscale =
-    newton t ~mode:Dc ~time ~x0 ~q_prev:q ~i_prev:i ~gmin ~sscale ~max_iter:80
+  let x = t.xws in
+  let from_zero () = Array.fill x 0 (Array.length x) 0.0 in
+  let run ~gmin ~sscale =
+    newton t ~mode:Dc ~time ~x ~q_prev:t.q_work ~i_prev:t.i_work ~gmin ~sscale
+      ~max_iter:80
   in
-  let direct = attempt ~x0 ~gmin:1e-12 ~sscale:1.0 in
-  let result =
-    match direct with
-    | Some r -> Some r
-    | None ->
-      (* gmin stepping. *)
-      let rec gmin_steps x0 = function
-        | [] -> None
-        | g :: rest -> (
-          match attempt ~x0 ~gmin:g ~sscale:1.0 with
-          | Some r -> if rest = [] then Some r else gmin_steps r.nx rest
-          | None -> None)
-      in
-      let stepped =
-        gmin_steps (Array.make n 0.0)
-          [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; 1e-12 ]
-      in
-      (match stepped with
-      | Some r -> Some r
-      | None ->
-        (* Source stepping with a mild gmin, then a final exact solve. *)
-        let rec src_steps x0 = function
-          | [] -> attempt ~x0 ~gmin:1e-12 ~sscale:1.0
-          | sc :: rest -> (
-            match attempt ~x0 ~gmin:1e-9 ~sscale:sc with
-            | Some r -> src_steps r.nx rest
-            | None -> None)
-        in
-        src_steps (Array.make n 0.0)
-          [ 0.05; 0.15; 0.3; 0.45; 0.6; 0.75; 0.9; 1.0 ])
+  (match guess with
+  | Some g -> Array.blit g 0 x 0 n
+  | None -> from_zero ());
+  let converged =
+    run ~gmin:1e-12 ~sscale:1.0
+    || begin
+         (* gmin stepping. *)
+         from_zero ();
+         let rec gmin_steps = function
+           | [] -> true
+           | g :: rest -> run ~gmin:g ~sscale:1.0 && gmin_steps rest
+         in
+         gmin_steps [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; 1e-12 ]
+       end
+    || begin
+         (* Source stepping with a mild gmin, then a final exact solve. *)
+         from_zero ();
+         let rec src_steps = function
+           | [] -> run ~gmin:1e-12 ~sscale:1.0
+           | sc :: rest -> run ~gmin:1e-9 ~sscale:sc && src_steps rest
+         in
+         src_steps [ 0.05; 0.15; 0.3; 0.45; 0.6; 0.75; 0.9; 1.0 ]
+       end
   in
-  match result with
-  | Some r -> { x = r.nx; time }
-  | None -> raise (No_convergence "dc: all continuation strategies failed")
+  flush_counters t;
+  if converged then { x = Array.sub x 0 n; time }
+  else raise (No_convergence "dc: all continuation strategies failed")
 
 let voltage _t op n = nodev op.x n
 
@@ -305,49 +459,118 @@ let branch_row = branch_slot
 
 type trace = { times : float array; states : float array array }
 
+(* Union of waveform corner times of every independent source, sorted and
+   deduplicated; the transient stepper lands on these exactly instead of
+   straddling them. *)
+let source_breakpoints t ~tstop =
+  let acc = ref [] in
+  Array.iter
+    (fun e ->
+      match e with
+      | Netlist.Vsource { wave; _ } | Netlist.Isource { wave; _ } ->
+        acc := List.rev_append (Waveform.breakpoints wave ~tstop) !acc
+      | Netlist.Resistor _ | Netlist.Capacitor _ | Netlist.Mosfet _ -> ())
+    t.elems;
+  let sorted = List.sort_uniq Float.compare !acc in
+  Array.of_list sorted
+
 let transient ?(trap = false) ?(dt_min_factor = 1.0 /. 256.0) t ~tstop ~dt =
   let start = dc ~time:0.0 t in
-  (* Recover the consistent charge state at t = 0. *)
   let n = unknowns t in
-  let jac = Vstat_linalg.Matrix.create ~rows:(Int.max n 1) ~cols:(Int.max n 1) in
-  let res = Array.make n 0.0 in
-  let q = zeros t and i = zeros t in
-  assemble t ~mode:Dc ~time:0.0 ~x:start.x ~q_prev:q ~i_prev:i ~gmin:1e-12
-    ~sscale:1.0 ~jac ~res ~q_out:q ~i_out:i;
-  let times = ref [ 0.0 ] in
-  let states = ref [ Array.copy start.x ] in
-  let x = ref start.x in
-  let q_prev = ref q and i_prev = ref i in
+  let nq = Int.max t.n_charges 1 in
+  (* Recover the consistent charge state at t = 0. *)
+  Array.blit start.x 0 t.xws 0 n;
+  assemble t ~mode:Dc ~time:0.0 ~x:t.xws ~q_prev:t.q_work ~i_prev:t.i_work
+    ~gmin:1e-12 ~sscale:1.0;
+  let q_prev = ref (Array.copy t.q_work) in
+  let i_prev = ref (Array.make nq 0.0) in
+  Array.blit t.i_work 0 !i_prev 0 nq;
+  let x = Array.copy start.x in
+  (* Growable trace storage: a flat row-major state buffer doubled on
+     demand, sliced into per-step rows only once at the end. *)
+  let cap = ref 256 in
+  let times_buf = ref (Array.make !cap 0.0) in
+  let states_buf = ref (Array.make (!cap * Int.max n 1) 0.0) in
+  let len = ref 0 in
+  let push time xv =
+    if !len = !cap then begin
+      let cap' = 2 * !cap in
+      let tb = Array.make cap' 0.0 in
+      Array.blit !times_buf 0 tb 0 !len;
+      times_buf := tb;
+      let sb = Array.make (cap' * Int.max n 1) 0.0 in
+      Array.blit !states_buf 0 sb 0 (!len * n);
+      states_buf := sb;
+      cap := cap'
+    end;
+    !times_buf.(!len) <- time;
+    Array.blit xv 0 !states_buf (!len * n) n;
+    incr len
+  in
+  push 0.0 x;
+  let bps = source_breakpoints t ~tstop in
+  let n_bps = Array.length bps in
+  let bp_tol = dt *. 1e-9 in
+  let bp_idx = ref 0 in
+  while !bp_idx < n_bps && bps.(!bp_idx) <= bp_tol do
+    incr bp_idx
+  done;
   let time = ref 0.0 in
   let h = ref dt in
   let dt_min = dt *. dt_min_factor in
   while !time < tstop -. 1e-18 do
-    let h_now = Float.min !h (tstop -. !time) in
-    let t_next = !time +. h_now in
+    let h_nat = Float.min !h (tstop -. !time) in
+    (* Truncate (or slightly stretch) the step to land on the next source
+       corner, so sharp input edges are never straddled. *)
+    let hit_bp, t_next =
+      if !bp_idx < n_bps && bps.(!bp_idx) -. !time <= h_nat +. bp_tol then
+        (true, bps.(!bp_idx))
+      else (false, !time +. h_nat)
+    in
+    let h_now = t_next -. !time in
     let mode = Tran { h = h_now; trap } in
-    match
-      newton t ~mode ~time:t_next ~x0:!x ~q_prev:!q_prev ~i_prev:!i_prev
+    Array.blit x 0 t.xws 0 n;
+    if
+      newton t ~mode ~time:t_next ~x:t.xws ~q_prev:!q_prev ~i_prev:!i_prev
         ~gmin:1e-12 ~sscale:1.0 ~max_iter:40
-    with
-    | Some r ->
+    then begin
+      bump t c_accepted 1;
       time := t_next;
-      x := r.nx;
-      q_prev := r.nq;
-      i_prev := r.ni;
-      times := t_next :: !times;
-      states := Array.copy r.nx :: !states;
+      Array.blit t.xws 0 x 0 n;
+      (* Double-buffer swap: the accepted charges in [t.q_work]/[t.i_work]
+         become the previous state, the old buffers become scratch. *)
+      let qt = t.q_work in
+      t.q_work <- !q_prev;
+      q_prev := qt;
+      let it = t.i_work in
+      t.i_work <- !i_prev;
+      i_prev := it;
+      push t_next x;
+      if hit_bp then begin
+        bump t c_breakpoint 1;
+        while !bp_idx < n_bps && bps.(!bp_idx) <= !time +. bp_tol do
+          incr bp_idx
+        done
+      end;
       h := Float.min dt (!h *. 1.4)
-    | None ->
+    end
+    else begin
+      bump t c_rejected 1;
       h := h_now /. 2.0;
-      if !h < dt_min then
+      if !h < dt_min then begin
+        flush_counters t;
         raise
           (No_convergence
              (Printf.sprintf "transient: step rejected below dt_min at t=%.3e"
                 !time))
+      end
+    end
   done;
+  flush_counters t;
   {
-    times = Array.of_list (List.rev !times);
-    states = Array.of_list (List.rev !states);
+    times = Array.sub !times_buf 0 !len;
+    states =
+      Array.init !len (fun k -> Array.sub !states_buf (k * n) n);
   }
 
 let node_wave _t trace n =
@@ -360,28 +583,37 @@ let source_current_wave t trace name =
 
 let residual_norm t op =
   let n = unknowns t in
-  let res = Array.make n 0.0 in
-  let q = zeros t and i = zeros t in
-  let jac = Vstat_linalg.Matrix.create ~rows:(Int.max n 1) ~cols:(Int.max n 1) in
-  assemble t ~mode:Dc ~time:op.time ~x:op.x ~q_prev:q ~i_prev:i ~gmin:1e-12
-    ~sscale:1.0 ~jac ~res ~q_out:q ~i_out:i;
-  Array.fold_left (fun acc r -> Float.max acc (Float.abs r)) 0.0 res
+  Array.blit op.x 0 t.xws 0 n;
+  assemble t ~mode:Dc ~time:op.time ~x:t.xws ~q_prev:t.q_work
+    ~i_prev:t.i_work ~gmin:1e-12 ~sscale:1.0;
+  flush_counters t;
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := Float.max !acc (Float.abs t.res.(i))
+  done;
+  !acc
 
 let linearize t op =
   let n = unknowns t in
-  let res = Array.make n 0.0 in
-  let q = zeros t and i = zeros t in
-  let jac_dc = Vstat_linalg.Matrix.create ~rows:n ~cols:n in
-  assemble t ~mode:Dc ~time:op.time ~x:op.x ~q_prev:q ~i_prev:i ~gmin:1e-12
-    ~sscale:1.0 ~jac:jac_dc ~res ~q_out:q ~i_out:i;
+  Array.blit op.x 0 t.xws 0 n;
+  assemble t ~mode:Dc ~time:op.time ~x:t.xws ~q_prev:t.q_work
+    ~i_prev:t.i_work ~gmin:1e-12 ~sscale:1.0;
+  let jac_dc = Vstat_linalg.Matrix.copy t.jac in
   (* With h = 1 and the charge state equal to the operating-point charges,
      the transient Jacobian is exactly G + C. *)
-  let jac_tr = Vstat_linalg.Matrix.create ~rows:n ~cols:n in
+  let q0 = Array.copy t.q_work and i0 = Array.copy t.i_work in
   assemble t
     ~mode:(Tran { h = 1.0; trap = false })
-    ~time:op.time ~x:op.x ~q_prev:q ~i_prev:i ~gmin:1e-12 ~sscale:1.0
-    ~jac:jac_tr ~res ~q_out:q ~i_out:i;
-  (jac_dc, Vstat_linalg.Matrix.sub jac_tr jac_dc)
+    ~time:op.time ~x:t.xws ~q_prev:q0 ~i_prev:i0 ~gmin:1e-12 ~sscale:1.0;
+  flush_counters t;
+  (jac_dc, Vstat_linalg.Matrix.sub t.jac jac_dc)
 
-let stats_newton_iterations t = t.newton_iters
-let stats_model_evaluations t = t.model_evals
+let counters t = counters_of_array t.cnt
+
+let reset_counters t =
+  flush_counters t;
+  Array.fill t.cnt 0 n_counters 0;
+  Array.fill t.flushed 0 n_counters 0
+
+let stats_newton_iterations t = t.cnt.(c_newton)
+let stats_model_evaluations t = t.cnt.(c_model)

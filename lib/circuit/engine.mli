@@ -2,12 +2,23 @@
 
     The solution vector stacks node voltages (nodes 1..N) followed by the
     branch currents of voltage sources (in netlist insertion order).
-    Nonlinear devices are linearized each Newton iteration with one-sided
-    finite differences of their current and terminal charges; convergence
-    aids are a gmin floor, gmin stepping and source stepping. *)
+    Nonlinear devices are linearized each Newton iteration through their
+    analytic derivative path ({!Vstat_device.Device_model.eval_derivs})
+    when the model provides one — a single model call per device per
+    iteration — falling back to one-sided finite differences (5 calls)
+    otherwise.  Convergence aids are a gmin floor, gmin stepping and source
+    stepping.
+
+    Each compiled engine owns a reusable workspace (Jacobian, residual,
+    update vector, LU pivot storage, charge-state scratch and a device
+    derivative buffer), so the Newton inner loop performs no allocation;
+    the LU factorization and triangular solves run in place on the
+    workspace via {!Vstat_linalg.Lu.factor_in_place}. *)
 
 type t
-(** Compiled system (frozen netlist + index maps + workspaces). *)
+(** Compiled system (frozen netlist + index maps + workspaces).  An engine
+    instance is not thread-safe: its workspace is reused across solves, so
+    share nothing — compile one engine per domain. *)
 
 exception No_convergence of string
 
@@ -44,7 +55,9 @@ val transient :
 (** Integrate from a t=0 operating point to [tstop] with maximum step [dt]
     (backward Euler by default, trapezoidal when [trap]).  The step is
     halved on Newton failure (down to [dt * dt_min_factor], default 1/256)
-    and grown back on easy convergence.
+    and grown back on easy convergence.  Steps are aligned to the waveform
+    corners of every independent source (pulse edges, PWL vertices), so
+    sharp input transitions are landed on exactly rather than straddled.
     @raise No_convergence if a step fails at the minimum size. *)
 
 val node_wave : t -> trace -> Netlist.node -> float array
@@ -65,9 +78,51 @@ val linearize : t -> op -> Vstat_linalg.Matrix.t * Vstat_linalg.Matrix.t
     the full MNA unknown vector.  The AC system at angular frequency omega
     is (G + j omega C); see {!Ac}. *)
 
+(** {1 Work counters}
+
+    Per-phase workload accounting, kept both per engine instance and as
+    process-wide totals (aggregated across domains, so a parallel Monte
+    Carlo run can report the work of all its workers). *)
+
+type counters = {
+  newton_iterations : int;
+      (** Newton iterations (linear solves attempted). *)
+  model_evaluations : int;
+      (** Compact-model linearizations: 1 per device per iteration on the
+          analytic path, 5 on the finite-difference path. *)
+  analytic_evaluations : int;  (** ... of which used analytic derivatives. *)
+  fd_evaluations : int;        (** ... of which were FD perturbation calls. *)
+  assemblies : int;            (** Full system assemblies (stamp passes). *)
+  lu_factorizations : int;     (** In-place LU factorizations. *)
+  accepted_steps : int;        (** Transient steps accepted. *)
+  rejected_steps : int;        (** Transient steps rejected (halved). *)
+  breakpoint_hits : int;       (** Steps truncated to a waveform corner. *)
+}
+
+val counters : t -> counters
+(** This instance's counters since [compile] (or {!reset_counters}). *)
+
+val reset_counters : t -> unit
+(** Zero this instance's counters (pending deltas are flushed to the
+    process-wide totals first). *)
+
+val global_counters : unit -> counters
+(** Process-wide totals across every engine on every domain.  Engines flush
+    their local counts at the end of each [dc]/[transient]/[linearize]
+    call, so totals are exact once the solves of interest have returned. *)
+
+val reset_global_counters : unit -> unit
+
+val counters_diff : counters -> counters -> counters
+(** Field-wise [a - b]; use with {!global_counters} snapshots to attribute
+    work to a region of interest. *)
+
 val stats_newton_iterations : t -> int
 (** Cumulative Newton iterations since [compile] — the workload counter the
-    runtime comparison (paper Table IV) normalizes against. *)
+    runtime comparison (paper Table IV) normalizes against.  Equivalent to
+    [(counters t).newton_iterations]. *)
 
 val stats_model_evaluations : t -> int
-(** Cumulative compact-model evaluations since [compile]. *)
+(** Cumulative compact-model linearizations since [compile].  With the
+    analytic derivative path this counts one per device linearization (the
+    FD fallback counts each of its 5 perturbation calls). *)

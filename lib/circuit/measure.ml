@@ -1,27 +1,25 @@
 let crossing_time ~times ~values ~level ~rising =
-  Vstat_util.Floatx.first_crossing ~xs:times ~ys:values ~level ~rising
+  Vstat_util.Floatx.first_crossing ~xs:times ~ys:values ~level ~rising ()
 
 let propagation_delay ~times ~input ~output ~v50 ~input_rising ~output_rising =
   match crossing_time ~times ~values:input ~level:v50 ~rising:input_rising with
   | None -> None
   | Some t_in -> (
-    (* Only consider output crossings after the input edge. *)
+    (* Scan from the segment *containing* the input edge, not the first
+       sample at or after it: an output crossing inside the straddling
+       segment (fast edges, coarse sampling) would otherwise be lost.
+       Crossings interpolating to before [t_in] are skipped, not returned. *)
     let n = Array.length times in
     let start =
       let rec find i = if i >= n || times.(i) >= t_in then i else find (i + 1) in
-      find 0
+      Int.max 0 (find 0 - 1)
     in
-    if start >= n then None
-    else begin
-      let times' = Array.sub times start (n - start) in
-      let output' = Array.sub output start (n - start) in
-      match
-        crossing_time ~times:times' ~values:output' ~level:v50
-          ~rising:output_rising
-      with
-      | None -> None
-      | Some t_out -> Some (t_out -. t_in)
-    end)
+    match
+      Vstat_util.Floatx.first_crossing ~start ~min_x:t_in ~xs:times ~ys:output
+        ~level:v50 ~rising:output_rising ()
+    with
+    | None -> None
+    | Some t_out -> Some (t_out -. t_in))
 
 let settled_value ~values ~tail_fraction =
   let n = Array.length values in

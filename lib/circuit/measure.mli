@@ -15,8 +15,11 @@ val propagation_delay :
   output_rising:bool ->
   float option
 (** 50 %-to-50 % propagation delay: time from the input crossing [v50] to
-    the first subsequent output crossing of [v50].  [None] if either edge
-    never happens. *)
+    the first output crossing of [v50] at or after it.  The search includes
+    the trace segment that straddles the input edge, so an output crossing
+    landing between the same two samples as the input edge is found (and
+    one interpolating to before the input edge is skipped, not mistimed).
+    [None] if either edge never happens. *)
 
 val settled_value : values:float array -> tail_fraction:float -> float
 (** Mean of the last [tail_fraction] of the waveform — "final" logic value. *)

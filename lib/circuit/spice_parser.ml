@@ -136,7 +136,7 @@ let parse_source_wave line rest =
           | t :: v :: rest -> (t, v) :: pairs rest
           | _ -> assert false
         in
-        Waveform.Pwl (Array.of_list (pairs args))
+        Waveform.pwl (Array.of_list (pairs args))
       | None -> (
         match parse_paren_args line "SIN" joined with
         | Some [ off; ampl; freq ] ->

@@ -8,11 +8,17 @@ type pulse_shape = {
   period : float;
 }
 
+type pwl_shape = {
+  points : (float * float) array;
+  xs : float array;
+  ys : float array;
+}
+
 type t =
   | Dc of float
   | Var of float ref
   | Pulse of pulse_shape
-  | Pwl of (float * float) array
+  | Pwl of pwl_shape
   | Sine of sine_shape
 
 and sine_shape = {
@@ -21,6 +27,13 @@ and sine_shape = {
   freq_hz : float;
   phase : float;
 }
+
+let pwl points =
+  if Array.length points = 0 then invalid_arg "Waveform.pwl: empty point list";
+  (* Split the (time, value) pairs once at construction: [pwl_value] runs
+     inside every Newton iteration of every transient step, and mapping
+     fst/snd there would allocate two arrays per evaluation. *)
+  Pwl { points; xs = Array.map fst points; ys = Array.map snd points }
 
 let pulse_value p time =
   let t = time -. p.delay in
@@ -34,29 +47,54 @@ let pulse_value p time =
     else p.low
   end
 
-let pwl_value points time =
-  let n = Array.length points in
-  if n = 0 then invalid_arg "Waveform.Pwl: empty point list";
-  let t0, v0 = points.(0) in
-  let tn, vn = points.(n - 1) in
-  if time <= t0 then v0
-  else if time >= tn then vn
-  else begin
-    let xs = Array.map fst points and ys = Array.map snd points in
-    Vstat_util.Floatx.interp_linear ~xs ~ys time
-  end
+let pwl_value { xs; ys; _ } time =
+  let n = Array.length xs in
+  if time <= xs.(0) then ys.(0)
+  else if time >= xs.(n - 1) then ys.(n - 1)
+  else Vstat_util.Floatx.interp_linear ~xs ~ys time
 
 let value t time =
   match t with
   | Dc v -> v
   | Var r -> !r
   | Pulse p -> pulse_value p time
-  | Pwl points -> pwl_value points time
+  | Pwl p -> pwl_value p time
   | Sine s ->
     s.offset +. (s.amplitude *. sin ((2.0 *. Float.pi *. s.freq_hz *. time) +. s.phase))
 
+(* Cap on emitted pulse-train corners, so a degenerate tiny period cannot
+   produce an unbounded breakpoint list. *)
+let max_breakpoints = 4096
+
+let breakpoints t ~tstop =
+  match t with
+  | Dc _ | Var _ | Sine _ -> []
+  | Pwl { xs; _ } ->
+    Array.fold_right
+      (fun x acc -> if x > 0.0 && x < tstop then x :: acc else acc)
+      xs []
+  | Pulse p ->
+    let corners =
+      [ 0.0; p.rise; p.rise +. p.width; p.rise +. p.width +. p.fall ]
+    in
+    let rec periods acc count t0 =
+      if p.delay +. t0 >= tstop || count >= max_breakpoints then acc
+      else begin
+        let acc =
+          List.fold_left
+            (fun acc c ->
+              let x = p.delay +. t0 +. c in
+              if x > 0.0 && x < tstop then x :: acc else acc)
+            acc corners
+        in
+        if p.period > 0.0 then periods acc (count + 4) (t0 +. p.period)
+        else acc
+      end
+    in
+    List.rev (periods [] 0 0.0)
+
 let step ?(delay = 0.0) ?(rise = 10e-12) ~low ~high () =
-  Pwl [| (delay, low); (delay +. rise, high) |]
+  pwl [| (delay, low); (delay +. rise, high) |]
 
 let falling_step ?(delay = 0.0) ?(fall = 10e-12) ~high ~low () =
-  Pwl [| (delay, high); (delay +. fall, low) |]
+  pwl [| (delay, high); (delay +. fall, low) |]

@@ -94,13 +94,14 @@ let build_system ~vs ~vdd ~options observations =
           Sensitivity.all_metrics)
       observations
   in
-  let m = List.length rows_list in
+  (* One list-to-array conversion up front: [List.nth] inside [Matrix.init]
+     would make the fill O(rows^2). *)
+  let rows_arr = Array.of_list rows_list in
+  let m = Array.length rows_arr in
   let a =
-    Vstat_linalg.Matrix.init ~rows:m ~cols ~f:(fun i j ->
-        let row, _ = List.nth rows_list i in
-        row.(j))
+    Vstat_linalg.Matrix.init ~rows:m ~cols ~f:(fun i j -> (fst rows_arr.(i)).(j))
   in
-  let b = Array.of_list (List.map snd rows_list) in
+  let b = Array.map snd rows_arr in
   (a, b)
 
 let alphas_of_solution ~options x =

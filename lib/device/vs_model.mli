@@ -52,6 +52,11 @@ val delta : params -> float
 val canonical : params -> Device_model.canonical_eval
 (** Raw canonical-quadrant equations (exposed for unit tests). *)
 
+val canonical_derivs : params -> Device_model.canonical_eval_derivs
+(** Canonical equations with analytic bias derivatives (conductances and
+    transcapacitances), the engine's fast Jacobian path; agrees with
+    {!canonical} and with finite differences (checked in tests). *)
+
 val device :
   ?name:string -> polarity:Device_model.polarity -> params -> Device_model.t
 (** Instantiate as a circuit-ready device. *)

@@ -9,18 +9,49 @@ type pair = {
   overlap : float;
 }
 
+let log_src =
+  Logs.Src.create "vstat.mc_compare"
+    ~doc:"Monte Carlo comparison scaffolding"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 (* Default failure budget: the 80 %-must-survive rule the serial loop used
    to hard-code.  Rare extreme-mismatch samples legitimately fail to
    converge or to switch; anything beyond the budget is a modeling bug. *)
 let default_max_failure_frac = 0.2
 
+(* Circuit-engine work attributable to one Monte Carlo run, from snapshots
+   of the process-wide counters (exact: workers flush at the end of every
+   solve and the pool has joined before [after] is read). *)
+let engine_tallies ~before ~after =
+  let d = Vstat_circuit.Engine.counters_diff after before in
+  let f = Float.of_int in
+  [
+    ("newton", f d.Vstat_circuit.Engine.newton_iterations);
+    ("model_evals", f d.model_evaluations);
+    ("analytic", f d.analytic_evaluations);
+    ("fd", f d.fd_evaluations);
+    ("assemblies", f d.assemblies);
+    ("lu", f d.lu_factorizations);
+    ("steps", f d.accepted_steps);
+    ("rejected", f d.rejected_steps);
+    ("bp_hits", f d.breakpoint_hits);
+  ]
+
 let collect ?jobs ?(max_failure_frac = default_max_failure_frac) ~label ~n
     ~tech_of_rng ~rng ~measure () =
+  let before = Vstat_circuit.Engine.global_counters () in
   let r =
     Vstat_runtime.Runtime.map_rng_samples ?jobs ~rng ~n
       ~f:(fun sample_rng -> measure (tech_of_rng sample_rng))
       ()
   in
+  let after = Vstat_circuit.Engine.global_counters () in
+  let stats =
+    Vstat_runtime.Runtime.with_tallies (engine_tallies ~before ~after) r.stats
+  in
+  Log.info (fun m ->
+      m "%s: %a" label Vstat_runtime.Runtime.pp_stats stats);
   Vstat_runtime.Runtime.check_budget ~label:("Mc_compare:" ^ label)
     ~max_failure_frac r;
   Vstat_runtime.Runtime.values r

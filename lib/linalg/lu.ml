@@ -1,68 +1,88 @@
 type t = {
-  lu : Matrix.t;          (* combined L (unit diagonal) and U factors *)
-  pivots : int array;     (* row permutation *)
-  sign : float;           (* permutation parity, for the determinant *)
+  lu : Matrix.t;       (* combined L (unit diagonal) and U factors *)
+  pivots : int array;  (* LAPACK-style swaps: row k exchanged pivots.(k) *)
+  sign : float;        (* permutation parity, for the determinant *)
 }
 
 exception Singular of int
 
-let factor a =
+let factor_in_place a ~pivots =
   let n = Matrix.rows a in
-  if Matrix.cols a <> n then invalid_arg "Lu.factor: matrix must be square";
-  let lu = Matrix.copy a in
-  let pivots = Array.init n Fun.id in
+  if Matrix.cols a <> n then invalid_arg "Lu.factor_in_place: square matrix";
+  if Array.length pivots <> n then
+    invalid_arg "Lu.factor_in_place: pivot array length";
   let sign = ref 1.0 in
   for k = 0 to n - 1 do
     (* Partial pivoting: find the largest remaining entry in column k. *)
     let pivot_row = ref k in
-    let pivot_val = ref (Float.abs (Matrix.get lu k k)) in
+    let pivot_val = ref (Float.abs (Matrix.get a k k)) in
     for i = k + 1 to n - 1 do
-      let v = Float.abs (Matrix.get lu i k) in
+      let v = Float.abs (Matrix.get a i k) in
       if v > !pivot_val then begin
         pivot_val := v;
         pivot_row := i
       end
     done;
     if !pivot_val < 1e-280 then raise (Singular k);
+    pivots.(k) <- !pivot_row;
     if !pivot_row <> k then begin
       for j = 0 to n - 1 do
-        let tmp = Matrix.get lu k j in
-        Matrix.set lu k j (Matrix.get lu !pivot_row j);
-        Matrix.set lu !pivot_row j tmp
+        let tmp = Matrix.get a k j in
+        Matrix.set a k j (Matrix.get a !pivot_row j);
+        Matrix.set a !pivot_row j tmp
       done;
-      let tmp = pivots.(k) in
-      pivots.(k) <- pivots.(!pivot_row);
-      pivots.(!pivot_row) <- tmp;
       sign := -. !sign
     end;
-    let ukk = Matrix.get lu k k in
+    let ukk = Matrix.get a k k in
     for i = k + 1 to n - 1 do
-      let lik = Matrix.get lu i k /. ukk in
-      Matrix.set lu i k lik;
+      let lik = Matrix.get a i k /. ukk in
+      Matrix.set a i k lik;
       for j = k + 1 to n - 1 do
-        Matrix.add_to lu i j (-.lik *. Matrix.get lu k j)
+        Matrix.add_to a i j (-.lik *. Matrix.get a k j)
       done
     done
   done;
-  { lu; pivots; sign = !sign }
+  !sign
 
-let solve_factored { lu; pivots; _ } b =
+let solve_in_place ~lu ~pivots b =
   let n = Matrix.rows lu in
-  if Array.length b <> n then invalid_arg "Lu.solve_factored: rhs length";
-  let x = Array.init n (fun i -> b.(pivots.(i))) in
+  if Array.length b <> n then invalid_arg "Lu.solve_in_place: rhs length";
+  (* Replay the row exchanges recorded during factorization. *)
+  for k = 0 to n - 1 do
+    let p = pivots.(k) in
+    if p <> k then begin
+      let tmp = b.(k) in
+      b.(k) <- b.(p);
+      b.(p) <- tmp
+    end
+  done;
   (* Forward substitution with unit-diagonal L. *)
   for i = 1 to n - 1 do
     for j = 0 to i - 1 do
-      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+      b.(i) <- b.(i) -. (Matrix.get lu i j *. b.(j))
     done
   done;
   (* Backward substitution with U. *)
   for i = n - 1 downto 0 do
     for j = i + 1 to n - 1 do
-      x.(i) <- x.(i) -. (Matrix.get lu i j *. x.(j))
+      b.(i) <- b.(i) -. (Matrix.get lu i j *. b.(j))
     done;
-    x.(i) <- x.(i) /. Matrix.get lu i i
-  done;
+    b.(i) <- b.(i) /. Matrix.get lu i i
+  done
+
+let factor a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Lu.factor: matrix must be square";
+  let lu = Matrix.copy a in
+  let pivots = Array.make n 0 in
+  let sign = factor_in_place lu ~pivots in
+  { lu; pivots; sign }
+
+let solve_factored { lu; pivots; _ } b =
+  let n = Matrix.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: rhs length";
+  let x = Array.copy b in
+  solve_in_place ~lu ~pivots x;
   x
 
 let solve a b = solve_factored (factor a) b

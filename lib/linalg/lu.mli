@@ -16,6 +16,19 @@ val factor : Matrix.t -> t
 val solve_factored : t -> float array -> float array
 (** Solve A x = b reusing a factorization.  O(n^2) per right-hand side. *)
 
+val factor_in_place : Matrix.t -> pivots:int array -> float
+(** Allocation-free factorization for hot loops: overwrite the matrix with
+    its combined L (unit diagonal) / U factors, record the row exchanges in
+    [pivots] (LAPACK convention: at step k, row k was swapped with row
+    [pivots.(k)]), and return the permutation sign.  [pivots] must have
+    length equal to the matrix dimension.
+    @raise Singular when the matrix is numerically singular.
+    @raise Invalid_argument on non-square input or a mis-sized pivot array. *)
+
+val solve_in_place : lu:Matrix.t -> pivots:int array -> float array -> unit
+(** Solve A x = b in place, overwriting [b] with the solution, given the
+    outputs of {!factor_in_place}.  Performs no allocation. *)
+
 val solve : Matrix.t -> float array -> float array
 (** One-shot [factor] + [solve_factored]. *)
 

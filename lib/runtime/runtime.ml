@@ -16,6 +16,7 @@ type stats = {
   wall_s : float;
   samples_per_sec : float;
   per_worker : int array;
+  tallies : (string * float) list;
 }
 
 type 'a run = {
@@ -135,6 +136,7 @@ let map_samples ?jobs ?on_progress ~n ~f () =
       samples_per_sec =
         (if wall_s > 0.0 then Float.of_int n /. wall_s else Float.infinity);
       per_worker;
+      tallies = [];
     }
   in
   let run = { cells; stats } in
@@ -204,8 +206,15 @@ let check_budget ?(label = "runtime") ~max_failure_frac run =
 let reraise_first_failure run =
   match failures run with [] -> () | f :: _ -> raise f.exn
 
+let with_tallies tallies stats = { stats with tallies }
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "n=%d jobs=%d wall=%.3fs rate=%.0f samples/s per-worker=[%s]" s.n s.jobs
     s.wall_s s.samples_per_sec
-    (String.concat ";" (Array.to_list (Array.map string_of_int s.per_worker)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int s.per_worker)));
+  List.iter
+    (fun (name, v) ->
+      if Float.is_integer v then Format.fprintf ppf " %s=%.0f" name v
+      else Format.fprintf ppf " %s=%g" name v)
+    s.tallies

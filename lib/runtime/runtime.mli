@@ -35,6 +35,12 @@ type stats = {
   wall_s : float;           (** wall-clock time of the run *)
   samples_per_sec : float;
   per_worker : int array;   (** samples executed by each worker; length [jobs] *)
+  tallies : (string * float) list;
+      (** Named work counters attached by the call site (empty by default).
+          The runtime itself has no knowledge of what a sample does;
+          domain-specific layers attach e.g. the circuit engine's Newton /
+          assembly / LU counts via {!with_tallies} so per-phase workload
+          travels with the run statistics. *)
 }
 
 type 'a run = {
@@ -98,5 +104,9 @@ val check_budget : ?label:string -> max_failure_frac:float -> 'a run -> unit
 val reraise_first_failure : 'a run -> unit
 (** Zero-tolerance policy: re-raise the exception of the lowest-index
     failed sample, if any. *)
+
+val with_tallies : (string * float) list -> stats -> stats
+(** A copy of [stats] carrying the given named work counters; {!pp_stats}
+    appends them as [name=value] pairs. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -43,17 +43,27 @@ let excess_kurtosis xs =
   let m4 = central_moment xs ~order:4 ~mu in
   (m4 /. (m2 *. m2)) -. 3.0
 
-let quantile xs p =
-  require_samples xs 1 "quantile";
+let quantile_of_sorted sorted p =
+  require_samples sorted 1 "quantile_of_sorted";
   if p < 0.0 || p > 1.0 then invalid_arg "Descriptive.quantile: p in [0,1]";
-  let sorted = Array.copy xs in
-  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let h = p *. Float.of_int (n - 1) in
   let lo = Float.to_int (Float.floor h) in
   let hi = Int.min (lo + 1) (n - 1) in
   let frac = h -. Float.of_int lo in
   sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let quantile xs p =
+  require_samples xs 1 "quantile";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  quantile_of_sorted sorted p
+
+let quantiles xs ps =
+  require_samples xs 1 "quantiles";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  List.map (quantile_of_sorted sorted) ps
 
 let median xs = quantile xs 0.5
 

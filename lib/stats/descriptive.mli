@@ -29,6 +29,15 @@ val quantile : float array -> float -> float
 (** [quantile xs p] for p in [0, 1]; linear interpolation between order
     statistics (type-7, the numpy default).  Input need not be sorted. *)
 
+val quantiles : float array -> float list -> float list
+(** [quantiles xs ps] evaluates several quantiles over a single copy-and-sort
+    of [xs] — use this instead of repeated {!quantile} calls when more than
+    one quantile of the same sample is needed (each [quantile] call re-sorts). *)
+
+val quantile_of_sorted : float array -> float -> float
+(** {!quantile} without the copy/sort: the input must already be sorted
+    ascending (not checked). *)
+
 val median : float array -> float
 
 val covariance : float array -> float array -> float

@@ -1,8 +1,15 @@
 type t = { edges : float array; counts : int array; total : int }
 
+(* Interquartile range with a single copy-and-sort (each Descriptive.quantile
+   call would re-sort the sample). *)
+let iqr xs =
+  match Descriptive.quantiles xs [ 0.25; 0.75 ] with
+  | [ q1; q3 ] -> q3 -. q1
+  | _ -> assert false
+
 let freedman_diaconis xs =
   let n = Array.length xs in
-  let iqr = Descriptive.quantile xs 0.75 -. Descriptive.quantile xs 0.25 in
+  let iqr = iqr xs in
   let lo, hi = Descriptive.min_max xs in
   if iqr <= 0.0 || hi <= lo then 16
   else begin
@@ -42,7 +49,7 @@ let density { edges; counts; total } =
 let silverman xs =
   let n = Float.of_int (Array.length xs) in
   let sigma = Descriptive.std xs in
-  let iqr = Descriptive.quantile xs 0.75 -. Descriptive.quantile xs 0.25 in
+  let iqr = iqr xs in
   let spread =
     if iqr > 0.0 then Float.min sigma (iqr /. 1.349) else sigma
   in

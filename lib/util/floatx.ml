@@ -31,23 +31,25 @@ let interp_linear ~xs ~ys x =
     y0 +. ((y1 -. y0) *. (x -. x0) /. (x1 -. x0))
   end
 
-let first_crossing ~xs ~ys ~level ~rising =
+let first_crossing ?(start = 0) ?min_x ~xs ~ys ~level ~rising () =
   let n = Array.length xs in
   let crossed y0 y1 =
     if rising then y0 < level && y1 >= level else y0 > level && y1 <= level
   in
+  let keep x = match min_x with None -> true | Some m -> x >= m in
   let rec scan i =
     if i >= n - 1 then None
     else begin
       let y0 = ys.(i) and y1 = ys.(i + 1) in
       if crossed y0 y1 then begin
         let frac = (level -. y0) /. (y1 -. y0) in
-        Some (xs.(i) +. (frac *. (xs.(i + 1) -. xs.(i))))
+        let x = xs.(i) +. (frac *. (xs.(i + 1) -. xs.(i))) in
+        if keep x then Some x else scan (i + 1)
       end
       else scan (i + 1)
     end
   in
-  scan 0
+  scan (Int.max 0 start)
 
 let log10_safe x = log10 (Float.max x 1e-300)
 
@@ -55,6 +57,13 @@ let softplus x =
   if x > 40.0 then x
   else if x < -40.0 then exp x
   else log1p (exp x)
+
+(* Branches mirror [softplus] exactly so that logistic is its derivative
+   everywhere, including across the cutover points. *)
+let logistic x =
+  if x > 40.0 then 1.0
+  else if x < -40.0 then exp x
+  else 1.0 /. (1.0 +. exp (-.x))
 
 let pp_table ppf ~header ~rows =
   let all = header :: rows in

@@ -20,10 +20,17 @@ val interp_linear : xs:float array -> ys:float array -> float -> float
     end segments. *)
 
 val first_crossing :
-  xs:float array -> ys:float array -> level:float -> rising:bool -> float option
-(** [first_crossing ~xs ~ys ~level ~rising] is the abscissa at which the
+  ?start:int ->
+  ?min_x:float ->
+  xs:float array -> ys:float array -> level:float -> rising:bool -> unit ->
+  float option
+(** [first_crossing ~xs ~ys ~level ~rising ()] is the abscissa at which the
     sampled waveform first crosses [level] in the requested direction,
-    located by linear interpolation inside the bracketing segment. *)
+    located by linear interpolation inside the bracketing segment.  The scan
+    begins at segment index [start] (default 0), and crossings interpolating
+    to an abscissa below [min_x] are skipped rather than returned — the
+    combination lets a caller restrict the search to "at or after a given
+    time" without truncating away the segment that straddles it. *)
 
 val log10_safe : float -> float
 (** log10 clamped away from non-positive arguments (returns log10 of a tiny
@@ -31,6 +38,10 @@ val log10_safe : float -> float
 
 val softplus : float -> float
 (** Numerically-stable ln(1 + exp x): linear for large x, exp for small. *)
+
+val logistic : float -> float
+(** 1 / (1 + exp(-x)), with branch cutovers matching {!softplus} so it is
+    exactly its derivative (used by the analytic compact-model Jacobians). *)
 
 val pp_table :
   Format.formatter -> header:string list -> rows:string list list -> unit

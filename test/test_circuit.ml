@@ -50,7 +50,7 @@ let test_waveform_pulse () =
   check_float "periodic" 1.0 (W.value p 34.0)
 
 let test_waveform_pwl () =
-  let w = W.Pwl [| (0.0, 0.0); (1.0, 2.0); (3.0, 2.0) |] in
+  let w = W.pwl [| (0.0, 0.0); (1.0, 2.0); (3.0, 2.0) |] in
   check_float "clamp left" 0.0 (W.value w (-5.0));
   check_float "interp" 1.0 (W.value w 0.5);
   check_float "flat" 2.0 (W.value w 2.0);
@@ -117,18 +117,19 @@ let test_floating_node_gmin () =
 
 (* --- DC: CMOS inverter --- *)
 
-let build_inverter ?(w_in = W.Dc 0.0) () =
+let build_inverter ?(strip_derivs = false) ?(w_in = W.Dc 0.0) () =
   let c = N.create () in
   let gnd = N.ground c in
   let nvdd = N.node c "vdd" in
   let nin = N.node c "in" in
   let nout = N.node c "out" in
+  let dev d = if strip_derivs then Dm.without_derivs d else d in
   N.vsource c "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc vdd);
   N.vsource c "vin" ~plus:nin ~minus:gnd ~wave:w_in;
   N.mosfet c "mp" ~d:nout ~g:nin ~s:nvdd ~b:nvdd
-    ~dev:(Cards.bsim_device ~polarity:Dm.Pmos ~w_nm:600.0 ~l_nm:40.0);
+    ~dev:(dev (Cards.bsim_device ~polarity:Dm.Pmos ~w_nm:600.0 ~l_nm:40.0));
   N.mosfet c "mn" ~d:nout ~g:nin ~s:gnd ~b:gnd
-    ~dev:(Cards.bsim_device ~polarity:Dm.Nmos ~w_nm:300.0 ~l_nm:40.0);
+    ~dev:(dev (Cards.bsim_device ~polarity:Dm.Nmos ~w_nm:300.0 ~l_nm:40.0));
   N.capacitor c "cl" ~a:nout ~b:gnd ~farads:1e-15;
   (c, nin, nout)
 
@@ -170,7 +171,7 @@ let test_rc_discharge () =
   let n1 = N.node c "n1" in
   let r = 1000.0 and cap = 1e-12 in
   N.vsource c "v1" ~plus:drive ~minus:gnd
-    ~wave:(W.Pwl [| (0.0, 1.0); (1e-12, 0.0) |]);
+    ~wave:(W.pwl [| (0.0, 1.0); (1e-12, 0.0) |]);
   N.resistor c "r1" ~a:drive ~b:n1 ~ohms:r;
   N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:cap;
   let eng = E.compile c in
@@ -191,7 +192,7 @@ let test_rc_charge_trapezoidal () =
   let n1 = N.node c "n1" in
   let r = 1000.0 and cap = 1e-12 in
   N.vsource c "v1" ~plus:drive ~minus:gnd
-    ~wave:(W.Pwl [| (0.0, 0.0); (1e-13, 1.0) |]);
+    ~wave:(W.pwl [| (0.0, 0.0); (1e-13, 1.0) |]);
   N.resistor c "r1" ~a:drive ~b:n1 ~ohms:r;
   N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:cap;
   let eng = E.compile c in
@@ -213,7 +214,7 @@ let test_transient_conserves_dc_start () =
 
 let test_inverter_switches_in_transient () =
   let c, nin, nout =
-    build_inverter ~w_in:(W.Pwl [| (20e-12, 0.0); (30e-12, vdd) |]) ()
+    build_inverter ~w_in:(W.pwl [| (20e-12, 0.0); (30e-12, vdd) |]) ()
   in
   let eng = E.compile c in
   let trace = E.transient eng ~tstop:150e-12 ~dt:0.5e-12 in
@@ -325,6 +326,97 @@ let test_stats_counters_advance () =
   Alcotest.(check bool) "evals counted" true (E.stats_model_evaluations eng > 0);
   Alcotest.(check bool) "iters counted" true (E.stats_newton_iterations eng > 0)
 
+let test_transient_lands_on_waveform_corners () =
+  (* PWL corners deliberately off the dt grid: the stepper must place a
+     sample exactly on each corner instead of straddling it. *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let drive = N.node c "drive" in
+  let n1 = N.node c "n1" in
+  let corners = [ 10.3e-12; 17.9e-12 ] in
+  N.vsource c "v1" ~plus:drive ~minus:gnd
+    ~wave:(W.pwl [| (10.3e-12, 0.0); (17.9e-12, 1.0) |]);
+  N.resistor c "r1" ~a:drive ~b:n1 ~ohms:1000.0;
+  N.capacitor c "c1" ~a:n1 ~b:gnd ~farads:1e-15;
+  let eng = E.compile c in
+  let trace = E.transient eng ~tstop:50e-12 ~dt:2e-12 in
+  List.iter
+    (fun corner ->
+      let hit =
+        Array.exists
+          (fun t -> Float.abs (t -. corner) < 1e-20)
+          trace.E.times
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "sample at corner %.3g" corner)
+        true hit)
+    corners;
+  let cnt = E.counters eng in
+  Alcotest.(check bool)
+    "breakpoint hits counted" true
+    (cnt.E.breakpoint_hits >= List.length corners)
+
+let test_counters_per_phase () =
+  let c, _, _ =
+    build_inverter ~w_in:(W.pwl [| (20e-12, 0.0); (30e-12, vdd) |]) ()
+  in
+  let eng = E.compile c in
+  let before_global = E.global_counters () in
+  let trace = E.transient eng ~tstop:100e-12 ~dt:1e-12 in
+  let cnt = E.counters eng in
+  (* One LU factorization per Newton iteration, two assemblies at least
+     (every iteration assembles; converged iterations assemble twice). *)
+  Alcotest.(check int) "lu = newton" cnt.E.newton_iterations
+    cnt.E.lu_factorizations;
+  Alcotest.(check bool) "assemblies >= newton" true
+    (cnt.E.assemblies >= cnt.E.newton_iterations);
+  Alcotest.(check int) "accepted steps = samples - 1"
+    (Array.length trace.E.times - 1)
+    cnt.E.accepted_steps;
+  (* The VS devices carry analytic derivatives: no FD evals anywhere. *)
+  Alcotest.(check bool) "analytic evals > 0" true
+    (cnt.E.analytic_evaluations > 0);
+  Alcotest.(check int) "no fd evals" 0 cnt.E.fd_evaluations;
+  Alcotest.(check int) "model evals = analytic" cnt.E.model_evaluations
+    cnt.E.analytic_evaluations;
+  (* Per-instance counts flushed into the process-wide totals. *)
+  let after_global = E.global_counters () in
+  let d = E.counters_diff after_global before_global in
+  Alcotest.(check bool) "globals absorbed this engine" true
+    (d.E.newton_iterations >= cnt.E.newton_iterations);
+  (* legacy accessors stay in sync with the record *)
+  Alcotest.(check int) "stats_newton_iterations" cnt.E.newton_iterations
+    (E.stats_newton_iterations eng);
+  Alcotest.(check int) "stats_model_evaluations" cnt.E.model_evaluations
+    (E.stats_model_evaluations eng)
+
+let test_fd_fallback_matches_analytic () =
+  (* Same inverter with the derivative path stripped: the FD Jacobian must
+     converge to the same waveform, and the counters must show the 5x eval
+     cost. *)
+  let edge = W.pwl [| (20e-12, 0.0); (30e-12, vdd) |] in
+  let c1, _, nout1 = build_inverter ~w_in:edge () in
+  let eng1 = E.compile c1 in
+  let tr1 = E.transient eng1 ~tstop:100e-12 ~dt:1e-12 in
+  let w1 = E.node_wave eng1 tr1 nout1 in
+  let c2, _, nout2 = build_inverter ~strip_derivs:true ~w_in:edge () in
+  let eng2 = E.compile c2 in
+  let tr2 = E.transient eng2 ~tstop:100e-12 ~dt:1e-12 in
+  let w2 = E.node_wave eng2 tr2 nout2 in
+  Alcotest.(check int) "same sample count" (Array.length w1) (Array.length w2);
+  Array.iteri
+    (fun i v1 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "waveforms agree at sample %d" i)
+        true
+        (Float.abs (v1 -. w2.(i)) < 1e-6))
+    w1;
+  let cnt2 = E.counters eng2 in
+  Alcotest.(check int) "fd path counts all evals" cnt2.E.model_evaluations
+    cnt2.E.fd_evaluations;
+  Alcotest.(check bool) "fd evals are 5 per linearization" true
+    (cnt2.E.fd_evaluations mod 5 = 0 && cnt2.E.fd_evaluations > 0)
+
 let test_node_identity () =
   let c = N.create () in
   let a = N.node c "x" in
@@ -351,6 +443,66 @@ let test_propagation_delay_ignores_earlier_output_edges () =
   with
   | Some d -> check_float ~eps:1e-12 "delay from input edge" 1.0 d
   | None -> Alcotest.fail "expected delay"
+
+let test_propagation_delay_mid_segment_input_edge () =
+  (* Regression: the input's 50 % crossing falls strictly inside a sample
+     segment, and the output's crossing lies inside the very segment that
+     contains the input edge.  The scan used to start at the next sample
+     boundary, skipping that segment and reporting no delay at all. *)
+  let times = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let input = [| 0.0; 0.0; 1.0; 1.0 |] in
+  (* t_in = 1.5 *)
+  let output = [| 0.0; 0.05; 0.85; 1.0 |] in
+  (* output crosses 0.5 at t = 1 + 0.45/0.8 = 1.5625 *)
+  match
+    M.propagation_delay ~times ~input ~output ~v50:0.5 ~input_rising:true
+      ~output_rising:true
+  with
+  | Some d -> check_float ~eps:1e-12 "mid-segment delay" 0.0625 d
+  | None -> Alcotest.fail "expected delay (crossing shares input's segment)"
+
+let test_propagation_delay_discards_pre_edge_crossing () =
+  (* The output also crosses before the input edge inside the same segment;
+     only the post-edge crossing counts. *)
+  let times = [| 0.0; 2.0; 4.0 |] in
+  let input = [| 0.0; 1.0; 1.0 |] in
+  (* t_in = 1.0 *)
+  let output = [| 0.0; 1.0; 1.0 |] in
+  (* rising through 0.5 at t = 1.0 = t_in: kept (>= t_in) *)
+  match
+    M.propagation_delay ~times ~input ~output ~v50:0.5 ~input_rising:true
+      ~output_rising:true
+  with
+  | Some d -> check_float ~eps:1e-12 "coincident edge" 0.0 d
+  | None -> Alcotest.fail "expected zero delay"
+
+(* Synthetic ramp pair: linear ramps interpolate exactly on any sampling
+   grid, so the measured delay must equal the analytic 50 %-to-50 % offset
+   regardless of where the samples fall. *)
+let prop_ramp_pair_delay_exact =
+  QCheck.Test.make ~name:"ramp-pair delay is grid-independent" ~count:200
+    QCheck.(
+      triple (float_range 0.05 0.3) (float_range 0.0 0.99)
+        (float_range 0.1 2.5))
+    (fun (step, phase, offset) ->
+      let ramp t0 len t =
+        Vstat_util.Floatx.clamp ~lo:0.0 ~hi:1.0 ((t -. t0) /. len)
+      in
+      let len = 2.0 in
+      let t0_in = 2.0 in
+      let t0_out = t0_in +. offset in
+      let n = Float.to_int (Float.round ((10.0 -. (phase *. step)) /. step)) in
+      let times =
+        Array.init n (fun k -> (phase *. step) +. (step *. Float.of_int k))
+      in
+      let input = Array.map (ramp t0_in len) times in
+      let output = Array.map (ramp t0_out len) times in
+      match
+        M.propagation_delay ~times ~input ~output ~v50:0.5 ~input_rising:true
+          ~output_rising:true
+      with
+      | Some d -> Float.abs (d -. offset) < 1e-9
+      | None -> false)
 
 let rc_error ~trap ~dt =
   (* Sine-driven RC (smooth, so no startup-discontinuity error): exact
@@ -432,7 +584,7 @@ let test_netlist_validation () =
   | exception Invalid_argument _ -> ()
 
 let test_pwl_empty_rejected () =
-  match W.value (W.Pwl [||]) 0.0 with
+  match W.value (W.pwl [||]) 0.0 with
   | _ -> Alcotest.fail "empty pwl accepted"
   | exception Invalid_argument _ -> ()
 
@@ -448,7 +600,7 @@ let prop_rc_ladder_stable =
       let gnd = N.ground c in
       let src = N.node c "src" in
       N.vsource c "v" ~plus:src ~minus:gnd
-        ~wave:(W.Pwl [| (0.0, 0.0); (1e-12, 1.0) |]);
+        ~wave:(W.pwl [| (0.0, 0.0); (1e-12, 1.0) |]);
       let prev = ref src in
       for i = 1 to stages do
         let n = N.node c (Printf.sprintf "n%d" i) in
@@ -503,6 +655,12 @@ let () =
           Alcotest.test_case "stats counters" `Quick test_stats_counters_advance;
           Alcotest.test_case "dc residual" `Quick test_dc_residual_tiny;
           Alcotest.test_case "node identity" `Quick test_node_identity;
+          Alcotest.test_case "breakpoint landing" `Quick
+            test_transient_lands_on_waveform_corners;
+          Alcotest.test_case "per-phase counters" `Quick
+            test_counters_per_phase;
+          Alcotest.test_case "fd fallback" `Quick
+            test_fd_fallback_matches_analytic;
         ] );
       ( "ac-extra",
         [
@@ -550,5 +708,10 @@ let () =
           Alcotest.test_case "settled value" `Quick test_settled_value;
           Alcotest.test_case "delay after input edge" `Quick
             test_propagation_delay_ignores_earlier_output_edges;
+          Alcotest.test_case "delay from mid-segment input edge" `Quick
+            test_propagation_delay_mid_segment_input_edge;
+          Alcotest.test_case "delay discards pre-edge crossing" `Quick
+            test_propagation_delay_discards_pre_edge_crossing;
+          QCheck_alcotest.to_alcotest prop_ramp_pair_delay_exact;
         ] );
     ]

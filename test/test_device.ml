@@ -268,6 +268,158 @@ let prop_width_scaling =
       let i1 = Metrics.idsat d1 ~vdd and i2 = Metrics.idsat d2 ~vdd in
       Float.abs ((i2 /. i1) -. 2.0) < 1e-6)
 
+(* --- analytic derivative path --- *)
+
+(* Bias grid exercising subthreshold, near-threshold, saturation, triode,
+   body bias and the source/drain-swapped quadrant (vd < vs). *)
+let deriv_bias_grid =
+  [
+    (0.0, 0.9, 0.0, 0.0);
+    (0.2, 0.9, 0.0, 0.0);
+    (0.45, 0.45, 0.0, 0.0);
+    (0.7, 0.05, 0.0, 0.0);
+    (0.9, 0.9, 0.0, 0.0);
+    (0.9, 0.9, 0.0, -0.3);
+    (0.6, 0.3, 0.1, 0.0);
+    (0.6, 0.1, 0.5, 0.0);   (* swapped: vd < vs *)
+    (0.9, 0.0, 0.9, 0.3);   (* swapped, with body bias *)
+  ]
+
+(* Mirror the NMOS grid into the PMOS quadrant so both polarities see the
+   same operating regions. *)
+let deriv_grid_for (d : Dm.t) =
+  match d.Dm.polarity with
+  | Dm.Nmos -> deriv_bias_grid
+  | Dm.Pmos ->
+    List.map
+      (fun (vg, vd, vs, vb) -> (-.vg, -.vd, -.vs, -.vb))
+      deriv_bias_grid
+
+let eval_derivs_exn (d : Dm.t) =
+  match d.Dm.eval_derivs with
+  | Some f -> f
+  | None -> Alcotest.fail "device has no analytic derivative path"
+
+let test_derivs_values_match_eval () =
+  List.iter
+    (fun (name, d) ->
+      let ed = eval_derivs_exn d in
+      let buf = Dm.make_derivs () in
+      List.iter
+        (fun (vg, vd, vs, vb) ->
+          let st = d.Dm.eval ~vg ~vd ~vs ~vb in
+          ed ~vg ~vd ~vs ~vb buf;
+          let chk what expected actual =
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %s at (%g,%g,%g,%g)" name what vg vd vs vb)
+              true
+              (Vstat_util.Floatx.close ~rtol:1e-12 ~atol:1e-30 expected actual)
+          in
+          chk "id" st.Dm.id buf.Dm.v_id;
+          chk "qg" st.qg buf.v_qg;
+          chk "qd" st.qd buf.v_qd;
+          chk "qs" st.qs buf.v_qs;
+          chk "qb" st.qb buf.v_qb)
+        (deriv_grid_for d))
+    all_devices
+
+(* Central finite differences of the plain value path, terminal by terminal,
+   must agree with the analytic conductances and transcapacitances. *)
+let test_derivs_match_central_fd () =
+  let dv = 1e-5 in
+  List.iter
+    (fun (name, d) ->
+      let ed = eval_derivs_exn d in
+      let buf = Dm.make_derivs () in
+      List.iter
+        (fun (vg, vd, vs, vb) ->
+          ed ~vg ~vd ~vs ~vb buf;
+          let eval_at j delta =
+            let vg = if j = 0 then vg +. delta else vg in
+            let vd = if j = 1 then vd +. delta else vd in
+            let vs = if j = 2 then vs +. delta else vs in
+            let vb = if j = 3 then vb +. delta else vb in
+            d.Dm.eval ~vg ~vd ~vs ~vb
+          in
+          let chk what analytic fd_ref =
+            (* Central-difference truncation limits agreement to ~1e-5
+               relative; absolute floors separate true zeros from noise. *)
+            let atol = 1e-9 *. Float.max 1.0 (Float.abs fd_ref) in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s %s at (%g,%g,%g,%g): %g vs fd %g" name what
+                 vg vd vs vb analytic fd_ref)
+              true
+              (Float.abs (analytic -. fd_ref)
+              <= atol
+                 +. (5e-4
+                    *. Float.max (Float.abs analytic) (Float.abs fd_ref)))
+          in
+          for j = 0 to 3 do
+            let hi = eval_at j dv and lo = eval_at j (-.dv) in
+            let fd a b = (a -. b) /. (2.0 *. dv) in
+            chk
+              (Printf.sprintf "did/dV%d" j)
+              buf.Dm.did.(j)
+              (fd hi.Dm.id lo.Dm.id);
+            chk
+              (Printf.sprintf "dqg/dV%d" j)
+              buf.Dm.dq.(j) (fd hi.qg lo.qg);
+            chk
+              (Printf.sprintf "dqd/dV%d" j)
+              buf.Dm.dq.(4 + j)
+              (fd hi.qd lo.qd);
+            chk
+              (Printf.sprintf "dqs/dV%d" j)
+              buf.Dm.dq.(8 + j)
+              (fd hi.qs lo.qs);
+            chk
+              (Printf.sprintf "dqb/dV%d" j)
+              buf.Dm.dq.(12 + j)
+              (fd hi.qb lo.qb)
+          done)
+        (deriv_grid_for d))
+    all_devices
+
+let test_without_derivs_strips_path () =
+  let stripped = Dm.without_derivs nmos_vs in
+  Alcotest.(check bool) "eval_derivs gone" true (stripped.Dm.eval_derivs = None);
+  let st1 = nmos_vs.Dm.eval ~vg:0.7 ~vd:0.5 ~vs:0.0 ~vb:0.0 in
+  let st2 = stripped.Dm.eval ~vg:0.7 ~vd:0.5 ~vs:0.0 ~vb:0.0 in
+  check_float ~eps:1e-18 "value path intact" st1.Dm.id st2.Dm.id
+
+let prop_derivs_match_fd_random =
+  QCheck.Test.make
+    ~name:"analytic conductances track FD on random biases" ~count:200
+    QCheck.(
+      quad (float_range 0.0 0.9) (float_range 0.0 0.9) (float_range 0.0 0.4)
+        (float_range (-0.3) 0.2))
+    (fun (vg, vd, vs, vb) ->
+      let buf = Dm.make_derivs () in
+      List.for_all
+        (fun (_, d) ->
+          let sign = match d.Dm.polarity with Dm.Nmos -> 1.0 | Dm.Pmos -> -1.0 in
+          let vg = sign *. vg and vd = sign *. vd and vs = sign *. vs
+          and vb = sign *. vb in
+          let ed = eval_derivs_exn d in
+          ed ~vg ~vd ~vs ~vb buf;
+          let dv = 1e-5 in
+          let gm_fd =
+            (d.Dm.eval ~vg:(vg +. dv) ~vd ~vs ~vb).Dm.id
+            -. (d.Dm.eval ~vg:(vg -. dv) ~vd ~vs ~vb).Dm.id
+          in
+          let gm_fd = gm_fd /. (2.0 *. dv) in
+          let gds_fd =
+            (d.Dm.eval ~vg ~vd:(vd +. dv) ~vs ~vb).Dm.id
+            -. (d.Dm.eval ~vg ~vd:(vd -. dv) ~vs ~vb).Dm.id
+          in
+          let gds_fd = gds_fd /. (2.0 *. dv) in
+          let ok a b =
+            Float.abs (a -. b)
+            <= 1e-9 +. (1e-3 *. Float.max (Float.abs a) (Float.abs b))
+          in
+          ok buf.Dm.did.(0) gm_fd && ok buf.Dm.did.(1) gds_fd)
+        all_devices)
+
 let () =
   Alcotest.run "vstat_device"
     [
@@ -299,6 +451,16 @@ let () =
           Alcotest.test_case "vth roll-off/DIBL" `Quick test_bsim_vth_rolloff_and_dibl;
           Alcotest.test_case "geometry offsets" `Quick test_bsim_geometry_offsets;
           Alcotest.test_case "param count" `Quick test_bsim_parameter_count;
+        ] );
+      ( "derivatives",
+        [
+          Alcotest.test_case "values match eval" `Quick
+            test_derivs_values_match_eval;
+          Alcotest.test_case "match central FD" `Quick
+            test_derivs_match_central_fd;
+          Alcotest.test_case "without_derivs strips" `Quick
+            test_without_derivs_strips_path;
+          QCheck_alcotest.to_alcotest prop_derivs_match_fd_random;
         ] );
       ( "metrics",
         [

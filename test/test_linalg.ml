@@ -89,6 +89,41 @@ let test_lu_needs_pivoting () =
   check_float "x0" 3.0 x.(0);
   check_float "x1" 2.0 x.(1)
 
+let test_lu_in_place_matches_solve () =
+  let rows = [| [| 2.0; 1.0; -1.0 |]; [| -3.0; -1.0; 2.0 |]; [| -2.0; 1.0; 2.0 |] |] in
+  let b = [| 8.0; -11.0; -3.0 |] in
+  let expected = Lu.solve (M.of_rows rows) b in
+  let a = M.of_rows rows in
+  let pivots = Array.make 3 0 in
+  let sign = Lu.factor_in_place a ~pivots in
+  Alcotest.(check bool) "sign is +-1" true (Float.abs sign = 1.0);
+  let x = Array.copy b in
+  Lu.solve_in_place ~lu:a ~pivots x;
+  Array.iteri
+    (fun i e -> check_float ~eps:1e-12 (Printf.sprintf "x%d" i) e x.(i))
+    expected
+
+let test_lu_in_place_pivoting () =
+  (* Leading zero forces a swap; the recorded pivots must replay it. *)
+  let a = M.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let pivots = Array.make 2 0 in
+  let sign = Lu.factor_in_place a ~pivots in
+  check_float "swap sign" (-1.0) sign;
+  let x = [| 2.0; 3.0 |] in
+  Lu.solve_in_place ~lu:a ~pivots x;
+  check_float "x0" 3.0 x.(0);
+  check_float "x1" 2.0 x.(1)
+
+let test_lu_in_place_validates () =
+  let a = M.of_rows [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  (match Lu.factor_in_place a ~pivots:(Array.make 3 0) with
+  | _ -> Alcotest.fail "expected Invalid_argument for bad pivot length"
+  | exception Invalid_argument _ -> ());
+  let r = M.create ~rows:2 ~cols:3 in
+  match Lu.factor_in_place r ~pivots:(Array.make 2 0) with
+  | _ -> Alcotest.fail "expected Invalid_argument for non-square"
+  | exception Invalid_argument _ -> ()
+
 (* --- Qr --- *)
 
 let test_qr_least_squares_exact () =
@@ -243,6 +278,25 @@ let prop_lu_solves_dd =
       let r = Vec.sub (M.mul_vec a x) b in
       Vec.norm_inf r < 1e-8)
 
+let prop_lu_in_place_matches_factor =
+  QCheck.Test.make ~name:"in-place LU agrees with allocating LU" ~count:200
+    random_dd_system
+    (fun (n, (entries, b)) ->
+      let entries = Array.of_list entries in
+      let mk () =
+        Vstat_linalg.Matrix.init ~rows:n ~cols:n ~f:(fun i j ->
+            let v = entries.((i * n) + j) in
+            if i = j then v +. Float.of_int n +. 1.0 else v)
+      in
+      let b = Array.of_list b in
+      let x_ref = Lu.solve (mk ()) b in
+      let a = mk () in
+      let pivots = Array.make n 0 in
+      ignore (Lu.factor_in_place a ~pivots);
+      let x = Array.copy b in
+      Lu.solve_in_place ~lu:a ~pivots x;
+      Vec.norm_inf (Vec.sub x x_ref) < 1e-10)
+
 let prop_nnls_nonnegative =
   QCheck.Test.make ~name:"NNLS solutions are non-negative" ~count:200
     random_dd_system
@@ -292,7 +346,11 @@ let () =
           Alcotest.test_case "singular" `Quick test_lu_singular;
           Alcotest.test_case "inverse" `Quick test_lu_inverse;
           Alcotest.test_case "pivoting" `Quick test_lu_needs_pivoting;
+          Alcotest.test_case "in-place solve" `Quick test_lu_in_place_matches_solve;
+          Alcotest.test_case "in-place pivoting" `Quick test_lu_in_place_pivoting;
+          Alcotest.test_case "in-place validation" `Quick test_lu_in_place_validates;
           QCheck_alcotest.to_alcotest prop_lu_solves_dd;
+          QCheck_alcotest.to_alcotest prop_lu_in_place_matches_factor;
         ] );
       ( "qr",
         [

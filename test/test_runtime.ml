@@ -151,6 +151,37 @@ let test_mc_device_jobs_invariant () =
     (s1.log10_ioff = s4.log10_ioff);
   Alcotest.(check bool) "cgg bit-identical" true (s1.cgg = s4.cgg)
 
+(* --- jobs-count invariance end to end (full circuit transient MC) --- *)
+
+let test_circuit_mc_jobs_invariant () =
+  (* Each sample perturbs device widths from its own substream, builds an
+     FO3 inverter harness, and runs DC + transient through the engine.  The
+     measured delays must be bit-identical for any worker count. *)
+  let tech_of_rng rng =
+    let base = Vstat_cells.Celltech.nominal_vs_seed ~vdd () in
+    let jit w = w *. (1.0 +. (0.03 *. Rng.gaussian rng)) in
+    {
+      base with
+      Vstat_cells.Celltech.label = "vs-jitter";
+      nmos = (fun ~w_nm -> base.Vstat_cells.Celltech.nmos ~w_nm:(jit w_nm));
+      pmos = (fun ~w_nm -> base.Vstat_cells.Celltech.pmos ~w_nm:(jit w_nm));
+    }
+  in
+  let measure tech =
+    let s = Vstat_cells.Inverter.sample tech ~wp_nm:600.0 ~wn_nm:300.0 ~fanout:3 in
+    let r = Vstat_cells.Inverter.measure s in
+    (r.Vstat_cells.Inverter.tphl, r.Vstat_cells.Inverter.tplh)
+  in
+  let run jobs =
+    Rt.values
+      (Rt.map_rng_samples ~jobs ~rng:(Rng.create ~seed:17) ~n:8
+         ~f:(fun rng -> measure (tech_of_rng rng))
+         ())
+  in
+  let s1 = run 1 and s4 = run 4 in
+  Alcotest.(check int) "all samples measured" 8 (Array.length s1);
+  Alcotest.(check bool) "delays bit-identical across jobs" true (s1 = s4)
+
 (* --- Accum --- *)
 
 let close ?(eps = 1e-9) name a b =
@@ -234,6 +265,8 @@ let () =
           Alcotest.test_case "stats + progress" `Quick test_stats_and_progress;
           Alcotest.test_case "mc_device jobs-invariant" `Quick
             test_mc_device_jobs_invariant;
+          Alcotest.test_case "circuit mc jobs-invariant" `Quick
+            test_circuit_mc_jobs_invariant;
           q prop_map_rng_jobs_invariant;
         ] );
       ( "accum",

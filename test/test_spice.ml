@@ -86,7 +86,7 @@ let test_pwl_and_sin_sources () =
       "t\nV1 a 0 PWL(0 0 1n 1)\nV2 b 0 SIN(0.45 0.1 1meg)\nR1 a b 1k\n"
   in
   match N.elements deck.netlist with
-  | [ N.Vsource { wave = W.Pwl pts; _ }; N.Vsource { wave = W.Sine s; _ }; _ ] ->
+  | [ N.Vsource { wave = W.Pwl { W.points = pts; _ }; _ }; N.Vsource { wave = W.Sine s; _ }; _ ] ->
     Alcotest.(check int) "pwl points" 2 (Array.length pts);
     check_float "sin offset" 0.45 s.offset;
     check_float "sin freq" 1e6 s.freq_hz

@@ -184,10 +184,10 @@ let test_interp_linear () =
 let test_first_crossing () =
   let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
   let ys = [| 0.0; 0.4; 0.8; 1.0 |] in
-  (match Floatx.first_crossing ~xs ~ys ~level:0.6 ~rising:true with
+  (match Floatx.first_crossing ~xs ~ys ~level:0.6 ~rising:true () with
   | Some t -> check_float ~eps:1e-12 "rising crossing" 1.5 t
   | None -> Alcotest.fail "expected crossing");
-  (match Floatx.first_crossing ~xs ~ys ~level:0.6 ~rising:false with
+  (match Floatx.first_crossing ~xs ~ys ~level:0.6 ~rising:false () with
   | Some _ -> Alcotest.fail "no falling crossing expected"
   | None -> ())
 
