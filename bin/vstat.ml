@@ -42,6 +42,48 @@ let seed_t =
     value & opt int 42
     & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
 
+let retry_t =
+  Arg.(
+    value & opt int 1
+    & info [ "retry" ] ~docv:"ATTEMPTS"
+        ~doc:
+          "Max attempts per Monte Carlo sample. Failed samples are re-run \
+           with escalated solver options on the same RNG substream, so \
+           results stay deterministic and jobs-independent. 1 disables \
+           retries.")
+
+let inject_fault_t =
+  let fault_conv =
+    let parse s =
+      match Vstat_device.Fault_inject.parse_spec s with
+      | Ok cfg -> Ok cfg
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf cfg =
+      Format.pp_print_string ppf (Vstat_device.Fault_inject.spec_to_string cfg)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "inject-fault" ] ~docv:"RATE[:KIND]"
+        ~doc:
+          "Chaos testing: deterministically inject device-model faults at \
+           the given per-sample rate. KIND is one of nan, inf, perturb, \
+           raise (default raise). Injection is keyed by sample index and \
+           retry attempt, so it is reproducible and independent of --jobs.")
+
+let apply_resilience retry inject =
+  if retry < 1 then begin
+    Format.eprintf "--retry must be >= 1@.";
+    exit 2
+  end;
+  if retry > 1 then
+    Vstat_experiments.Mc_compare.set_default_retry
+      (Vstat_runtime.Runtime.retry retry);
+  Vstat_experiments.Mc_compare.set_default_inject inject
+
 let samples_t default =
   Arg.(
     value & opt int default
@@ -57,9 +99,10 @@ let geometry_mc_t =
 let std_formatter_flush () = Format.pp_print_flush Format.std_formatter ()
 
 let run_cmd name doc ~default_n f =
-  let run verbose jobs seed bpv_n n =
+  let run verbose jobs seed retry inject bpv_n n =
     setup_logs verbose;
     Option.iter Vstat_runtime.Runtime.set_default_jobs jobs;
+    apply_resilience retry inject;
     let p = pipeline bpv_n seed in
     f p ~n ~seed;
     std_formatter_flush ()
@@ -67,8 +110,8 @@ let run_cmd name doc ~default_n f =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const run $ verbose_t $ jobs_t $ seed_t $ geometry_mc_t
-      $ samples_t default_n)
+      const run $ verbose_t $ jobs_t $ seed_t $ retry_t $ inject_fault_t
+      $ geometry_mc_t $ samples_t default_n)
 
 let fmt = Format.std_formatter
 
@@ -165,9 +208,10 @@ let export_cmd =
       value & opt string "csv"
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run verbose jobs seed bpv_n n dir =
+  let run verbose jobs seed retry inject bpv_n n dir =
     setup_logs verbose;
     Option.iter Vstat_runtime.Runtime.set_default_jobs jobs;
+    apply_resilience retry inject;
     let p = pipeline bpv_n seed in
     export dir p ~n ~seed;
     std_formatter_flush ()
@@ -175,8 +219,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc:"Export figure data series to CSV files")
     Term.(
-      const run $ verbose_t $ jobs_t $ seed_t $ geometry_mc_t $ samples_t 300
-      $ dir_t)
+      const run $ verbose_t $ jobs_t $ seed_t $ retry_t $ inject_fault_t
+      $ geometry_mc_t $ samples_t 300 $ dir_t)
 
 let cmds =
   [

@@ -44,11 +44,43 @@ let print_series ~csv ~x_label ~x ~columns =
     Format.pp_print_flush Format.std_formatter ()
   end
 
-let run_deck ~csv path =
-  let deck = P.parse_file path in
-  if deck.title <> "" then Printf.printf "* %s\n" deck.title;
-  let eng = E.compile deck.netlist in
-  let nodes = N.all_nodes deck.netlist in
+(* Rebuild a netlist with every MOSFET's device instance mapped through
+   [map_dev] (used to arm injected faults without touching the parse). *)
+let map_devices netlist ~map_dev =
+  let net2 = N.create () in
+  List.iter
+    (fun e ->
+      let copy n = N.node net2 (N.node_name netlist n) in
+      match e with
+      | N.Vsource { name; plus; minus; wave } ->
+        N.vsource net2 name ~plus:(copy plus) ~minus:(copy minus) ~wave
+      | N.Resistor { name; a; b; ohms } ->
+        N.resistor net2 name ~a:(copy a) ~b:(copy b) ~ohms
+      | N.Capacitor { name; a; b; farads } ->
+        N.capacitor net2 name ~a:(copy a) ~b:(copy b) ~farads
+      | N.Isource { name; from_; to_; wave } ->
+        N.isource net2 name ~from_:(copy from_) ~to_:(copy to_) ~wave
+      | N.Mosfet { name; d; g; s; b; dev } ->
+        N.mosfet net2 name ~d:(copy d) ~g:(copy g) ~s:(copy s) ~b:(copy b)
+          ~dev:(map_dev dev))
+    (N.elements netlist);
+  net2
+
+module FI = Vstat_device.Fault_inject
+
+let inject_netlist cfg ~attempt netlist =
+  match FI.plan cfg ~key:attempt with
+  | None -> netlist
+  | Some plan ->
+    let created = ref 0 in
+    map_devices netlist ~map_dev:(fun dev ->
+        let ord = !created mod FI.ordinal_span in
+        incr created;
+        if ord = plan.FI.device_ordinal then FI.wrap plan dev else dev)
+
+let run_netlist ~csv (deck : P.deck) netlist =
+  let eng = E.compile netlist in
+  let nodes = N.all_nodes netlist in
   let names = List.map fst nodes in
   (* Operating point. *)
   let op = E.dc eng in
@@ -59,7 +91,7 @@ let run_deck ~csv path =
   List.iter
     (fun src ->
       Printf.printf "  i(%s) = %.6g A\n" src (E.source_current eng op src))
-    (N.vsource_names deck.netlist);
+    (N.vsource_names netlist);
   (* Analyses. *)
   List.iter
     (fun analysis ->
@@ -82,8 +114,8 @@ let run_deck ~csv path =
           (fun e ->
             match e with
             | N.Vsource { name; plus; minus; wave } ->
-              let plus = N.node net2 (N.node_name deck.netlist plus) in
-              let minus = N.node net2 (N.node_name deck.netlist minus) in
+              let plus = N.node net2 (N.node_name netlist plus) in
+              let minus = N.node net2 (N.node_name netlist minus) in
               let wave =
                 if String.lowercase_ascii name = source then
                   Vstat_circuit.Waveform.Var sweep_ref
@@ -92,27 +124,27 @@ let run_deck ~csv path =
               N.vsource net2 name ~plus ~minus ~wave
             | N.Resistor { name; a; b; ohms } ->
               N.resistor net2 name
-                ~a:(N.node net2 (N.node_name deck.netlist a))
-                ~b:(N.node net2 (N.node_name deck.netlist b))
+                ~a:(N.node net2 (N.node_name netlist a))
+                ~b:(N.node net2 (N.node_name netlist b))
                 ~ohms
             | N.Capacitor { name; a; b; farads } ->
               N.capacitor net2 name
-                ~a:(N.node net2 (N.node_name deck.netlist a))
-                ~b:(N.node net2 (N.node_name deck.netlist b))
+                ~a:(N.node net2 (N.node_name netlist a))
+                ~b:(N.node net2 (N.node_name netlist b))
                 ~farads
             | N.Isource { name; from_; to_; wave } ->
               N.isource net2 name
-                ~from_:(N.node net2 (N.node_name deck.netlist from_))
-                ~to_:(N.node net2 (N.node_name deck.netlist to_))
+                ~from_:(N.node net2 (N.node_name netlist from_))
+                ~to_:(N.node net2 (N.node_name netlist to_))
                 ~wave
             | N.Mosfet { name; d; g; s; b; dev } ->
               N.mosfet net2 name
-                ~d:(N.node net2 (N.node_name deck.netlist d))
-                ~g:(N.node net2 (N.node_name deck.netlist g))
-                ~s:(N.node net2 (N.node_name deck.netlist s))
-                ~b:(N.node net2 (N.node_name deck.netlist b))
+                ~d:(N.node net2 (N.node_name netlist d))
+                ~g:(N.node net2 (N.node_name netlist g))
+                ~s:(N.node net2 (N.node_name netlist s))
+                ~b:(N.node net2 (N.node_name netlist b))
                 ~dev)
-          (N.elements deck.netlist);
+          (N.elements netlist);
         let eng2 = E.compile net2 in
         let nodes2 = List.map (fun name -> (name, N.node net2 name)) names in
         let count = Float.to_int (Float.round (((stop -. start) /. step) +. 1.0)) in
@@ -169,25 +201,76 @@ let run_deck ~csv path =
         print_series ~csv ~x_label:"freq" ~x:freqs ~columns)
     deck.analyses
 
+let run_deck ~csv ~retry ~inject path =
+  let deck = P.parse_file path in
+  Printf.printf "* %s\n" deck.P.title;
+  (* Deterministic retry ladder: re-run the whole deck under escalated
+     solver options.  The injection key folds in the attempt number, so a
+     retried run rolls an independent fault decision. *)
+  let rec attempt_loop attempt =
+    let netlist =
+      match inject with
+      | None -> deck.P.netlist
+      | Some cfg -> inject_netlist cfg ~attempt deck.P.netlist
+    in
+    let opts = E.escalate ~attempt E.default_options in
+    match E.with_options opts (fun () -> run_netlist ~csv deck netlist) with
+    | () -> ()
+    | exception ((Vstat_circuit.Diag.Solver_error _ | FI.Injected _) as e) ->
+      if attempt + 1 < retry then begin
+        Printf.eprintf
+          "vstat_sim: attempt %d failed (%s); retrying with escalated \
+           solver options\n%!"
+          (attempt + 1)
+          (Printexc.to_string e);
+        attempt_loop (attempt + 1)
+      end
+      else raise e
+  in
+  attempt_loop 0
+
 let () =
   (* Strip "--jobs N" (Vstat_runtime worker count, also settable via
-     VSTAT_JOBS) before the positional parse. *)
-  let rec extract_jobs acc = function
+     VSTAT_JOBS), "--retry N" and "--inject-fault RATE[:KIND]" before the
+     positional parse. *)
+  let retry = ref 1 in
+  let inject = ref None in
+  let rec extract acc = function
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
       | Some j when j >= 1 ->
         Vstat_runtime.Runtime.set_default_jobs j;
-        extract_jobs acc rest
+        extract acc rest
       | _ ->
         prerr_endline "vstat_sim: --jobs expects a positive integer";
         exit 2)
-    | a :: rest -> extract_jobs (a :: acc) rest
+    | "--retry" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some r when r >= 1 ->
+        retry := r;
+        extract acc rest
+      | _ ->
+        prerr_endline "vstat_sim: --retry expects a positive integer";
+        exit 2)
+    | "--inject-fault" :: v :: rest -> (
+      match FI.parse_spec v with
+      | Ok cfg ->
+        inject := Some cfg;
+        extract acc rest
+      | Error msg ->
+        Printf.eprintf "vstat_sim: --inject-fault: %s\n" msg;
+        exit 2)
+    | a :: rest -> extract (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = extract_jobs [] (List.tl (Array.to_list Sys.argv)) in
+  let args = extract [] (List.tl (Array.to_list Sys.argv)) in
+  let retry = !retry and inject = !inject in
   match args with
-  | [ path ] -> run_deck ~csv:false path
-  | [ path; "--csv" ] | [ "--csv"; path ] -> run_deck ~csv:true path
+  | [ path ] -> run_deck ~csv:false ~retry ~inject path
+  | [ path; "--csv" ] | [ "--csv"; path ] ->
+    run_deck ~csv:true ~retry ~inject path
   | _ ->
-    prerr_endline "usage: vstat_sim <deck.sp> [--csv] [--jobs N]";
+    prerr_endline
+      "usage: vstat_sim <deck.sp> [--csv] [--jobs N] [--retry N] \
+       [--inject-fault RATE[:KIND]]";
     exit 2

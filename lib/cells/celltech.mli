@@ -23,3 +23,14 @@ val nominal_vs_seed : ?vdd:float -> unit -> t
 
 val with_vdd : t -> float -> t
 (** Same device source at a different supply (the paper's Vdd scaling). *)
+
+val with_fault_injection :
+  Vstat_device.Fault_inject.config -> key:int -> t -> t
+(** Chaos harness: decide deterministically from [(config.seed, key)]
+    whether this technology handle carries a fault, and if so arm it on the
+    transistor whose creation ordinal (netlist build order, both polarities
+    counted together, modulo {!Vstat_device.Fault_inject.ordinal_span})
+    matches the plan.  [key] should mix the Monte Carlo sample index and
+    the retry attempt, so injection is per-sample reproducible,
+    jobs-independent, and independent across attempts.  Returns the handle
+    unchanged when the draw decides no fault. *)

@@ -61,4 +61,6 @@ let measure ?window ?(steps = 600) s =
       ~input_rising:false ~output_rising
   with
   | Some d -> d
-  | None -> failwith "Chain.measure: edge did not propagate (window too short)"
+  | None ->
+    Vstat_circuit.Diag.fail ~analysis:"measure:chain" Measure_no_crossing
+      "edge did not propagate (window too short)"

@@ -19,4 +19,4 @@ val sample :
 val measure : ?window:float -> ?steps:int -> sample -> float
 (** Path delay in seconds (input edge at the first stage's input to the
     final output's matching-polarity crossing).
-    @raise Failure if the edge never propagates within the window. *)
+    @raise Vstat_circuit.Diag.Solver_error ([Measure_no_crossing]) if the edge never propagates within the window. *)

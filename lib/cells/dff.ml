@@ -84,9 +84,11 @@ let setup_time ?(t_clk = 200e-12) ?(search = 150e-12) s =
   let lo = t_clk -. search in
   let hi = t_clk +. (0.3 *. search) in
   if fails lo then
-    failwith "Dff.setup_time: capture fails even for very early data";
+    Vstat_circuit.Diag.fail ~analysis:"measure:dff.setup_time"
+      Measure_no_crossing "capture fails even for very early data";
   if not (fails hi) then
-    failwith "Dff.setup_time: capture succeeds even for very late data";
+    Vstat_circuit.Diag.fail ~analysis:"measure:dff.setup_time"
+      Measure_no_crossing "capture succeeds even for very late data";
   let boundary =
     Vstat_opt.Scalar.bisect_predicate ~tol:1e-15 ~f:fails ~lo ~hi ()
   in
@@ -98,8 +100,11 @@ let hold_time ?(t_clk = 200e-12) ?(search = 150e-12) s =
   let ok t_d = capture_ok ~t_clk s ~t_d ~data_rising:false in
   let lo = t_clk -. (0.3 *. search) in
   let hi = t_clk +. search in
-  if ok lo then failwith "Dff.hold_time: capture survives very early data fall";
+  if ok lo then
+    Vstat_circuit.Diag.fail ~analysis:"measure:dff.hold_time"
+      Measure_no_crossing "capture survives very early data fall";
   if not (ok hi) then
-    failwith "Dff.hold_time: capture fails even for very late data fall";
+    Vstat_circuit.Diag.fail ~analysis:"measure:dff.hold_time"
+      Measure_no_crossing "capture fails even for very late data fall";
   let boundary = Vstat_opt.Scalar.bisect_predicate ~tol:1e-15 ~f:ok ~lo ~hi () in
   boundary -. t_clk

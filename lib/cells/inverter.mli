@@ -30,7 +30,7 @@ val default_window : vdd:float -> float
 val measure : ?window:float -> ?steps:int -> sample -> result
 (** Build the netlist, run one transient with a rise+fall input pulse, and
     one DC solve for leakage.
-    @raise Failure if a 50 % crossing is never observed (window too short). *)
+    @raise Vstat_circuit.Diag.Solver_error ([Measure_no_crossing]) if a 50 % crossing is never observed (window too short). *)
 
 val measure_nominal :
   Celltech.t -> wp_nm:float -> wn_nm:float -> fanout:int -> result

@@ -22,7 +22,7 @@ type result = {
 val sample : Celltech.t -> wp_nm:float -> wn_nm:float -> fanout:int -> sample
 
 val measure : ?window:float -> ?steps:int -> sample -> result
-(** @raise Failure if the output never crosses 50 % within the window. *)
+(** @raise Vstat_circuit.Diag.Solver_error ([Measure_no_crossing]) if the output never crosses 50 % within the window. *)
 
 val measure_nominal :
   Celltech.t -> wp_nm:float -> wn_nm:float -> fanout:int -> result

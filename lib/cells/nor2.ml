@@ -105,7 +105,9 @@ let measure ?window ?(steps = 400) s =
   match (tplh, tphl) with
   | Some tplh, Some tphl ->
     { tphl; tplh; tpd = 0.5 *. (tphl +. tplh); leakage }
-  | _ -> failwith "Nor2.measure: output never crossed 50% (window too short)"
+  | _ ->
+    Vstat_circuit.Diag.fail ~analysis:"measure:nor2" Measure_no_crossing
+      "output never crossed 50%% (window too short)"
 
 let measure_nominal tech ~wp_nm ~wn_nm ~fanout =
   measure (sample tech ~wp_nm ~wn_nm ~fanout)

@@ -64,7 +64,9 @@ let measure ?(cycles = 6.0) s =
   done;
   let crossings = Array.of_list (List.rev !crossings) in
   let n = Array.length crossings in
-  if n < 4 then failwith "Ring_oscillator.measure: did not oscillate";
+  if n < 4 then
+    Vstat_circuit.Diag.fail ~analysis:"measure:ring_oscillator"
+      Measure_no_crossing "did not oscillate (%d crossings)" n;
   (* Average period over the post-startup crossings. *)
   let first = Int.min 2 (n - 2) in
   let period =

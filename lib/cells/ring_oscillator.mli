@@ -24,4 +24,4 @@ val measure : ?cycles:float -> sample -> result
 (** Run a transient long enough for ~[cycles] oscillation periods
     (default 6; the first two are discarded as startup) and measure the
     average period from successive rising crossings of one node.
-    @raise Failure if the ring fails to oscillate in the window. *)
+    @raise Vstat_circuit.Diag.Solver_error ([Measure_no_crossing]) if the ring fails to oscillate in the window. *)

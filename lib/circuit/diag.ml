@@ -1,0 +1,86 @@
+type kind =
+  | Dc_no_convergence
+  | Tran_step_floor
+  | Singular_jacobian
+  | Nonfinite_update
+  | Measure_no_crossing
+  | Work_cap_exceeded
+  | Injected_fault
+
+let kind_name = function
+  | Dc_no_convergence -> "dc_no_convergence"
+  | Tran_step_floor -> "tran_step_floor"
+  | Singular_jacobian -> "singular_jacobian"
+  | Nonfinite_update -> "nonfinite_update"
+  | Measure_no_crossing -> "measure_no_crossing"
+  | Work_cap_exceeded -> "work_cap_exceeded"
+  | Injected_fault -> "injected_fault"
+
+type t = {
+  kind : kind;
+  analysis : string;
+  time : float option;
+  newton_iter : int option;
+  stage : string option;
+  dmax : float option;
+  counters : (string * int) list;
+  message : string;
+}
+
+exception Solver_error of t
+
+let make ?time ?newton_iter ?stage ?dmax ?(counters = []) ~analysis kind
+    message =
+  { kind; analysis; time; newton_iter; stage; dmax; counters; message }
+
+let fail ?time ?newton_iter ?stage ?dmax ?counters ~analysis kind fmt =
+  Printf.ksprintf
+    (fun message ->
+      raise
+        (Solver_error
+           (make ?time ?newton_iter ?stage ?dmax ?counters ~analysis kind
+              message)))
+    fmt
+
+let to_string d =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (kind_name d.kind);
+  Buffer.add_string b " [";
+  Buffer.add_string b d.analysis;
+  Buffer.add_char b ']';
+  (match d.time with
+  | Some t -> Buffer.add_string b (Printf.sprintf " t=%.4e" t)
+  | None -> ());
+  (match d.newton_iter with
+  | Some i -> Buffer.add_string b (Printf.sprintf " iter=%d" i)
+  | None -> ());
+  (match d.stage with
+  | Some s -> Buffer.add_string b (Printf.sprintf " stage=%s" s)
+  | None -> ());
+  (match d.dmax with
+  | Some v -> Buffer.add_string b (Printf.sprintf " dmax=%.3e" v)
+  | None -> ());
+  if d.message <> "" then begin
+    Buffer.add_string b ": ";
+    Buffer.add_string b d.message
+  end;
+  if d.counters <> [] then begin
+    Buffer.add_string b " (";
+    Buffer.add_string b
+      (String.concat " "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) d.counters));
+    Buffer.add_char b ')'
+  end;
+  Buffer.contents b
+
+(* Library-initialization-time registration: any program linking the circuit
+   engine gets typed failure categories in Runtime censuses/budgets, and
+   readable Solver_error payloads from Printexc. *)
+let () =
+  Vstat_runtime.Runtime.register_classifier (function
+    | Solver_error d -> Some (kind_name d.kind)
+    | Vstat_device.Fault_inject.Injected _ -> Some (kind_name Injected_fault)
+    | _ -> None);
+  Printexc.register_printer (function
+    | Solver_error d -> Some ("Vstat_circuit.Diag.Solver_error: " ^ to_string d)
+    | _ -> None)

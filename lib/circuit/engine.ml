@@ -1,4 +1,81 @@
-exception No_convergence of string
+(* Solver failures raise [Diag.Solver_error] carrying a typed diagnostic;
+   this module never raises a bare string exception. *)
+
+type solver_options = {
+  max_iter_dc : int;
+  max_iter_tran : int;
+  damping_clamp : float;
+  gmin_floor : float;
+  gmin_ladder : float list;
+  source_ladder : float list;
+  dt_min_factor : float;
+  dt_scale : float;
+  trap : bool;
+  work_cap : int;
+}
+
+let default_options =
+  {
+    max_iter_dc = 80;
+    max_iter_tran = 40;
+    damping_clamp = 0.5;
+    gmin_floor = 1e-12;
+    gmin_ladder = [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10 ];
+    source_ladder = [ 0.05; 0.15; 0.3; 0.45; 0.6; 0.75; 0.9; 1.0 ];
+    dt_min_factor = 1.0 /. 256.0;
+    dt_scale = 1.0;
+    trap = false;
+    work_cap = 1_000_000;
+  }
+
+let dense_gmin_ladder =
+  [ 1e-1; 1e-2; 1e-3; 1e-4; 1e-5; 1e-6; 1e-7; 1e-8; 1e-9; 1e-10; 1e-11 ]
+
+(* Escalation ladder for the runtime's retry policy.  Attempt 1 is
+   value-neutral: it only relaxes limits that cannot change the result of a
+   solve that succeeds (iteration caps, work cap, a denser gmin ladder that
+   is consulted only after the direct solve has already failed), so a
+   retried sample whose re-run hits no fault reproduces the clean value
+   bit-for-bit.  From attempt 2 the step size and damping change too —
+   those solves may differ at the convergence tolerance (~1e-11). *)
+let escalate ~attempt o =
+  if attempt <= 0 then o
+  else begin
+    let boost = Int.shift_left 1 (Int.min attempt 4) in
+    let o' =
+      {
+        o with
+        max_iter_dc = o.max_iter_dc * boost;
+        max_iter_tran = o.max_iter_tran * boost;
+        gmin_ladder = dense_gmin_ladder;
+        work_cap =
+          (if o.work_cap >= max_int / boost then max_int
+           else o.work_cap * boost);
+      }
+    in
+    if attempt = 1 then o'
+    else
+      {
+        o' with
+        dt_scale =
+          o.dt_scale /. Float.of_int (Int.shift_left 1 (Int.min (attempt - 1) 6));
+        dt_min_factor = o.dt_min_factor /. 16.0;
+        damping_clamp = o.damping_clamp *. 0.5;
+      }
+  end
+
+(* Ambient options, per domain: measurement code deep inside a cell calls
+   [dc]/[transient] without threading options through every layer, yet a
+   retry wrapper can still escalate the whole sample under
+   [with_options]. *)
+let ambient_key = Domain.DLS.new_key (fun () -> default_options)
+
+let current_options () = Domain.DLS.get ambient_key
+
+let with_options opts f =
+  let old = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key opts;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key old) f
 
 type mode = Dc | Tran of { h : float; trap : bool }
 
@@ -83,6 +160,10 @@ type t = {
   mutable q_work : float array;      (* charges at the current candidate *)
   mutable i_work : float array;      (* charge currents at the candidate *)
   dbuf : Vstat_device.Device_model.derivs;
+  (* Work-cap watchdog: Newton iterations + accepted steps consumed by the
+     current public solve, against the active options' cap. *)
+  mutable work_used : int;
+  mutable work_cap : int;
 }
 
 let compile netlist =
@@ -125,6 +206,8 @@ let compile netlist =
     q_work = Array.make nq 0.0;
     i_work = Array.make nq 0.0;
     dbuf = Vstat_device.Device_model.make_derivs ();
+    work_used = 0;
+    work_cap = default_options.work_cap;
   }
 
 let unknowns t = t.nn + t.nv
@@ -139,6 +222,16 @@ let flush_counters t =
       t.flushed.(c) <- t.cnt.(c)
     end
   done
+
+let counter_snapshot t =
+  [
+    ("newton", t.cnt.(c_newton));
+    ("model", t.cnt.(c_model));
+    ("assembly", t.cnt.(c_assembly));
+    ("lu", t.cnt.(c_lu));
+    ("steps", t.cnt.(c_accepted));
+    ("rejected", t.cnt.(c_rejected));
+  ]
 
 let fd_dv = 1e-6
 
@@ -355,31 +448,42 @@ let assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale =
             done)))
     t.elems
 
-(* Newton iteration in place on [x] (normally [t.xws]).  Returns [true] on
-   convergence, leaving the solution in [x] and the matching charge state in
-   [t.q_work]/[t.i_work]; on [false] the contents of [x] are unspecified.
-   Performs no allocation. *)
-let newton t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
+(* Why a Newton solve stopped; carries the data the diagnostics need. *)
+type newton_outcome =
+  | N_converged
+  | N_max_iter of { iter : int; dmax : float }
+  | N_singular of { iter : int }
+  | N_nonfinite of { iter : int }
+  | N_work_cap
+
+(* Newton iteration in place on [x] (normally [t.xws]).  On [N_converged]
+   the solution is in [x] with the matching charge state in
+   [t.q_work]/[t.i_work]; on any other outcome the contents of [x] are
+   unspecified.  Performs no allocation. *)
+let newton t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter ~clamp =
   let n = unknowns t in
   let rhs = t.rhs in
+  let last_dmax = ref Float.infinity in
   let rec loop iter =
-    if iter >= max_iter then false
+    if iter >= max_iter then N_max_iter { iter; dmax = !last_dmax }
+    else if t.work_used >= t.work_cap then N_work_cap
     else begin
       bump t c_newton 1;
+      t.work_used <- t.work_used + 1;
       assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale;
       for i = 0 to n - 1 do
         rhs.(i) <- -.t.res.(i)
       done;
       bump t c_lu 1;
       match Vstat_linalg.Lu.factor_in_place t.jac ~pivots:t.pivots with
-      | exception Vstat_linalg.Lu.Singular _ -> false
+      | exception Vstat_linalg.Lu.Singular _ -> N_singular { iter }
       | _sign ->
         Vstat_linalg.Lu.solve_in_place ~lu:t.jac ~pivots:t.pivots rhs;
         let finite = ref true in
         for i = 0 to n - 1 do
           if not (Float.is_finite rhs.(i)) then finite := false
         done;
-        if not !finite then false
+        if not !finite then N_nonfinite { iter }
         else begin
           (* Damp voltage updates; exponential nonlinearities diverge under
              full Newton steps far from the solution. *)
@@ -387,7 +491,7 @@ let newton t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
           for i = 0 to n - 1 do
             let d =
               if i < t.nn then
-                Vstat_util.Floatx.clamp ~lo:(-0.5) ~hi:0.5 rhs.(i)
+                Vstat_util.Floatx.clamp ~lo:(-.clamp) ~hi:clamp rhs.(i)
               else rhs.(i)
             in
             x.(i) <- x.(i) +. d;
@@ -397,10 +501,11 @@ let newton t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
               dmax := Float.max !dmax (Float.min rel (Float.abs d))
             end
           done;
+          last_dmax := !dmax;
           if !dmax < 1e-11 then begin
             (* Final assembly at the accepted solution refreshes q/i state. *)
             assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale;
-            true
+            N_converged
           end
           else loop (iter + 1)
         end
@@ -410,52 +515,111 @@ let newton t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter =
 
 type op = { x : float array; time : float }
 
-let dc ?guess ?(time = 0.0) t =
+(* DC continuation chain under a given option set.  Shares the caller's
+   work budget (transient runs its t=0 operating point through here), so
+   the public entry points reset [t.work_used] themselves. *)
+let dc_core ?guess ~opts ~time t =
   let n = unknowns t in
   let x = t.xws in
   let from_zero () = Array.fill x 0 (Array.length x) 0.0 in
-  let run ~gmin ~sscale =
-    newton t ~mode:Dc ~time ~x ~q_prev:t.q_work ~i_prev:t.i_work ~gmin ~sscale
-      ~max_iter:80
+  (* Failed stages, most recent first, for failure classification. *)
+  let failed_stages = ref [] in
+  let run ~stage ~gmin ~sscale =
+    match
+      newton t ~mode:Dc ~time ~x ~q_prev:t.q_work ~i_prev:t.i_work ~gmin
+        ~sscale ~max_iter:opts.max_iter_dc ~clamp:opts.damping_clamp
+    with
+    | N_converged -> true
+    | N_work_cap ->
+      flush_counters t;
+      Diag.fail ~time ~stage ~counters:(counter_snapshot t) ~analysis:"dc"
+        Work_cap_exceeded "work cap %d exhausted" t.work_cap
+    | outcome ->
+      failed_stages := (stage, outcome) :: !failed_stages;
+      false
   in
+  let floor = opts.gmin_floor in
   (match guess with
   | Some g -> Array.blit g 0 x 0 n
   | None -> from_zero ());
   let converged =
-    run ~gmin:1e-12 ~sscale:1.0
+    run ~stage:"direct" ~gmin:floor ~sscale:1.0
     || begin
-         (* gmin stepping. *)
+         (* gmin stepping, finishing at the exact gmin floor. *)
          from_zero ();
          let rec gmin_steps = function
-           | [] -> true
-           | g :: rest -> run ~gmin:g ~sscale:1.0 && gmin_steps rest
+           | [] -> run ~stage:"gmin-final" ~gmin:floor ~sscale:1.0
+           | g :: rest ->
+             run ~stage:(Printf.sprintf "gmin=%g" g) ~gmin:g ~sscale:1.0
+             && gmin_steps rest
          in
-         gmin_steps [ 1e-2; 1e-4; 1e-6; 1e-8; 1e-10; 1e-12 ]
+         gmin_steps opts.gmin_ladder
        end
     || begin
          (* Source stepping with a mild gmin, then a final exact solve. *)
          from_zero ();
          let rec src_steps = function
-           | [] -> run ~gmin:1e-12 ~sscale:1.0
-           | sc :: rest -> run ~gmin:1e-9 ~sscale:sc && src_steps rest
+           | [] -> run ~stage:"src-final" ~gmin:floor ~sscale:1.0
+           | sc :: rest ->
+             run ~stage:(Printf.sprintf "src=%g" sc) ~gmin:1e-9 ~sscale:sc
+             && src_steps rest
          in
-         src_steps [ 0.05; 0.15; 0.3; 0.45; 0.6; 0.75; 0.9; 1.0 ]
+         src_steps opts.source_ladder
        end
   in
   flush_counters t;
   if converged then { x = Array.sub x 0 n; time }
-  else raise (No_convergence "dc: all continuation strategies failed")
+  else begin
+    let fails = !failed_stages in
+    let all_singular =
+      fails <> []
+      && List.for_all (function _, N_singular _ -> true | _ -> false) fails
+    in
+    let any_nonfinite =
+      List.exists (function _, N_nonfinite _ -> true | _ -> false) fails
+    in
+    let kind : Diag.kind =
+      if all_singular then Singular_jacobian
+      else if any_nonfinite then Nonfinite_update
+      else Dc_no_convergence
+    in
+    let stage, newton_iter, dmax =
+      match fails with
+      | (stage, N_max_iter { iter; dmax }) :: _ ->
+        (Some stage, Some iter, Some dmax)
+      | (stage, (N_singular { iter } | N_nonfinite { iter })) :: _ ->
+        (Some stage, Some iter, None)
+      | _ -> (None, None, None)
+    in
+    Diag.fail ~time ?newton_iter ?stage ?dmax ~counters:(counter_snapshot t)
+      ~analysis:"dc" kind "all continuation strategies failed (%d stages)"
+      (List.length fails)
+  end
+
+let dc ?options ?guess ?(time = 0.0) t =
+  let opts = match options with Some o -> o | None -> current_options () in
+  t.work_used <- 0;
+  t.work_cap <- opts.work_cap;
+  dc_core ?guess ~opts ~time t
 
 let voltage _t op n = nodev op.x n
 
-let branch_slot t name =
+let branch_slot_named t ~caller name =
   match List.assoc_opt name t.vsrc_index with
   | Some k -> t.nn + k
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "%s: unknown voltage source %S (known: %s)" caller name
+         (match t.vsrc_index with
+         | [] -> "none"
+         | l -> String.concat ", " (List.map fst l)))
 
-let source_current t op name = op.x.(branch_slot t name)
+let branch_slot t name = branch_slot_named t ~caller:"Engine.branch_slot" name
 
-let branch_row = branch_slot
+let source_current t op name =
+  op.x.(branch_slot_named t ~caller:"Engine.source_current" name)
+
+let branch_row t name = branch_slot_named t ~caller:"Engine.branch_row" name
 
 type trace = { times : float array; states : float array array }
 
@@ -474,14 +638,27 @@ let source_breakpoints t ~tstop =
   let sorted = List.sort_uniq Float.compare !acc in
   Array.of_list sorted
 
-let transient ?(trap = false) ?(dt_min_factor = 1.0 /. 256.0) t ~tstop ~dt =
-  let start = dc ~time:0.0 t in
+let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
+  let opts = match options with Some o -> o | None -> current_options () in
+  (* Per-call keyword overrides win over the ambient/explicit option set. *)
+  let opts = match trap with Some b -> { opts with trap = b } | None -> opts in
+  let opts =
+    match dt_min_factor with
+    | Some f -> { opts with dt_min_factor = f }
+    | None -> opts
+  in
+  let trap = opts.trap in
+  let dt = dt *. opts.dt_scale in
+  t.work_used <- 0;
+  t.work_cap <- opts.work_cap;
+  (* The t=0 operating point shares this solve's work budget. *)
+  let start = dc_core ~opts ~time:0.0 t in
   let n = unknowns t in
   let nq = Int.max t.n_charges 1 in
   (* Recover the consistent charge state at t = 0. *)
   Array.blit start.x 0 t.xws 0 n;
   assemble t ~mode:Dc ~time:0.0 ~x:t.xws ~q_prev:t.q_work ~i_prev:t.i_work
-    ~gmin:1e-12 ~sscale:1.0;
+    ~gmin:opts.gmin_floor ~sscale:1.0;
   let q_prev = ref (Array.copy t.q_work) in
   let i_prev = ref (Array.make nq 0.0) in
   Array.blit t.i_work 0 !i_prev 0 nq;
@@ -517,7 +694,8 @@ let transient ?(trap = false) ?(dt_min_factor = 1.0 /. 256.0) t ~tstop ~dt =
   done;
   let time = ref 0.0 in
   let h = ref dt in
-  let dt_min = dt *. dt_min_factor in
+  let dt_min = dt *. opts.dt_min_factor in
+  let last_reject = ref None in
   while !time < tstop -. 1e-18 do
     let h_nat = Float.min !h (tstop -. !time) in
     (* Truncate (or slightly stretch) the step to land on the next source
@@ -530,11 +708,14 @@ let transient ?(trap = false) ?(dt_min_factor = 1.0 /. 256.0) t ~tstop ~dt =
     let h_now = t_next -. !time in
     let mode = Tran { h = h_now; trap } in
     Array.blit x 0 t.xws 0 n;
-    if
+    match
       newton t ~mode ~time:t_next ~x:t.xws ~q_prev:!q_prev ~i_prev:!i_prev
-        ~gmin:1e-12 ~sscale:1.0 ~max_iter:40
-    then begin
+        ~gmin:opts.gmin_floor ~sscale:1.0 ~max_iter:opts.max_iter_tran
+        ~clamp:opts.damping_clamp
+    with
+    | N_converged ->
       bump t c_accepted 1;
+      t.work_used <- t.work_used + 1;
       time := t_next;
       Array.blit t.xws 0 x 0 n;
       (* Double-buffer swap: the accepted charges in [t.q_work]/[t.i_work]
@@ -553,18 +734,37 @@ let transient ?(trap = false) ?(dt_min_factor = 1.0 /. 256.0) t ~tstop ~dt =
         done
       end;
       h := Float.min dt (!h *. 1.4)
-    end
-    else begin
+    | N_work_cap ->
+      flush_counters t;
+      Diag.fail ~time:!time ~counters:(counter_snapshot t)
+        ~analysis:"transient" Work_cap_exceeded "work cap %d exhausted"
+        t.work_cap
+    | outcome ->
       bump t c_rejected 1;
+      last_reject := Some outcome;
       h := h_now /. 2.0;
       if !h < dt_min then begin
         flush_counters t;
-        raise
-          (No_convergence
-             (Printf.sprintf "transient: step rejected below dt_min at t=%.3e"
-                !time))
+        (* The floor itself is the symptom; classify by what kept killing
+           the steps on the way down. *)
+        let kind : Diag.kind =
+          match !last_reject with
+          | Some (N_nonfinite _) -> Nonfinite_update
+          | Some (N_singular _) -> Singular_jacobian
+          | _ -> Tran_step_floor
+        in
+        let newton_iter, dmax =
+          match !last_reject with
+          | Some (N_max_iter { iter; dmax }) -> (Some iter, Some dmax)
+          | Some (N_singular { iter } | N_nonfinite { iter }) ->
+            (Some iter, None)
+          | _ -> (None, None)
+        in
+        Diag.fail ~time:!time ?newton_iter ?dmax
+          ~stage:(Printf.sprintf "h=%.3e dt_min=%.3e" !h dt_min)
+          ~counters:(counter_snapshot t) ~analysis:"transient" kind
+          "step rejected below dt_min"
       end
-    end
   done;
   flush_counters t;
   {

@@ -20,28 +20,75 @@ type t
     instance is not thread-safe: its workspace is reused across solves, so
     share nothing — compile one engine per domain. *)
 
-exception No_convergence of string
-
 val compile : Netlist.t -> t
 
 val unknowns : t -> int
 (** Size of the MNA solution vector. *)
+
+(** {1 Solver options}
+
+    Every tunable of the DC/transient solvers in one record, so a retry
+    policy can escalate a whole sample at once.  Solver failures raise
+    {!Diag.Solver_error} with a typed diagnostic — this module raises no
+    string exceptions. *)
+
+type solver_options = {
+  max_iter_dc : int;        (** Newton cap per DC continuation stage (80) *)
+  max_iter_tran : int;      (** Newton cap per transient step (40) *)
+  damping_clamp : float;    (** node-voltage update clamp, V (0.5) *)
+  gmin_floor : float;       (** diagonal conductance floor, S (1e-12) *)
+  gmin_ladder : float list; (** gmin stepping stages, before the floor *)
+  source_ladder : float list;  (** source stepping scale factors *)
+  dt_min_factor : float;    (** minimum step as a fraction of [dt] (1/256) *)
+  dt_scale : float;         (** scales the requested [dt] (1.0); retry
+                                escalation halves it *)
+  trap : bool;              (** trapezoidal integration (default BE) *)
+  work_cap : int;
+      (** watchdog: max Newton iterations + accepted steps per public solve
+          — a deterministic bound, unlike wall-clock, so a pathological
+          corner fails identically on every machine and worker count *)
+}
+
+val default_options : solver_options
+
+val escalate : attempt:int -> solver_options -> solver_options
+(** Options for retry attempt [attempt] (0 = first try, returned
+    unchanged).  Attempt 1 is value-neutral — it only relaxes limits that
+    cannot alter the result of a solve that succeeds (iteration caps, work
+    cap, denser gmin ladder), so a retried sample whose re-run encounters
+    no fault reproduces the first-attempt value bit-for-bit.  Attempt >= 2
+    additionally halves the step ([dt_scale]), lowers the [dt_min] floor
+    and tightens the damping clamp. *)
+
+val with_options : solver_options -> (unit -> 'a) -> 'a
+(** Run a thunk with the given options ambient on the current domain:
+    [dc]/[transient] calls that don't pass [?options] pick them up.  This
+    is how the runtime's retry ladder escalates measurement code that calls
+    the solver many layers down.  Restores the previous ambient options on
+    exit (including by exception); ambient state is per-domain
+    ([Domain.DLS]), so parallel workers don't interfere. *)
+
+val current_options : unit -> solver_options
+(** The ambient options of the current domain ({!default_options} unless
+    inside {!with_options}). *)
 
 type op = {
   x : float array;       (** converged solution vector *)
   time : float;          (** time at which sources were evaluated *)
 }
 
-val dc : ?guess:float array -> ?time:float -> t -> op
+val dc : ?options:solver_options -> ?guess:float array -> ?time:float -> t -> op
 (** Operating point.  Tries direct Newton from [guess] (default: all zeros),
-    then gmin stepping, then source stepping.
-    @raise No_convergence if every strategy fails. *)
+    then gmin stepping, then source stepping, under [options] (default:
+    {!current_options}).
+    @raise Diag.Solver_error with kind [Dc_no_convergence],
+    [Singular_jacobian], [Nonfinite_update] or [Work_cap_exceeded]. *)
 
 val voltage : t -> op -> Netlist.node -> float
 val source_current : t -> op -> string -> float
 (** Branch current of a named voltage source (positive current flows into
     the [plus] terminal through the source toward [minus]).
-    @raise Not_found for unknown names. *)
+    @raise Invalid_argument naming the unknown source and the known names. *)
 
 type trace = {
   times : float array;
@@ -49,6 +96,7 @@ type trace = {
 }
 
 val transient :
+  ?options:solver_options ->
   ?trap:bool ->
   ?dt_min_factor:float ->
   t -> tstop:float -> dt:float -> trace
@@ -58,7 +106,12 @@ val transient :
     and grown back on easy convergence.  Steps are aligned to the waveform
     corners of every independent source (pulse edges, PWL vertices), so
     sharp input transitions are landed on exactly rather than straddled.
-    @raise No_convergence if a step fails at the minimum size. *)
+    [?trap]/[?dt_min_factor] override the corresponding [options] fields
+    (default: {!current_options}); the t=0 operating point shares the
+    solve's work budget.
+    @raise Diag.Solver_error with kind [Tran_step_floor] (or
+    [Nonfinite_update]/[Singular_jacobian] when that is what kept killing
+    steps), [Work_cap_exceeded], or a DC kind from the t=0 solve. *)
 
 val node_wave : t -> trace -> Netlist.node -> float array
 val source_current_wave : t -> trace -> string -> float array
@@ -70,7 +123,7 @@ val residual_norm : t -> op -> float
 val branch_row : t -> string -> int
 (** Index of a voltage source's branch-constraint row/column in the MNA
     system (used by {!Ac} to place the excitation).
-    @raise Not_found for unknown names. *)
+    @raise Invalid_argument naming the unknown source and the known names. *)
 
 val linearize : t -> op -> Vstat_linalg.Matrix.t * Vstat_linalg.Matrix.t
 (** [linearize t op] is the small-signal (G, C) pair at the operating

@@ -37,6 +37,14 @@ let parse_value s =
   | Some v -> v *. scale
   | None -> failwith (Printf.sprintf "malformed value %S" s)
 
+(* Like [parse_value] but failures surface as [Parse_error] carrying the
+   offending line number, so every malformed scalar in a deck reports
+   uniformly instead of leaking a bare [Failure]. *)
+let value ~line s =
+  match parse_value s with
+  | v -> v
+  | exception Failure m -> fail line "%s" m
+
 (* --- logical lines: strip comments, join continuations --- *)
 
 let logical_lines text =
@@ -105,8 +113,7 @@ let parse_paren_args line name body =
     in
     Some
       (List.map
-         (fun t ->
-           try parse_value t with Failure m -> fail line "%s" m)
+         (fun t -> value ~line t)
          (tokens (String.map (fun c -> if c = ',' then ' ' else c) inside)))
   end
   else None
@@ -153,9 +160,7 @@ let parse_source_wave line rest =
               | _ -> fail line "DC needs a value"
             else first
           in
-          match parse_value value_token with
-          | v -> Waveform.Dc v
-          | exception Failure m -> fail line "%s" m))))
+          Waveform.Dc (value ~line value_token)))))
 
 (* --- .model cards --- *)
 
@@ -188,16 +193,16 @@ let parse_model line toks =
       |> String.map (fun c -> if c = '(' || c = ')' then ' ' else c)
     in
     let assignments = parse_assignments line (tokens body) in
-    let value key = List.assoc_opt key assignments in
+    let lookup key = List.assoc_opt key assignments in
     let polarity =
-      match value "type" with
+      match lookup "type" with
       | Some v -> polarity_of line v
       | None -> fail line ".model needs type=n|p"
     in
     let num key default =
-      match value key with
+      match lookup key with
       | None -> default
-      | Some v -> ( try parse_value v with Failure m -> fail line "%s" m)
+      | Some v -> value ~line v
     in
     let card =
       match String.lowercase_ascii family with
@@ -303,50 +308,44 @@ let parse_string text =
           let name, card = parse_model line toks in
           Hashtbl.replace models name card)
         | ".tran", [ tstep; tstop ] ->
-          (try
-             analyses :=
-               Tran { tstep = parse_value tstep; tstop = parse_value tstop }
-               :: !analyses
-           with Failure m -> fail line "%s" m)
+          analyses :=
+            Tran { tstep = value ~line tstep; tstop = value ~line tstop }
+            :: !analyses
         | ".dc", [ source; start; stop; step ] ->
-          (try
-             analyses :=
-               Dc_sweep
-                 {
-                   source = String.lowercase_ascii source;
-                   start = parse_value start;
-                   stop = parse_value stop;
-                   step = parse_value step;
-                 }
-               :: !analyses
-           with Failure m -> fail line "%s" m)
+          analyses :=
+            Dc_sweep
+              {
+                source = String.lowercase_ascii source;
+                start = value ~line start;
+                stop = value ~line stop;
+                step = value ~line step;
+              }
+            :: !analyses
         | ".ac", [ kind; points; f_start; f_stop; source ] ->
           if String.lowercase_ascii kind <> "dec" then
             fail line ".ac supports only DEC sweeps";
-          (try
-             analyses :=
-               Ac
-                 {
-                   points_per_decade = int_of_float (parse_value points);
-                   f_start = parse_value f_start;
-                   f_stop = parse_value f_stop;
-                   source = String.lowercase_ascii source;
-                 }
-               :: !analyses
-           with Failure m -> fail line "%s" m)
+          analyses :=
+            Ac
+              {
+                points_per_decade = int_of_float (value ~line points);
+                f_start = value ~line f_start;
+                f_stop = value ~line f_stop;
+                source = String.lowercase_ascii source;
+              }
+            :: !analyses
         | directive, _ -> fail line "unsupported directive %s" directive)
       | 'r' -> (
         match rest with
         | [ a; b; v ] -> (
-          try Netlist.resistor netlist head ~a:(node a) ~b:(node b)
-                ~ohms:(parse_value v)
+          let ohms = value ~line v in
+          try Netlist.resistor netlist head ~a:(node a) ~b:(node b) ~ohms
           with Failure m | Invalid_argument m -> fail line "%s" m)
         | _ -> fail line "R element: Rname n+ n- value")
       | 'c' -> (
         match rest with
         | [ a; b; v ] -> (
-          try Netlist.capacitor netlist head ~a:(node a) ~b:(node b)
-                ~farads:(parse_value v)
+          let farads = value ~line v in
+          try Netlist.capacitor netlist head ~a:(node a) ~b:(node b) ~farads
           with Failure m | Invalid_argument m -> fail line "%s" m)
         | _ -> fail line "C element: Cname n+ n- value")
       | 'v' -> (
@@ -377,7 +376,7 @@ let parse_string text =
           let geom key default =
             match List.assoc_opt key assignments with
             | None -> default
-            | Some v -> ( try parse_value v with Failure m -> fail line "%s" m)
+            | Some v -> value ~line v
           in
           let w = geom "w" 600e-9 and l = geom "l" 40e-9 in
           let dev = device_of_card head card ~w ~l in

@@ -1,0 +1,132 @@
+type kind = Nan_current | Inf_current | Perturb_derivs | Raise
+
+exception Injected of string
+
+let kind_name = function
+  | Nan_current -> "nan"
+  | Inf_current -> "inf"
+  | Perturb_derivs -> "perturb"
+  | Raise -> "raise"
+
+type config = { rate : float; kind : kind; seed : int }
+
+type plan = { device_ordinal : int; at_eval : int; kind : kind }
+
+(* Device ordinals are drawn modulo this span; wrap sites match creation
+   ordinals the same way, so any circuit with at least [ordinal_span]
+   transistors is guaranteed a hit when a plan fires. *)
+let ordinal_span = 4
+
+(* fmix64 finalizer (MurmurHash3): full-avalanche mixing so consecutive keys
+   land on independent [0,1) draws. *)
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xff51afd7ed558ccdL
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xc4ceb9fe1a85ec53L
+  in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let plan cfg ~key =
+  if cfg.rate <= 0.0 then None
+  else begin
+    let h =
+      mix64
+        (Int64.add
+           (Int64.mul (Int64.of_int cfg.seed) golden)
+           (mix64 (Int64.of_int key)))
+    in
+    let u = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53 in
+    if u >= cfg.rate then None
+    else begin
+      let h2 = mix64 (Int64.logxor h golden) in
+      {
+        device_ordinal =
+          Int64.to_int (Int64.logand h2 (Int64.of_int (ordinal_span - 1)));
+        at_eval =
+          1 + Int64.to_int (Int64.logand (Int64.shift_right_logical h2 8) 255L);
+        kind = cfg.kind;
+      }
+      |> Option.some
+    end
+  end
+
+let wrap plan (dev : Device_model.t) =
+  (* One counter shared by the value and derivative paths: the fault engages
+     at the [at_eval]-th model evaluation of this device instance and stays
+     engaged, mimicking a latched bad state rather than a one-shot glitch. *)
+  let evals = ref 0 in
+  let engaged () =
+    incr evals;
+    !evals >= plan.at_eval
+  in
+  let fault_msg () =
+    Printf.sprintf "injected %s fault in %s at eval %d" (kind_name plan.kind)
+      dev.Device_model.name !evals
+  in
+  let eval ~vg ~vd ~vs ~vb =
+    let st = dev.Device_model.eval ~vg ~vd ~vs ~vb in
+    if engaged () then
+      match plan.kind with
+      | Raise -> raise (Injected (fault_msg ()))
+      | Nan_current -> { st with Device_model.id = Float.nan }
+      | Inf_current -> { st with Device_model.id = Float.infinity }
+      | Perturb_derivs -> st
+    else st
+  in
+  let eval_derivs =
+    Option.map
+      (fun ed ~vg ~vd ~vs ~vb (buf : Device_model.derivs) ->
+        ed ~vg ~vd ~vs ~vb buf;
+        if engaged () then
+          match plan.kind with
+          | Raise -> raise (Injected (fault_msg ()))
+          | Nan_current -> buf.Device_model.v_id <- Float.nan
+          | Inf_current -> buf.Device_model.v_id <- Float.infinity
+          | Perturb_derivs ->
+            (* Corrupt the Jacobian only: the residual stays honest, so
+               Newton either limps to the true solution or fails typed. *)
+            for i = 0 to 3 do
+              buf.Device_model.did.(i) <- buf.Device_model.did.(i) *. 3.0
+            done)
+      dev.Device_model.eval_derivs
+  in
+  { dev with Device_model.eval; eval_derivs }
+
+let kind_of_string = function
+  | "nan" -> Some Nan_current
+  | "inf" -> Some Inf_current
+  | "perturb" -> Some Perturb_derivs
+  | "raise" -> Some Raise
+  | _ -> None
+
+let parse_spec ?(seed = 0x1d0a) s =
+  let rate_s, kind_s =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  match float_of_string_opt (String.trim rate_s) with
+  | None -> Error (Printf.sprintf "invalid fault rate %S" rate_s)
+  | Some rate when not (rate >= 0.0 && rate <= 1.0) ->
+    Error (Printf.sprintf "fault rate %g out of [0,1]" rate)
+  | Some rate -> (
+    match kind_s with
+    | None -> Ok { rate; kind = Raise; seed }
+    | Some k -> (
+      match kind_of_string (String.lowercase_ascii (String.trim k)) with
+      | Some kind -> Ok { rate; kind; seed }
+      | None ->
+        Error
+          (Printf.sprintf "unknown fault kind %S (expected nan|inf|perturb|raise)"
+             k)))
+
+let spec_to_string cfg =
+  Printf.sprintf "%g:%s" cfg.rate (kind_name cfg.kind)

@@ -1,0 +1,60 @@
+(** Deterministic fault injection for compact-model instances.
+
+    Wraps a {!Device_model.t} so that, from a chosen model-evaluation
+    ordinal onward, the device misbehaves in a configured way.  The point
+    is chaos testing of the solver's failure path: every fault decision is
+    a pure function of [(config.seed, key)] — no global state, no clock, no
+    OS randomness — so an injected run is reproducible and independent of
+    worker count or scheduling.  The caller derives [key] from the Monte
+    Carlo sample index (and retry attempt), making injection per-sample
+    deterministic yet independent across retry attempts.
+
+    Key scheme: [mix64 (seed * golden + mix64 key)] (fmix64 finalizer)
+    yields a uniform [0,1) draw decided against [rate]; on a hit, a second
+    mix selects which device (by creation ordinal modulo {!ordinal_span})
+    and which evaluation ordinal the fault engages at.  Once engaged, the
+    fault persists for the remaining life of the wrapped instance. *)
+
+type kind =
+  | Nan_current      (** channel current becomes NaN *)
+  | Inf_current      (** channel current becomes +inf *)
+  | Perturb_derivs   (** analytic conductances scaled 3x; residual honest *)
+  | Raise            (** the model evaluation raises {!Injected} *)
+
+exception Injected of string
+(** Raised by a [Raise]-kind fault; classified as ["injected_fault"] by the
+    runtime failure census (registration lives in [Vstat_circuit.Diag]). *)
+
+val kind_name : kind -> string
+val kind_of_string : string -> kind option
+
+type config = {
+  rate : float;  (** probability a given key carries a fault, in [0,1] *)
+  kind : kind;
+  seed : int;    (** decorrelates the injection stream from the MC stream *)
+}
+
+type plan = {
+  device_ordinal : int;  (** which device (creation order mod span) faults *)
+  at_eval : int;         (** 1-based evaluation ordinal the fault engages at *)
+  kind : kind;
+}
+
+val ordinal_span : int
+(** Modulus for [device_ordinal]; wrap sites compare creation ordinals
+    modulo this value. *)
+
+val plan : config -> key:int -> plan option
+(** Deterministic decision for one key: [None] (no fault — probability
+    [1 - rate]) or the fault placement.  Same config and key always yield
+    the same answer. *)
+
+val wrap : plan -> Device_model.t -> Device_model.t
+(** The same device with the fault armed on both the value and analytic
+    derivative paths (shared evaluation counter). *)
+
+val parse_spec : ?seed:int -> string -> (config, string) result
+(** Parse the CLI syntax [RATE[:KIND]], e.g. ["0.05"] or ["0.05:nan"];
+    kind defaults to [Raise]. *)
+
+val spec_to_string : config -> string

@@ -20,6 +20,18 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
    converge or to switch; anything beyond the budget is a modeling bug. *)
 let default_max_failure_frac = 0.2
 
+(* Process-wide resilience defaults, set by the CLIs (--retry,
+   --inject-fault) before any experiment runs; explicit arguments win. *)
+let default_retry = ref Vstat_runtime.Runtime.no_retry
+let set_default_retry p = default_retry := p
+let default_inject : Vstat_device.Fault_inject.config option ref = ref None
+let set_default_inject c = default_inject := c
+
+(* Injection key for (sample, attempt): injective for < 64 attempts, so
+   each retry attempt rolls an independent fault decision while staying a
+   pure function of the sample index — jobs-independent. *)
+let inject_key ~index ~attempt = (index * 64) + attempt
+
 (* Circuit-engine work attributable to one Monte Carlo run, from snapshots
    of the process-wide counters (exact: workers flush at the end of every
    solve and the pool has joined before [after] is read). *)
@@ -38,12 +50,32 @@ let engine_tallies ~before ~after =
     ("bp_hits", f d.breakpoint_hits);
   ]
 
-let collect ?jobs ?(max_failure_frac = default_max_failure_frac) ~label ~n
-    ~tech_of_rng ~rng ~measure () =
+let collect_run ?jobs ?(max_failure_frac = default_max_failure_frac) ?retry
+    ?inject ~label ~n ~tech_of_rng ~rng ~measure () =
+  let retry = match retry with Some r -> r | None -> !default_retry in
+  let inject =
+    match inject with Some i -> Some i | None -> !default_inject
+  in
   let before = Vstat_circuit.Engine.global_counters () in
   let r =
-    Vstat_runtime.Runtime.map_rng_samples ?jobs ~rng ~n
-      ~f:(fun sample_rng -> measure (tech_of_rng sample_rng))
+    Vstat_runtime.Runtime.map_rng_attempt_samples ?jobs ~retry ~rng ~n
+      ~f:(fun ~attempt ~index sample_rng ->
+        let tech = tech_of_rng sample_rng in
+        let tech =
+          match inject with
+          | None -> tech
+          | Some cfg ->
+            Vstat_cells.Celltech.with_fault_injection cfg
+              ~key:(inject_key ~index ~attempt) tech
+        in
+        (* Attempt 0 escalates to exactly the defaults, so the plain path
+           is untouched; retries re-run the whole measurement under
+           progressively more forgiving ambient solver options. *)
+        let opts =
+          Vstat_circuit.Engine.escalate ~attempt
+            Vstat_circuit.Engine.default_options
+        in
+        Vstat_circuit.Engine.with_options opts (fun () -> measure tech))
       ()
   in
   let after = Vstat_circuit.Engine.global_counters () in
@@ -54,7 +86,13 @@ let collect ?jobs ?(max_failure_frac = default_max_failure_frac) ~label ~n
       m "%s: %a" label Vstat_runtime.Runtime.pp_stats stats);
   Vstat_runtime.Runtime.check_budget ~label:("Mc_compare:" ^ label)
     ~max_failure_frac r;
-  Vstat_runtime.Runtime.values r
+  { r with stats }
+
+let collect ?jobs ?max_failure_frac ?retry ?inject ~label ~n ~tech_of_rng ~rng
+    ~measure () =
+  Vstat_runtime.Runtime.values
+    (collect_run ?jobs ?max_failure_frac ?retry ?inject ~label ~n ~tech_of_rng
+       ~rng ~measure ())
 
 let summarize ~label golden vs =
   {
@@ -68,32 +106,37 @@ let summarize ~label golden vs =
     overlap = Vstat_stats.Compare.density_overlap golden vs;
   }
 
-let run_lists ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure =
+let run_lists ?jobs ?max_failure_frac ?retry ?inject p ~label ~vdd ~n ~seed
+    ~measure =
   let rng_g = Vstat_util.Rng.create ~seed in
   let rng_v = Vstat_util.Rng.create ~seed:(seed + 1) in
   let golden =
-    collect ?jobs ?max_failure_frac ~label:(label ^ "/golden") ~n
+    collect ?jobs ?max_failure_frac ?retry ?inject ~label:(label ^ "/golden")
+      ~n
       ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_bsim p ~rng ~vdd)
       ~rng:rng_g ~measure ()
   in
   let vs =
-    collect ?jobs ?max_failure_frac ~label:(label ^ "/vs") ~n
+    collect ?jobs ?max_failure_frac ?retry ?inject ~label:(label ^ "/vs") ~n
       ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_vs p ~rng ~vdd)
       ~rng:rng_v ~measure ()
   in
   (label, golden, vs)
 
-let run ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure =
+let run ?jobs ?max_failure_frac ?retry ?inject p ~label ~vdd ~n ~seed ~measure
+    =
   let label, golden, vs =
-    run_lists ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed
+    run_lists ?jobs ?max_failure_frac ?retry ?inject p ~label ~vdd ~n ~seed
       ~measure:(fun tech -> [ measure tech ])
   in
   summarize ~label (Array.map (fun l -> List.hd l) golden)
     (Array.map (fun l -> List.hd l) vs)
 
-let run_many ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure =
+let run_many ?jobs ?max_failure_frac ?retry ?inject p ~label ~vdd ~n ~seed
+    ~measure =
   let label, golden, vs =
-    run_lists ?jobs ?max_failure_frac p ~label ~vdd ~n ~seed ~measure
+    run_lists ?jobs ?max_failure_frac ?retry ?inject p ~label ~vdd ~n ~seed
+      ~measure
   in
   if Array.length golden = 0 then []
   else begin

@@ -13,9 +13,58 @@ type pair = {
   overlap : float;           (** KDE overlap in [0,1] *)
 }
 
+val set_default_retry : Vstat_runtime.Runtime.retry_policy -> unit
+(** Process-wide default retry policy for every comparison run (the CLIs'
+    [--retry N]); explicit [?retry] arguments win.  Default:
+    {!Vstat_runtime.Runtime.no_retry}. *)
+
+val set_default_inject : Vstat_device.Fault_inject.config option -> unit
+(** Process-wide default fault-injection config (the CLIs'
+    [--inject-fault RATE[:KIND]]); explicit [?inject] arguments win.
+    Default: no injection. *)
+
+val collect :
+  ?jobs:int ->
+  ?max_failure_frac:float ->
+  ?retry:Vstat_runtime.Runtime.retry_policy ->
+  ?inject:Vstat_device.Fault_inject.config ->
+  label:string ->
+  n:int ->
+  tech_of_rng:(Vstat_util.Rng.t -> Vstat_cells.Celltech.t) ->
+  rng:Vstat_util.Rng.t ->
+  measure:(Vstat_cells.Celltech.t -> 'a) ->
+  unit ->
+  'a array
+(** One Monte Carlo sweep: sample [i] builds a technology from its own RNG
+    substream, optionally arms a deterministic injected fault
+    ({!Vstat_cells.Celltech.with_fault_injection}, keyed by sample index
+    and retry attempt), and measures under ambient solver options
+    escalated per attempt ({!Vstat_circuit.Engine.escalate} inside
+    {!Vstat_circuit.Engine.with_options}).  Surviving values are returned
+    in sample order after {!Vstat_runtime.Runtime.check_budget} enforces
+    [max_failure_frac] (default 0.2) with a per-category census. *)
+
+val collect_run :
+  ?jobs:int ->
+  ?max_failure_frac:float ->
+  ?retry:Vstat_runtime.Runtime.retry_policy ->
+  ?inject:Vstat_device.Fault_inject.config ->
+  label:string ->
+  n:int ->
+  tech_of_rng:(Vstat_util.Rng.t -> Vstat_cells.Celltech.t) ->
+  rng:Vstat_util.Rng.t ->
+  measure:(Vstat_cells.Celltech.t -> 'a) ->
+  unit ->
+  'a Vstat_runtime.Runtime.run
+(** {!collect} returning the full run record (per-sample cells, attempt
+    counts, retry/recovery stats, engine tallies) — what the chaos benches
+    and failure-path tests inspect. *)
+
 val run :
   ?jobs:int ->
   ?max_failure_frac:float ->
+  ?retry:Vstat_runtime.Runtime.retry_policy ->
+  ?inject:Vstat_device.Fault_inject.config ->
   Vstat_core.Pipeline.t ->
   label:string ->
   vdd:float ->
@@ -27,14 +76,16 @@ val run :
     Monte Carlo sample).  Sampling runs on {!Vstat_runtime.Runtime}
     ([jobs] workers; sample [i] always sees substream [i], so results do
     not depend on the worker count).  Failed samples (convergence or
-    measurement failures) are captured and skipped; if more than
-    [max_failure_frac] (default 0.2) of either model's samples fail, the
-    run raises [Failure] with per-exception-constructor failure counts in
-    the message. *)
+    measurement failures) are captured, optionally retried under escalated
+    solver options, and skipped once dead; if more than [max_failure_frac]
+    (default 0.2) of either model's samples fail, the run raises [Failure]
+    with per-category failure counts in the message. *)
 
 val run_many :
   ?jobs:int ->
   ?max_failure_frac:float ->
+  ?retry:Vstat_runtime.Runtime.retry_policy ->
+  ?inject:Vstat_device.Fault_inject.config ->
   Vstat_core.Pipeline.t ->
   label:string ->
   vdd:float ->

@@ -3,11 +3,37 @@ let log_src =
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* --- failure classification --- *)
+
+(* Domain layers register classifiers mapping their typed exceptions to a
+   census category (e.g. the circuit engine's [Diag.Solver_error] to its
+   diagnostic kind).  Registration happens at library initialization, before
+   any pool exists, so reads from worker domains race with nothing. *)
+let classifiers : (exn -> string option) list ref = ref []
+
+let register_classifier f = classifiers := f :: !classifiers
+
+let classify exn =
+  let rec first = function
+    | [] -> Printexc.exn_slot_name exn
+    | f :: rest -> ( match f exn with Some c -> c | None -> first rest)
+  in
+  first !classifiers
+
+type attempt_failure = {
+  attempt : int;
+  category : string;
+  detail : string;
+}
+
 type failure = {
   index : int;
   exn_name : string;
+  category : string;
   detail : string;
   exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  history : attempt_failure list;
 }
 
 type stats = {
@@ -16,13 +42,30 @@ type stats = {
   wall_s : float;
   samples_per_sec : float;
   per_worker : int array;
+  retried_samples : int;
+  recovered_samples : int;
   tallies : (string * float) list;
 }
 
 type 'a run = {
   cells : ('a, failure) result array;
+  attempts : int array;
   stats : stats;
 }
+
+(* --- retry policy --- *)
+
+type retry_policy = {
+  max_attempts : int;
+  retryable : exn -> bool;
+}
+
+let retry ?(retryable = fun _ -> true) max_attempts =
+  if max_attempts < 1 then
+    invalid_arg "Runtime.retry: max_attempts must be >= 1";
+  { max_attempts; retryable }
+
+let no_retry = { max_attempts = 1; retryable = (fun _ -> false) }
 
 (* --- worker-count policy --- *)
 
@@ -52,24 +95,53 @@ let set_default_jobs j =
 
 (* --- execution --- *)
 
-let capture index exn =
-  { index; exn_name = Printexc.exn_slot_name exn;
-    detail = Printexc.to_string exn; exn }
+let capture ~index ~history exn backtrace =
+  {
+    index;
+    exn_name = Printexc.exn_slot_name exn;
+    category = classify exn;
+    detail = Printexc.to_string exn;
+    exn;
+    backtrace;
+    history = List.rev history;
+  }
 
-let eval f i = match f i with v -> Ok v | exception e -> Error (capture i e)
+(* One sample under the retry ladder.  The ladder runs inline on the worker
+   that owns index [i], so the (attempt sequence, result) is a pure function
+   of [i] — scheduling and worker count cannot perturb it. *)
+let eval ~policy f i =
+  let rec go attempt history =
+    match f ~attempt i with
+    | v -> (Ok v, attempt + 1)
+    | exception exn ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      if attempt + 1 < policy.max_attempts && policy.retryable exn then
+        go (attempt + 1)
+          ({ attempt; category = classify exn;
+             detail = Printexc.to_string exn }
+           :: history)
+      else (Error (capture ~index:i ~history exn backtrace), attempt + 1)
+  in
+  go 0 []
 
-let run_serial ?on_progress ~n ~f () =
+let run_serial ?on_progress ~policy ~n ~f () =
+  let attempts = Array.make n 0 in
   let chunk = Int.max 1 (n / 20) in
-  Array.init n (fun i ->
-      let cell = eval f i in
-      (match on_progress with
-      | Some cb when (i + 1) mod chunk = 0 || i = n - 1 ->
-        cb ~completed:(i + 1) ~n
-      | _ -> ());
-      cell)
+  let cells =
+    Array.init n (fun i ->
+        let cell, used = eval ~policy f i in
+        attempts.(i) <- used;
+        (match on_progress with
+        | Some cb when (i + 1) mod chunk = 0 || i = n - 1 ->
+          cb ~completed:(i + 1) ~n
+        | _ -> ());
+        cell)
+  in
+  (cells, attempts, [| n |])
 
-let run_parallel ?on_progress ~jobs ~n ~f () =
+let run_parallel ?on_progress ~policy ~jobs ~n ~f () =
   let cells = Array.make n None in
+  let attempts = Array.make n 0 in
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
   let per_worker = Array.make jobs 0 in
@@ -84,7 +156,9 @@ let run_parallel ?on_progress ~jobs ~n ~f () =
       if start < n then begin
         let stop = Int.min n (start + chunk) in
         for i = start to stop - 1 do
-          cells.(i) <- Some (eval f i)
+          let cell, used = eval ~policy f i in
+          attempts.(i) <- used;
+          cells.(i) <- Some cell
         done;
         per_worker.(w) <- per_worker.(w) + (stop - start);
         let total =
@@ -107,7 +181,7 @@ let run_parallel ?on_progress ~jobs ~n ~f () =
   let cells =
     Array.map (function Some c -> c | None -> assert false) cells
   in
-  (cells, per_worker)
+  (cells, attempts, per_worker)
 
 let failed_count run =
   Array.fold_left
@@ -116,18 +190,26 @@ let failed_count run =
 
 let ok_count run = run.stats.n - failed_count run
 
-let map_samples ?jobs ?on_progress ~n ~f () =
+let map_attempt_samples ?jobs ?on_progress ?(retry = no_retry) ~n ~f () =
   if n < 0 then invalid_arg "Runtime.map_samples: n must be >= 0";
   let jobs =
     match jobs with Some j -> Int.max 1 j | None -> default_jobs ()
   in
   let jobs = Int.max 1 (Int.min jobs n) in
   let t0 = Unix.gettimeofday () in
-  let cells, per_worker =
-    if jobs = 1 then (run_serial ?on_progress ~n ~f (), [| n |])
-    else run_parallel ?on_progress ~jobs ~n ~f ()
+  let cells, attempts, per_worker =
+    if jobs = 1 then run_serial ?on_progress ~policy:retry ~n ~f ()
+    else run_parallel ?on_progress ~policy:retry ~jobs ~n ~f ()
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let retried_samples = ref 0 and recovered_samples = ref 0 in
+  Array.iteri
+    (fun i used ->
+      if used > 1 then begin
+        incr retried_samples;
+        match cells.(i) with Ok _ -> incr recovered_samples | Error _ -> ()
+      end)
+    attempts;
   let stats =
     {
       jobs;
@@ -136,19 +218,37 @@ let map_samples ?jobs ?on_progress ~n ~f () =
       samples_per_sec =
         (if wall_s > 0.0 then Float.of_int n /. wall_s else Float.infinity);
       per_worker;
+      retried_samples = !retried_samples;
+      recovered_samples = !recovered_samples;
       tallies = [];
     }
   in
-  let run = { cells; stats } in
+  let run = { cells; attempts; stats } in
   Log.info (fun m ->
-      m "map_samples: n=%d jobs=%d wall=%.3fs rate=%.0f/s failed=%d" n jobs
-        wall_s stats.samples_per_sec (failed_count run));
+      m "map_samples: n=%d jobs=%d wall=%.3fs rate=%.0f/s failed=%d \
+         retried=%d recovered=%d"
+        n jobs wall_s stats.samples_per_sec (failed_count run)
+        stats.retried_samples stats.recovered_samples);
   run
 
-let map_rng_samples ?jobs ?on_progress ~rng ~n ~f () =
+let map_samples ?jobs ?on_progress ?retry ~n ~f () =
+  map_attempt_samples ?jobs ?on_progress ?retry ~n
+    ~f:(fun ~attempt:_ i -> f i)
+    ()
+
+let map_rng_attempt_samples ?jobs ?on_progress ?retry ~rng ~n ~f () =
   let seed = Int64.to_int (Vstat_util.Rng.bits64 rng) in
-  map_samples ?jobs ?on_progress ~n
-    ~f:(fun i -> f (Vstat_util.Rng.substream ~seed ~index:i))
+  (* Every attempt at sample [i] restarts from a fresh copy of the same
+     substream, so a sample that succeeds on attempt k draws exactly the
+     variates the first attempt saw. *)
+  map_attempt_samples ?jobs ?on_progress ?retry ~n
+    ~f:(fun ~attempt i ->
+      f ~attempt ~index:i (Vstat_util.Rng.substream ~seed ~index:i))
+    ()
+
+let map_rng_samples ?jobs ?on_progress ?retry ~rng ~n ~f () =
+  map_rng_attempt_samples ?jobs ?on_progress ?retry ~rng ~n
+    ~f:(fun ~attempt:_ ~index:_ rng -> f rng)
     ()
 
 (* --- result access --- *)
@@ -168,8 +268,8 @@ let failure_census run =
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun f ->
-      Hashtbl.replace tbl f.exn_name
-        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.exn_name)))
+      Hashtbl.replace tbl f.category
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.category)))
     (failures run);
   let census = Hashtbl.fold (fun name c acc -> (name, c) :: acc) tbl [] in
   List.sort (fun (na, ca) (nb, cb) -> compare (cb, na) (ca, nb)) census
@@ -179,9 +279,11 @@ let census_to_string census =
     (List.map (fun (name, c) -> Printf.sprintf "%s:%d" name c) census)
 
 let check_budget ?(label = "runtime") ~max_failure_frac run =
+  let n = run.stats.n in
   let failed = failed_count run in
-  if failed > 0 then begin
-    let n = run.stats.n in
+  (* An empty run trivially meets any budget; guard it explicitly so the
+     vacuous 0-failures-of-0 case can neither warn nor raise. *)
+  if n > 0 && failed > 0 then begin
     let census = failure_census run in
     let first =
       match failures run with f :: _ -> f.detail | [] -> assert false
@@ -190,21 +292,23 @@ let check_budget ?(label = "runtime") ~max_failure_frac run =
       failwith
         (Printf.sprintf
            "%s: %d/%d samples failed, over the %.0f%% failure budget \
-            (by exception: %s; first: %s)"
+            (by category: %s; first: %s)"
            label failed n
            (100.0 *. max_failure_frac)
            (census_to_string census) first)
     else
       Log.warn (fun m ->
           m "%s: %d/%d samples failed within the %.0f%% budget \
-             (by exception: %s; first: %s)"
+             (by category: %s; first: %s)"
             label failed n
             (100.0 *. max_failure_frac)
             (census_to_string census) first)
   end
 
 let reraise_first_failure run =
-  match failures run with [] -> () | f :: _ -> raise f.exn
+  match failures run with
+  | [] -> ()
+  | f :: _ -> Printexc.raise_with_backtrace f.exn f.backtrace
 
 let with_tallies tallies stats = { stats with tallies }
 
@@ -213,6 +317,9 @@ let pp_stats ppf s =
     "n=%d jobs=%d wall=%.3fs rate=%.0f samples/s per-worker=[%s]" s.n s.jobs
     s.wall_s s.samples_per_sec
     (String.concat ";" (Array.to_list (Array.map string_of_int s.per_worker)));
+  if s.retried_samples > 0 then
+    Format.fprintf ppf " retried=%d recovered=%d" s.retried_samples
+      s.recovered_samples;
   List.iter
     (fun (name, v) ->
       if Float.is_integer v then Format.fprintf ppf " %s=%.0f" name v

@@ -7,26 +7,51 @@
       counter-indexed RNG substreams ({!Vstat_util.Rng.substream}), sample
       [i] computes exactly the same value whether the pool runs 1 worker or
       16, in any scheduling order: results land in an index-stable array,
-      so [jobs:1] and [jobs:n] outputs are bit-identical.
+      so [jobs:1] and [jobs:n] outputs are bit-identical.  The retry ladder
+      preserves this: attempts run inline on the worker that owns the
+      sample, every attempt restarts from a fresh copy of the sample's own
+      substream, and the attempt count at which a sample succeeds is a pure
+      function of the sample index.
     - {b Fault policy.}  A sample that raises is captured as an [Error]
-      cell (constructor name + printed exception), never a torn run.  Call
-      sites enforce a failure budget with {!check_budget}, which raises
-      [Failure] with a per-constructor failure census, or re-raise the
-      first failure with {!reraise_first_failure} for zero-tolerance paths.
-    - {b Observability.}  Each run reports wall time, throughput and
-      per-worker sample tallies ({!stats}); [Logs] gets a debug line per
-      run ("vstat.runtime" source).
+      cell carrying a typed category (via {!register_classifier}), the
+      printed exception, the raw backtrace and the per-attempt failure
+      history — never a torn run.  Call sites enforce a failure budget with
+      {!check_budget}, which raises [Failure] with a per-category failure
+      census, or re-raise the first failure (with its original backtrace)
+      with {!reraise_first_failure} for zero-tolerance paths.  An optional
+      {!retry_policy} re-runs failed samples with an escalating attempt
+      counter before they are declared dead.
+    - {b Observability.}  Each run reports wall time, throughput,
+      per-worker sample tallies and retry/recovery counts ({!stats});
+      [Logs] gets a debug line per run ("vstat.runtime" source).
 
     [jobs:1] executes on the calling domain with no pool, no atomics and no
     per-sample allocation beyond the result cells — the serial fast path.
     [jobs:n] spawns [n-1] additional domains (OCaml 5) and chunk-steals
     indices off a shared counter. *)
 
+type attempt_failure = {
+  attempt : int;      (** 0-based attempt number that failed *)
+  category : string;  (** classified category of that attempt's exception *)
+  detail : string;    (** [Printexc.to_string] of that attempt's exception *)
+}
+
 type failure = {
   index : int;        (** sample index that raised *)
   exn_name : string;  (** exception constructor, e.g. ["Failure"] *)
-  detail : string;    (** [Printexc.to_string] of the exception *)
-  exn : exn;          (** the exception itself, for re-raising *)
+  category : string;
+      (** classified failure category: the first registered classifier's
+          answer, falling back to [exn_name].  The circuit layer maps its
+          typed solver diagnostics here (e.g. ["dc_no_convergence"],
+          ["injected_fault"]), so budgets and censuses report {e why}
+          samples die rather than which constructor carried the news. *)
+  detail : string;    (** [Printexc.to_string] of the final exception *)
+  exn : exn;          (** the final exception itself, for re-raising *)
+  backtrace : Printexc.raw_backtrace;
+      (** backtrace captured where the final attempt raised *)
+  history : attempt_failure list;
+      (** earlier failed attempts under the retry ladder, oldest first
+          (empty when the first attempt was also the last) *)
 }
 
 type stats = {
@@ -35,6 +60,8 @@ type stats = {
   wall_s : float;           (** wall-clock time of the run *)
   samples_per_sec : float;
   per_worker : int array;   (** samples executed by each worker; length [jobs] *)
+  retried_samples : int;    (** samples that needed more than one attempt *)
+  recovered_samples : int;  (** retried samples that eventually succeeded *)
   tallies : (string * float) list;
       (** Named work counters attached by the call site (empty by default).
           The runtime itself has no knowledge of what a sample does;
@@ -45,8 +72,28 @@ type stats = {
 
 type 'a run = {
   cells : ('a, failure) result array;  (** index-stable, length [n] *)
+  attempts : int array;
+      (** attempts consumed per sample (1 = first try); length [n] *)
   stats : stats;
 }
+
+val register_classifier : (exn -> string option) -> unit
+(** Register a failure classifier consulted by {!failure_census} and
+    {!failure} capture (most recently registered first).  Classifiers are
+    registered once at library-initialization time; returning [None] passes
+    to the next classifier, ending at the exception constructor name. *)
+
+type retry_policy = {
+  max_attempts : int;        (** total attempts per sample; >= 1 *)
+  retryable : exn -> bool;   (** which failures may be retried *)
+}
+
+val retry : ?retryable:(exn -> bool) -> int -> retry_policy
+(** [retry k] allows up to [k] attempts per sample (default [retryable]:
+    everything).  @raise Invalid_argument when [k < 1]. *)
+
+val no_retry : retry_policy
+(** Exactly one attempt — the default policy. *)
 
 val default_jobs : unit -> int
 (** Worker count used when [?jobs] is omitted: the value forced by
@@ -59,6 +106,7 @@ val set_default_jobs : int -> unit
 val map_samples :
   ?jobs:int ->
   ?on_progress:(completed:int -> n:int -> unit) ->
+  ?retry:retry_policy ->
   n:int ->
   f:(int -> 'a) ->
   unit ->
@@ -67,11 +115,30 @@ val map_samples :
     worker pool.  [f] must be safe to call concurrently from several
     domains (pure up to private state — true of all samplers here, which
     derive everything from their substream index).  [on_progress] is
-    invoked under a mutex from worker context after each chunk. *)
+    invoked under a mutex from worker context after each chunk.  With
+    [retry], a failed sample is re-run in place (same index, same worker)
+    up to [max_attempts] times; use {!map_attempt_samples} when retries
+    should escalate solver options. *)
+
+val map_attempt_samples :
+  ?jobs:int ->
+  ?on_progress:(completed:int -> n:int -> unit) ->
+  ?retry:retry_policy ->
+  n:int ->
+  f:(attempt:int -> int -> 'a) ->
+  unit ->
+  'a run
+(** Like {!map_samples} but [f] also receives the 0-based attempt number,
+    so the call site can escalate per attempt (halve the step, raise the
+    iteration cap, extend the gmin ladder, ...).  Determinism contract: the
+    value of sample [i] is whatever [f ~attempt:k i] first returns without
+    raising, and since the ladder is evaluated inline per index, that value
+    is identical under any [jobs] count. *)
 
 val map_rng_samples :
   ?jobs:int ->
   ?on_progress:(completed:int -> n:int -> unit) ->
+  ?retry:retry_policy ->
   rng:Vstat_util.Rng.t ->
   n:int ->
   f:(Vstat_util.Rng.t -> 'a) ->
@@ -80,7 +147,22 @@ val map_rng_samples :
 (** RNG-threading convenience: derives a base seed from [rng] (advancing it
     by one draw) and hands sample [i] the substream
     [Rng.substream ~seed:base ~index:i].  This is the canonical way to make
-    an existing [~rng] Monte Carlo loop order- and worker-independent. *)
+    an existing [~rng] Monte Carlo loop order- and worker-independent.
+    Under [retry], every attempt restarts from a fresh copy of the same
+    substream. *)
+
+val map_rng_attempt_samples :
+  ?jobs:int ->
+  ?on_progress:(completed:int -> n:int -> unit) ->
+  ?retry:retry_policy ->
+  rng:Vstat_util.Rng.t ->
+  n:int ->
+  f:(attempt:int -> index:int -> Vstat_util.Rng.t -> 'a) ->
+  unit ->
+  'a run
+(** {!map_rng_samples} with the attempt number and sample index exposed:
+    the substream passed for sample [index] is identical on every attempt,
+    so escalated re-runs see exactly the variates the first attempt saw. *)
 
 val values : 'a run -> 'a array
 (** Successful samples in index order (failures skipped). *)
@@ -92,18 +174,23 @@ val ok_count : 'a run -> int
 val failed_count : 'a run -> int
 
 val failure_census : 'a run -> (string * int) list
-(** Failure counts per exception constructor, most frequent first. *)
+(** Failure counts per classified category, most frequent first. *)
+
+val census_to_string : (string * int) list -> string
+(** ["cat:count, ..."] — the census rendering used in budget messages. *)
 
 val check_budget : ?label:string -> max_failure_frac:float -> 'a run -> unit
 (** Enforce the failure budget: if more than [max_failure_frac * n] samples
     failed, raise [Failure] whose message includes the failed/total counts
-    and the per-constructor census.  Surviving failures below the budget are
-    reported once through [Logs.warn] (constructor counts, first detail)
-    rather than one line per sample. *)
+    and the per-category census.  Surviving failures below the budget are
+    reported once through [Logs.warn] (category counts, first detail)
+    rather than one line per sample.  An empty run ([n = 0]) passes any
+    budget silently. *)
 
 val reraise_first_failure : 'a run -> unit
 (** Zero-tolerance policy: re-raise the exception of the lowest-index
-    failed sample, if any. *)
+    failed sample, if any, with the backtrace captured where it originally
+    raised ([Printexc.raise_with_backtrace]). *)
 
 val with_tallies : (string * float) list -> stats -> stats
 (** A copy of [stats] carrying the given named work counters; {!pp_stats}

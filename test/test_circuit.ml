@@ -309,8 +309,16 @@ let test_unknown_source_raises () =
   let eng = E.compile c in
   let op = E.dc eng in
   match E.source_current eng op "nope" with
-  | _ -> Alcotest.fail "expected Not_found"
-  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    (* The message should name the offending source. *)
+    let contains sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names the source" true
+      (contains "nope" msg)
 
 let test_dc_residual_tiny () =
   (* KCL must balance at the converged operating point. *)
@@ -563,14 +571,113 @@ let conflicting_sources () =
 let test_dc_no_convergence () =
   let eng = conflicting_sources () in
   match E.dc eng with
-  | _ -> Alcotest.fail "expected No_convergence"
-  | exception E.No_convergence _ -> ()
+  | _ -> Alcotest.fail "expected Solver_error"
+  | exception Vstat_circuit.Diag.Solver_error d ->
+    Alcotest.(check string)
+      "classified as singular" "singular_jacobian"
+      (Vstat_circuit.Diag.kind_name d.Vstat_circuit.Diag.kind);
+    Alcotest.(check string) "dc analysis" "dc" d.Vstat_circuit.Diag.analysis
 
 let test_transient_no_convergence () =
   let eng = conflicting_sources () in
   match E.transient eng ~tstop:1e-9 ~dt:1e-10 with
-  | _ -> Alcotest.fail "expected No_convergence"
-  | exception E.No_convergence _ -> ()
+  | _ -> Alcotest.fail "expected Solver_error"
+  | exception Vstat_circuit.Diag.Solver_error d ->
+    Alcotest.(check string)
+      "classified as singular" "singular_jacobian"
+      (Vstat_circuit.Diag.kind_name d.Vstat_circuit.Diag.kind)
+
+module Diag = Vstat_circuit.Diag
+
+let kind_of_exn = function
+  | Diag.Solver_error d -> Diag.kind_name d.Diag.kind
+  | e -> raise e
+
+let test_floating_node_singular () =
+  (* A node reached only through a capacitor has no DC path: with the gmin
+     floor disabled the MNA matrix is exactly singular, and the diagnostic
+     must say so rather than reporting a generic convergence failure. *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let n1 = N.node c "n1" in
+  let float_n = N.node c "float" in
+  N.vsource c "v" ~plus:n1 ~minus:gnd ~wave:(W.Dc 1.0);
+  N.capacitor c "c" ~a:n1 ~b:float_n ~farads:1e-15;
+  let eng = E.compile c in
+  let options = { E.default_options with E.gmin_floor = 0.0 } in
+  (match E.dc ~options eng with
+  | _ -> Alcotest.fail "expected Solver_error"
+  | exception e ->
+    Alcotest.(check string) "singular" "singular_jacobian" (kind_of_exn e));
+  (* The default gmin floor regularizes the same circuit. *)
+  let op = E.dc eng in
+  Alcotest.(check bool) "gmin floor rescues it" true
+    (Float.is_finite (E.voltage eng op float_n))
+
+let test_transient_step_floor_typed () =
+  (* A moving source with the per-step Newton budget capped at one iteration
+     can never accept a step: the halving cascade must bottom out in a typed
+     Tran_step_floor diagnostic carrying the analysis context. *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let n1 = N.node c "n1" in
+  let n2 = N.node c "n2" in
+  N.vsource c "v" ~plus:n1 ~minus:gnd
+    ~wave:
+      (W.Sine { W.offset = 0.0; amplitude = 1.0; freq_hz = 1e9; phase = 0.0 });
+  N.resistor c "r" ~a:n1 ~b:n2 ~ohms:1e3;
+  N.capacitor c "c" ~a:n2 ~b:gnd ~farads:1e-12;
+  let eng = E.compile c in
+  let options = { E.default_options with E.max_iter_tran = 1 } in
+  match E.transient ~options eng ~tstop:1e-9 ~dt:1e-10 with
+  | _ -> Alcotest.fail "expected Solver_error"
+  | exception Diag.Solver_error d ->
+    Alcotest.(check string) "step floor" "tran_step_floor"
+      (Diag.kind_name d.Diag.kind);
+    Alcotest.(check string) "transient analysis" "transient" d.Diag.analysis;
+    Alcotest.(check bool) "failure time recorded" true (d.Diag.time <> None)
+
+let test_work_cap_exceeded () =
+  let c, _, _ = build_inverter () in
+  let eng = E.compile c in
+  let options = { E.default_options with E.work_cap = 2 } in
+  (match E.dc ~options eng with
+  | _ -> Alcotest.fail "expected Solver_error"
+  | exception e ->
+    Alcotest.(check string) "work cap" "work_cap_exceeded" (kind_of_exn e));
+  (* The counter snapshot travels with the diagnostic. *)
+  match E.dc ~options eng with
+  | _ -> Alcotest.fail "expected Solver_error"
+  | exception Diag.Solver_error d ->
+    Alcotest.(check bool) "counters attached" true (d.Diag.counters <> [])
+
+let test_escalate_laws () =
+  let o = E.default_options in
+  Alcotest.(check bool) "attempt 0 is identity" true (E.escalate ~attempt:0 o = o);
+  let o1 = E.escalate ~attempt:1 o in
+  (* First escalation is value-neutral: anything that could change the value
+     of an already-successful solve must be untouched. *)
+  Alcotest.(check bool) "attempt 1 keeps dt_scale" true
+    (o1.E.dt_scale = o.E.dt_scale);
+  Alcotest.(check bool) "attempt 1 keeps damping" true
+    (o1.E.damping_clamp = o.E.damping_clamp);
+  Alcotest.(check bool) "attempt 1 keeps gmin floor" true
+    (o1.E.gmin_floor = o.E.gmin_floor);
+  Alcotest.(check bool) "attempt 1 raises iteration caps" true
+    (o1.E.max_iter_dc > o.E.max_iter_dc
+    && o1.E.max_iter_tran > o.E.max_iter_tran);
+  let o2 = E.escalate ~attempt:2 o in
+  Alcotest.(check bool) "attempt 2 shrinks steps" true
+    (o2.E.dt_scale < o.E.dt_scale && o2.E.damping_clamp < o.E.damping_clamp);
+  Alcotest.(check bool) "escalate is deterministic" true
+    (E.escalate ~attempt:3 o = E.escalate ~attempt:3 o);
+  (* Behavioral value-neutrality: a solve that succeeds under the defaults
+     produces the bit-identical operating point under attempt-1 options. *)
+  let c, _, _ = build_inverter () in
+  let eng = E.compile c in
+  let op0 = E.dc eng in
+  let op1 = E.with_options o1 (fun () -> E.dc eng) in
+  Alcotest.(check bool) "bit-identical op" true (op0.E.x = op1.E.x)
 
 let test_netlist_validation () =
   let c = N.create () in
@@ -700,6 +807,12 @@ let () =
         [
           Alcotest.test_case "dc no convergence" `Quick test_dc_no_convergence;
           Alcotest.test_case "transient no convergence" `Quick test_transient_no_convergence;
+          Alcotest.test_case "floating node singular" `Quick
+            test_floating_node_singular;
+          Alcotest.test_case "transient step floor typed" `Quick
+            test_transient_step_floor_typed;
+          Alcotest.test_case "work cap exceeded" `Quick test_work_cap_exceeded;
+          Alcotest.test_case "escalate laws" `Quick test_escalate_laws;
           Alcotest.test_case "netlist validation" `Quick test_netlist_validation;
           Alcotest.test_case "empty pwl" `Quick test_pwl_empty_rejected;
         ] );

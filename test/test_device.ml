@@ -420,6 +420,82 @@ let prop_derivs_match_fd_random =
           ok buf.Dm.did.(0) gm_fd && ok buf.Dm.did.(1) gds_fd)
         all_devices)
 
+(* --- fault injection --- *)
+
+module FI = Vstat_device.Fault_inject
+
+let test_fault_plan_deterministic () =
+  let cfg = { FI.rate = 0.3; kind = FI.Raise; seed = 99 } in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) "same key, same plan" true
+        (FI.plan cfg ~key = FI.plan cfg ~key))
+    [ 0; 1; 2; 17; 1234 ];
+  let none = { cfg with FI.rate = 0.0 } in
+  let all = { cfg with FI.rate = 1.0 } in
+  Alcotest.(check bool) "rate 0 never fires" true
+    (List.for_all (fun key -> FI.plan none ~key = None) (List.init 64 Fun.id));
+  Alcotest.(check bool) "rate 1 always fires" true
+    (List.for_all (fun key -> FI.plan all ~key <> None) (List.init 64 Fun.id));
+  let hits =
+    List.length
+      (List.filter (fun key -> FI.plan cfg ~key <> None) (List.init 1000 Fun.id))
+  in
+  Alcotest.(check bool) "hit rate near configured 30%" true
+    (hits > 220 && hits < 380);
+  List.iter
+    (fun key ->
+      match FI.plan all ~key with
+      | None -> Alcotest.fail "rate 1 must fire"
+      | Some p ->
+        Alcotest.(check bool) "ordinal within span" true
+          (p.FI.device_ordinal >= 0 && p.FI.device_ordinal < FI.ordinal_span);
+        Alcotest.(check bool) "at_eval >= 1" true (p.FI.at_eval >= 1))
+    (List.init 64 Fun.id)
+
+let test_fault_wrap_raise_persistent () =
+  let plan = { FI.device_ordinal = 0; at_eval = 3; kind = FI.Raise } in
+  let dev = FI.wrap plan nmos_vs in
+  let eval () = dev.Dm.eval ~vg:vdd ~vd:vdd ~vs:0.0 ~vb:0.0 in
+  let honest = nmos_vs.Dm.eval ~vg:vdd ~vd:vdd ~vs:0.0 ~vb:0.0 in
+  check_float ~eps:1e-15 "eval 1 honest" honest.Dm.id (eval ()).Dm.id;
+  check_float ~eps:1e-15 "eval 2 honest" honest.Dm.id (eval ()).Dm.id;
+  (match eval () with
+  | _ -> Alcotest.fail "expected Injected at eval 3"
+  | exception FI.Injected _ -> ());
+  match eval () with
+  | _ -> Alcotest.fail "fault must persist after engaging"
+  | exception FI.Injected _ -> ()
+
+let test_fault_wrap_nan_inf () =
+  let mk kind = FI.wrap { FI.device_ordinal = 0; at_eval = 1; kind } nmos_vs in
+  let st = (mk FI.Nan_current).Dm.eval ~vg:vdd ~vd:vdd ~vs:0.0 ~vb:0.0 in
+  Alcotest.(check bool) "current is NaN" true (Float.is_nan st.Dm.id);
+  let st = (mk FI.Inf_current).Dm.eval ~vg:vdd ~vd:vdd ~vs:0.0 ~vb:0.0 in
+  Alcotest.(check bool) "current is +inf" true (st.Dm.id = Float.infinity)
+
+let test_fault_parse_spec () =
+  (match FI.parse_spec "0.05" with
+  | Ok cfg ->
+    check_float ~eps:1e-12 "rate" 0.05 cfg.FI.rate;
+    Alcotest.(check bool) "default kind is raise" true (cfg.FI.kind = FI.Raise)
+  | Error m -> Alcotest.fail m);
+  (match FI.parse_spec "0.1:nan" with
+  | Ok cfg ->
+    Alcotest.(check bool) "nan kind" true (cfg.FI.kind = FI.Nan_current)
+  | Error m -> Alcotest.fail m);
+  (match FI.parse_spec "0.1:bogus" with
+  | Ok _ -> Alcotest.fail "bogus kind accepted"
+  | Error _ -> ());
+  (match FI.parse_spec "1.5" with
+  | Ok _ -> Alcotest.fail "rate > 1 accepted"
+  | Error _ -> ());
+  match FI.parse_spec "0.25:perturb" with
+  | Ok cfg ->
+    Alcotest.(check string) "round-trips" "0.25:perturb"
+      (FI.spec_to_string cfg)
+  | Error m -> Alcotest.fail m
+
 let () =
   Alcotest.run "vstat_device"
     [
@@ -473,5 +549,14 @@ let () =
         [
           Alcotest.test_case "unit conversions" `Quick test_unit_conversions;
           Alcotest.test_case "current density" `Quick test_cards_current_density_sane;
+        ] );
+      ( "fault-inject",
+        [
+          Alcotest.test_case "plan deterministic" `Quick
+            test_fault_plan_deterministic;
+          Alcotest.test_case "raise persists" `Quick
+            test_fault_wrap_raise_persistent;
+          Alcotest.test_case "nan/inf currents" `Quick test_fault_wrap_nan_inf;
+          Alcotest.test_case "parse_spec" `Quick test_fault_parse_spec;
         ] );
     ]

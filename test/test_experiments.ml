@@ -202,6 +202,35 @@ let test_ssta () =
       (Float.abs r.tail_underestimate_pct < 15.0)
   | _ -> Alcotest.fail "expected one row"
 
+let test_measure_failure_census () =
+  (* A simulation window far too short for any output transition: every
+     sample dies with a typed Measure_no_crossing diagnostic, and the
+     failure-budget error reports the category census instead of a bag of
+     exception strings. *)
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let vdd = Vstat_device.Cards.vdd_nominal in
+  let tech_of_rng _rng = Vstat_cells.Celltech.nominal_vs_seed ~vdd () in
+  let measure tech =
+    let s =
+      Vstat_cells.Inverter.sample tech ~wp_nm:600.0 ~wn_nm:300.0 ~fanout:3
+    in
+    let r = Vstat_cells.Inverter.measure ~window:1e-15 s in
+    r.Vstat_cells.Inverter.tphl
+  in
+  match
+    E.Mc_compare.collect_run ~jobs:2 ~max_failure_frac:0.5
+      ~label:"no-crossing" ~n:4 ~tech_of_rng
+      ~rng:(Vstat_util.Rng.create ~seed:3) ~measure ()
+  with
+  | _ -> Alcotest.fail "expected budget Failure"
+  | exception Failure msg ->
+    Alcotest.(check bool) "census names measure_no_crossing" true
+      (contains ~sub:"measure_no_crossing" msg)
+
 let test_table4 () =
   let lazy p = pipeline in
   let t = E.Exp_table4.run ~n_nand2:6 ~n_dff:2 ~n_sram:6 p in
@@ -234,5 +263,7 @@ let () =
           Alcotest.test_case "vdd transfer" `Slow test_vdd_transfer;
           Alcotest.test_case "inter-die" `Slow test_inter_die;
           Alcotest.test_case "ssta" `Slow test_ssta;
+          Alcotest.test_case "measure failure census" `Quick
+            test_measure_failure_census;
         ] );
     ]

@@ -138,6 +138,132 @@ let test_stats_and_progress () =
   Alcotest.(check int) "worker slots" 2 (Array.length r.stats.per_worker);
   Alcotest.(check bool) "wall time measured" true (r.stats.wall_s >= 0.0)
 
+(* --- resilience: empty runs, census ordering, the retry ladder --- *)
+
+let test_budget_empty_run () =
+  (* n = 0 must never trip the budget, even at a zero failure allowance
+     (0 * frac = 0 used to compare 0 > 0.0 — the guard keeps it silent). *)
+  let r = Rt.map_samples ~jobs:2 ~n:0 ~f:(fun i -> i) () in
+  Rt.check_budget ~label:"empty" ~max_failure_frac:0.0 r;
+  Alcotest.(check int) "no failures" 0 (Rt.failed_count r);
+  Alcotest.(check (list (pair string int))) "empty census" []
+    (Rt.failure_census r)
+
+let test_census_ordering () =
+  (* Two failure species with different frequencies: the census must come
+     back most-frequent-first with exact counts. *)
+  let r =
+    Rt.map_samples ~jobs:3 ~n:12
+      ~f:(fun i ->
+        if i < 6 then failwith "common"
+        else if i < 8 then raise (Boom i)
+        else i)
+      ()
+  in
+  (match Rt.failure_census r with
+  | [ (a, 6); (b, 2) ] ->
+    Alcotest.(check bool) "categories distinct" true (a <> b)
+  | census ->
+    Alcotest.failf "unexpected census: %s" (Rt.census_to_string census));
+  let s = Rt.census_to_string (Rt.failure_census r) in
+  Alcotest.(check bool) "census string lists both" true
+    (contains ~sub:":6" s && contains ~sub:":2" s)
+
+let test_retry_policy_validation () =
+  Alcotest.(check bool) "retry 1 accepted" true
+    ((Rt.retry 1).Rt.max_attempts = 1);
+  match Rt.retry 0 with
+  | _ -> Alcotest.fail "retry 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_retry_ladder_recovers () =
+  (* Samples 3 and 7 fail on attempts 0 and 1 and succeed on attempt 2;
+     sample 5 always fails.  With 3 attempts the first two recover and the
+     history of the dead sample records every attempt. *)
+  let flaky ~attempt i =
+    if i = 5 then failwith "always dead"
+    else if (i = 3 || i = 7) && attempt < 2 then raise (Boom i)
+    else i * 10
+  in
+  let r =
+    Rt.map_attempt_samples ~jobs:2 ~retry:(Rt.retry 3) ~n:10
+      ~f:(fun ~attempt i -> flaky ~attempt i)
+      ()
+  in
+  Alcotest.(check int) "one sample dead" 1 (Rt.failed_count r);
+  Alcotest.(check int) "retried" 3 r.Rt.stats.Rt.retried_samples;
+  Alcotest.(check int) "recovered" 2 r.Rt.stats.Rt.recovered_samples;
+  Alcotest.(check (list int)) "attempts per sample"
+    [ 1; 1; 1; 3; 1; 3; 1; 3; 1; 1 ]
+    (Array.to_list r.Rt.attempts);
+  (match Rt.failures r with
+  | [ f ] ->
+    Alcotest.(check int) "dead index" 5 f.Rt.index;
+    Alcotest.(check int) "two earlier attempts recorded" 2
+      (List.length f.Rt.history);
+    List.iteri
+      (fun k a ->
+        Alcotest.(check int) "history attempt number" k a.Rt.attempt)
+      f.Rt.history
+  | fs -> Alcotest.failf "expected one failure, got %d" (List.length fs));
+  (* Recovered values land in the same cells as a clean run's would. *)
+  Alcotest.(check bool) "values ordered, dead sample skipped" true
+    (Rt.values r
+    = Array.of_list
+        (List.filter_map
+           (fun i -> if i = 5 then None else Some (i * 10))
+           (List.init 10 Fun.id)))
+
+let test_retry_respects_retryable () =
+  let calls = Atomic.make 0 in
+  let r =
+    Rt.map_attempt_samples ~jobs:1
+      ~retry:
+        (Rt.retry ~retryable:(function Boom _ -> false | _ -> true) 5)
+      ~n:3
+      ~f:(fun ~attempt:_ i ->
+        if i = 1 then begin
+          Atomic.incr calls;
+          raise (Boom i)
+        end
+        else i)
+      ()
+  in
+  Alcotest.(check int) "non-retryable tried exactly once" 1 (Atomic.get calls);
+  Alcotest.(check int) "still recorded as failed" 1 (Rt.failed_count r)
+
+let test_retry_rng_value_neutral () =
+  (* Under map_rng_attempt_samples every attempt re-reads the same
+     substream, so a sample that succeeds on a retry must produce the value
+     a never-failing run produces. *)
+  let n = 16 in
+  let clean =
+    Rt.values
+      (Rt.map_rng_attempt_samples ~jobs:1 ~rng:(Rng.create ~seed:23) ~n
+         ~f:(fun ~attempt:_ ~index:_ rng -> draws 4 rng)
+         ())
+  in
+  let flaky jobs =
+    Rt.map_rng_attempt_samples ~jobs ~retry:(Rt.retry 2)
+      ~rng:(Rng.create ~seed:23) ~n
+      ~f:(fun ~attempt ~index rng ->
+        let v = draws 4 rng in
+        if index mod 3 = 0 && attempt = 0 then failwith "flaky";
+        v)
+      ()
+  in
+  let r1 = flaky 1 in
+  Alcotest.(check int) "all recovered" 0 (Rt.failed_count r1);
+  Alcotest.(check int) "recovered count" 6 r1.Rt.stats.Rt.recovered_samples;
+  Alcotest.(check bool) "recovered values = clean values" true
+    (Rt.values r1 = clean);
+  (* And the whole recovered run is jobs-invariant. *)
+  let r4 = flaky 4 in
+  Alcotest.(check bool) "values jobs-invariant under retry" true
+    (Rt.values r1 = Rt.values r4);
+  Alcotest.(check bool) "attempt counts jobs-invariant" true
+    (r1.Rt.attempts = r4.Rt.attempts)
+
 (* --- jobs-count invariance end to end (Mc_device) --- *)
 
 let test_mc_device_jobs_invariant () =
@@ -268,6 +394,19 @@ let () =
           Alcotest.test_case "circuit mc jobs-invariant" `Quick
             test_circuit_mc_jobs_invariant;
           q prop_map_rng_jobs_invariant;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "empty-run budget" `Quick test_budget_empty_run;
+          Alcotest.test_case "census ordering" `Quick test_census_ordering;
+          Alcotest.test_case "retry validation" `Quick
+            test_retry_policy_validation;
+          Alcotest.test_case "retry ladder recovers" `Quick
+            test_retry_ladder_recovers;
+          Alcotest.test_case "retryable predicate" `Quick
+            test_retry_respects_retryable;
+          Alcotest.test_case "retry value-neutral + jobs-invariant" `Quick
+            test_retry_rng_value_neutral;
         ] );
       ( "accum",
         [

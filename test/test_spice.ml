@@ -163,7 +163,14 @@ let test_errors_carry_line_numbers () =
   in
   expect_error "t\nR1 a 0\n" 2;
   expect_error "t\nV1 a 0 DC 1\nM1 a a 0 0 nope\n" 3;
-  expect_error "t\n.unknown 1 2\n" 2
+  expect_error "t\n.unknown 1 2\n" 2;
+  (* Malformed numeric tokens must surface as Parse_error with the line,
+     not as a bare Failure from the value parser. *)
+  expect_error "t\nR1 a 0 1x0\n" 2;
+  expect_error "t\nC1 a 0 bogus\n" 2;
+  expect_error "t\nV1 a 0 DC oops\n" 2;
+  expect_error "t\nV1 a 0 DC 1\nR1 a 0 1k\n.tran bad 100p\n" 4;
+  expect_error "t\nV1 a 0 PULSE(0 1 zzz 1p 1p 10p 20p)\n" 2
 
 let test_unknown_model_rejected () =
   match P.parse_string "t\nM1 d g 0 0 missing\n" with
