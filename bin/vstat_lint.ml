@@ -1,0 +1,71 @@
+(* vstat_lint — the project-invariant static-analysis pass.
+
+   Usage: vstat_lint [options] PATH...
+
+   Scans every .ml under the given paths (directories are walked
+   recursively, skipping _build/.git and --exclude'd directory names),
+   checks the rule families documented in DESIGN.md ("Static analysis &
+   invariants"), and exits non-zero when violations remain after
+   suppressions ([@vstat.allow "rule"] attributes and the lint.allow
+   file). *)
+
+module L = Vstat_lint_core
+
+let () =
+  let format = ref L.Report.Text in
+  let allow_file = ref (if Sys.file_exists "lint.allow" then "lint.allow" else "") in
+  let excludes = ref [ "_build"; ".git" ] in
+  let paths = ref [] in
+  let list_rules = ref false in
+  let spec =
+    [
+      ( "--format",
+        Arg.String
+          (fun s ->
+            match L.Report.format_of_string s with
+            | Some f -> format := f
+            | None ->
+              raise (Arg.Bad (Printf.sprintf "unknown format %S" s))),
+        "FMT  output format: text (default) or json" );
+      ( "--allow",
+        Arg.Set_string allow_file,
+        "FILE suppression file (default: ./lint.allow when present; pass \
+         an empty string to disable)" );
+      ( "--exclude",
+        Arg.String (fun d -> excludes := d :: !excludes),
+        "DIR  directory name to skip during the walk (repeatable; _build \
+         and .git are always skipped)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
+    ]
+  in
+  let usage = "vstat_lint [options] PATH..." in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    L.Rules.pp_list Format.std_formatter ();
+    exit 0
+  end;
+  if !paths = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let allow =
+    if !allow_file = "" then L.Allowlist.empty
+    else
+      match L.Allowlist.load !allow_file with
+      | a -> a
+      | exception L.Allowlist.Malformed { file; lineno; text } ->
+        Printf.eprintf "vstat_lint: malformed allow entry %s:%d: %s\n" file
+          lineno text;
+        exit 2
+      | exception Sys_error msg ->
+        Printf.eprintf "vstat_lint: cannot read allow file: %s\n" msg;
+        exit 2
+  in
+  let cfg = L.Engine.default_config ~allow () in
+  match L.Engine.run ~excludes:!excludes cfg (List.rev !paths) with
+  | files_scanned, diags ->
+    L.Report.print !format stdout ~files_scanned diags;
+    exit (if diags = [] then 0 else 1)
+  | exception Sys_error msg ->
+    Printf.eprintf "vstat_lint: %s\n" msg;
+    exit 2

@@ -10,7 +10,8 @@ type sample = {
 }
 
 let sample ?(stages = 8) ?(wp_nm = 600.0) ?(wn_nm = 300.0) (tech : Celltech.t) =
-  if stages < 1 then invalid_arg "Chain.sample: stages >= 1";
+  if stages < 1 then
+    invalid_arg "Chain.sample: stages >= 1" [@vstat.allow "exn-discipline"];
   {
     vdd = tech.vdd;
     stages =

@@ -13,7 +13,8 @@ type sample = {
 type result = { tphl : float; tplh : float; tpd : float; leakage : float }
 
 let sample (tech : Celltech.t) ~wp_nm ~wn_nm ~fanout =
-  if fanout < 1 then invalid_arg "Nand2.sample: fanout >= 1";
+  if fanout < 1 then
+    invalid_arg "Nand2.sample: fanout >= 1" [@vstat.allow "exn-discipline"];
   {
     vdd = tech.vdd;
     driver = Gates.sample_nand2 tech ~wp_nm ~wn_nm;

@@ -28,7 +28,8 @@ let sample_devices (tech : Celltech.t) ~wp_nm ~wn_nm =
   }
 
 let sample (tech : Celltech.t) ~wp_nm ~wn_nm ~fanout =
-  if fanout < 1 then invalid_arg "Nor2.sample: fanout >= 1";
+  if fanout < 1 then
+    invalid_arg "Nor2.sample: fanout >= 1" [@vstat.allow "exn-discipline"];
   {
     vdd = tech.vdd;
     driver = sample_devices tech ~wp_nm ~wn_nm;

@@ -13,7 +13,8 @@ type result = {
 
 let sample ?(stages = 5) ?(wp_nm = 600.0) ?(wn_nm = 300.0) (tech : Celltech.t) =
   if stages < 3 || stages mod 2 = 0 then
-    invalid_arg "Ring_oscillator.sample: stages must be odd and >= 3";
+    invalid_arg "Ring_oscillator.sample: stages must be odd and >= 3"
+    [@vstat.allow "exn-discipline"];
   {
     vdd = tech.vdd;
     stages = Array.init stages (fun _ -> Gates.sample_inverter tech ~wp_nm ~wn_nm);

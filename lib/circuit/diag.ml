@@ -80,6 +80,7 @@ let () =
   Vstat_runtime.Runtime.register_classifier (function
     | Solver_error d -> Some (kind_name d.kind)
     | Vstat_device.Fault_inject.Injected _ -> Some (kind_name Injected_fault)
+    | Vstat_linalg.Linalg_error.Numeric_error _ -> Some "numeric_error"
     | _ -> None);
   Printexc.register_printer (function
     | Solver_error d -> Some ("Vstat_circuit.Diag.Solver_error: " ^ to_string d)

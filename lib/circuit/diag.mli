@@ -9,8 +9,9 @@
 
     At library initialization this module registers a
     {!Vstat_runtime.Runtime.register_classifier} mapping {!Solver_error}
-    to its {!kind_name} (and {!Vstat_device.Fault_inject.Injected} to
-    ["injected_fault"]), so Monte Carlo failure budgets and censuses report
+    to its {!kind_name}, {!Vstat_device.Fault_inject.Injected} to
+    ["injected_fault"], and {!Vstat_linalg.Linalg_error.Numeric_error} to
+    ["numeric_error"], so Monte Carlo failure budgets and censuses report
     {e why} samples die, by category, instead of a bag of exception
     strings.  A [Printexc] printer is registered too, so uncaught
     diagnostics render in full. *)

@@ -160,6 +160,11 @@ type t = {
   mutable q_work : float array;      (* charges at the current candidate *)
   mutable i_work : float array;      (* charge currents at the candidate *)
   dbuf : Vstat_device.Device_model.derivs;
+  (* Current source-evaluation time, in a 1-slot float array rather than a
+     mutable float field or a parameter: float-array stores stay unboxed,
+     whereas passing a freshly computed float to the (non-inlined) newton /
+     assemble functions would box it once per transient step. *)
+  now : float array;
   (* Work-cap watchdog: Newton iterations + accepted steps consumed by the
      current public solve, against the active options' cap. *)
   mutable work_used : int;
@@ -206,6 +211,7 @@ let compile netlist =
     q_work = Array.make nq 0.0;
     i_work = Array.make nq 0.0;
     dbuf = Vstat_device.Device_model.make_derivs ();
+    now = Array.make 1 0.0;
     work_used = 0;
     work_cap = default_options.work_cap;
   }
@@ -236,217 +242,261 @@ let counter_snapshot t =
 let fd_dv = 1e-6
 
 (* Voltage of a node handle under candidate solution [x]. *)
-let nodev x n =
+let[@inline always] nodev x n =
   let i = Netlist.node_index n in
   if i = 0 then 0.0 else x.(i - 1)
+
+(* Stamp helpers for [assemble], all forced inline.  Two constraints shape
+   them (enforced by the [@vstat.hot] lint rule and the zero-allocation
+   gate in test/test_lint.ml):
+   - they must not be local closures: a closure capturing the workspace
+     would be allocated on every assembly;
+   - after inlining no out-of-line call with a float argument may remain:
+     classic (non-flambda) ocamlopt boxes such arguments, so the Jacobian
+     is stamped through [Matrix.buffer] rather than [Matrix.add_to].
+   Index convention: [i]/[j] are raw [Netlist.node_index] values, 1-based
+   with 0 = ground (dropped); [row]/[col] are absolute matrix positions
+   (vsource branch rows/columns). *)
+let[@inline always] res_addi res i v =
+  if i > 0 then res.(i - 1) <- res.(i - 1) +. v
+
+let[@inline always] jac_addi jd ~stride i j v =
+  if i > 0 && j > 0 then begin
+    let k = ((i - 1) * stride) + (j - 1) in
+    jd.(k) <- jd.(k) +. v
+  end
+
+let[@inline always] jac_row_nodei jd ~stride row j v =
+  if j > 0 then begin
+    let k = (row * stride) + (j - 1) in
+    jd.(k) <- jd.(k) +. v
+  end
+
+let[@inline always] jac_node_coli jd ~stride i col v =
+  if i > 0 then begin
+    let k = ((i - 1) * stride) + col in
+    jd.(k) <- jd.(k) +. v
+  end
+
+(* One charge row of the analytic MOSFET stamp: companion current from the
+   backward-Euler / trapezoidal charge difference plus the [factor]-scaled
+   transcapacitance row.  Toplevel + forced inline for the reasons above. *)
+let[@inline always] stamp_charge_row jd res ~stride ~factor ~trap ~q_out
+    ~i_out ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b c row_idx =
+  let q = q_out.(off + c) in
+  let i =
+    (factor *. (q -. q_prev.(off + c)))
+    -. (if trap then i_prev.(off + c) else 0.0)
+  in
+  i_out.(off + c) <- i;
+  res_addi res row_idx i;
+  let o = 4 * c in
+  jac_addi jd ~stride row_idx ni_g (factor *. dq.(o));
+  jac_addi jd ~stride row_idx ni_d (factor *. dq.(o + 1));
+  jac_addi jd ~stride row_idx ni_s (factor *. dq.(o + 2));
+  jac_addi jd ~stride row_idx ni_b (factor *. dq.(o + 3))
+
+(* Node-handle variants for the cold finite-difference fallback. *)
+let res_add res n v = res_addi res (Netlist.node_index n) v
+
+let jac_add_node jd ~stride n ncol v =
+  jac_addi jd ~stride (Netlist.node_index n) (Netlist.node_index ncol) v
 
 (* Assemble Jacobian and residual at candidate [x] into the instance
    workspace (t.jac, t.res); also writes the present element charges into
    [t.q_work] and (in transient) terminal currents into [t.i_work] so the
-   accepted solution can become the next step's state. *)
-let assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale =
+   accepted solution can become the next step's state.  Sources are
+   evaluated at time [t.now.(0)].
+
+   Allocation-free on the linear and analytic-MOSFET paths, with two
+   documented exceptions: [Waveform.value] (out-of-line, so each source
+   evaluation boxes its time argument and result) and the [eval_derivs]
+   indirect call (a closure call boxes its four float arguments).  The
+   zero-allocation gate therefore measures a source-free RC circuit; see
+   test/test_lint.ml. *)
+let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
   let nn = t.nn in
   let jac = t.jac and res = t.res in
+  let jd = Vstat_linalg.Matrix.buffer jac in
+  let stride = Vstat_linalg.Matrix.cols jac in
   let q_out = t.q_work and i_out = t.i_work in
+  let time = t.now.(0) in
   bump t c_assembly 1;
   Vstat_linalg.Matrix.fill jac 0.0;
   Array.fill res 0 (Array.length res) 0.0;
   for i = 0 to nn - 1 do
-    Vstat_linalg.Matrix.add_to jac i i gmin;
+    let k = (i * stride) + i in
+    jd.(k) <- jd.(k) +. gmin;
     res.(i) <- res.(i) +. (gmin *. x.(i))
   done;
-  (* Stamp a current [i] leaving node [n] with its derivatives. *)
-  let res_add n v =
-    let i = Netlist.node_index n in
-    if i > 0 then res.(i - 1) <- res.(i - 1) +. v
-  in
-  let jac_add n col v =
-    let i = Netlist.node_index n in
-    if i > 0 then Vstat_linalg.Matrix.add_to jac (i - 1) col v
-  in
-  let jac_add_node n ncol v =
-    let j = Netlist.node_index ncol in
-    if j > 0 then jac_add n (j - 1) v
-  in
-  (* Integer-index variants for the MOSFET hot path (indices are the raw
-     [Netlist.node_index] values; 0 is ground and is dropped). *)
-  let res_addi i v = if i > 0 then res.(i - 1) <- res.(i - 1) +. v in
-  let jac_addi i j v =
-    if i > 0 && j > 0 then Vstat_linalg.Matrix.add_to jac (i - 1) (j - 1) v
-  in
+  let elems = t.elems in
   let branch = ref 0 in
-  Array.iteri
-    (fun k e ->
-      match e with
-      | Netlist.Resistor { a; b; ohms; _ } ->
-        let g = 1.0 /. ohms in
-        let i = g *. (nodev x a -. nodev x b) in
-        res_add a i;
-        res_add b (-.i);
-        jac_add_node a a g;
-        jac_add_node a b (-.g);
-        jac_add_node b a (-.g);
-        jac_add_node b b g
-      | Netlist.Capacitor { a; b; farads; _ } ->
-        let q = farads *. (nodev x a -. nodev x b) in
-        let off = t.charge_offset.(k) in
-        q_out.(off) <- q;
+  for k = 0 to Array.length elems - 1 do
+    match elems.(k) with
+    | Netlist.Resistor { a; b; ohms; _ } ->
+      let ia = Netlist.node_index a and ib = Netlist.node_index b in
+      let g = 1.0 /. ohms in
+      let i = g *. (nodev x a -. nodev x b) in
+      res_addi res ia i;
+      res_addi res ib (-.i);
+      jac_addi jd ~stride ia ia g;
+      jac_addi jd ~stride ia ib (-.g);
+      jac_addi jd ~stride ib ia (-.g);
+      jac_addi jd ~stride ib ib g
+    | Netlist.Capacitor { a; b; farads; _ } ->
+      let ia = Netlist.node_index a and ib = Netlist.node_index b in
+      let q = farads *. (nodev x a -. nodev x b) in
+      let off = t.charge_offset.(k) in
+      q_out.(off) <- q;
+      (match mode with
+      | Dc -> i_out.(off) <- 0.0
+      | Tran { h; trap } ->
+        let factor = (if trap then 2.0 else 1.0) /. h in
+        let i =
+          (factor *. (q -. q_prev.(off)))
+          -. (if trap then i_prev.(off) else 0.0)
+        in
+        i_out.(off) <- i;
+        let geq = factor *. farads in
+        res_addi res ia i;
+        res_addi res ib (-.i);
+        jac_addi jd ~stride ia ia geq;
+        jac_addi jd ~stride ia ib (-.geq);
+        jac_addi jd ~stride ib ia (-.geq);
+        jac_addi jd ~stride ib ib geq)
+    | Netlist.Vsource { plus; minus; wave; _ } ->
+      let ip = Netlist.node_index plus and im = Netlist.node_index minus in
+      let col = nn + !branch in
+      let row = nn + !branch in
+      incr branch;
+      let ibr = x.(col) in
+      res_addi res ip ibr;
+      res_addi res im (-.ibr);
+      jac_node_coli jd ~stride ip col 1.0;
+      jac_node_coli jd ~stride im col (-1.0);
+      res.(row) <-
+        nodev x plus -. nodev x minus -. (sscale *. Waveform.value wave time);
+      jac_row_nodei jd ~stride row ip 1.0;
+      jac_row_nodei jd ~stride row im (-1.0)
+    | Netlist.Isource { from_; to_; wave; _ } ->
+      let ifr = Netlist.node_index from_ and ito = Netlist.node_index to_ in
+      let i = sscale *. Waveform.value wave time in
+      res_addi res ifr i;
+      res_addi res ito (-.i)
+    | Netlist.Mosfet { d; g; s; b; dev; _ } ->
+      let ni_g = Netlist.node_index g
+      and ni_d = Netlist.node_index d
+      and ni_s = Netlist.node_index s
+      and ni_b = Netlist.node_index b in
+      let vg = nodev x g and vd = nodev x d and vs = nodev x s
+      and vb = nodev x b in
+      let off = t.charge_offset.(k) in
+      (match dev.Vstat_device.Device_model.eval_derivs with
+      | Some eval_derivs ->
+        (* Analytic path: one model call yields values, conductances and
+           the 4x4 transcapacitance block. *)
+        bump t c_model 1;
+        bump t c_analytic 1;
+        eval_derivs ~vg ~vd ~vs ~vb t.dbuf;
+        let db = t.dbuf in
+        let did = db.Vstat_device.Device_model.did
+        and dq = db.Vstat_device.Device_model.dq in
+        (* Channel current (columns in terminal order g, d, s, b). *)
+        res_addi res ni_d db.v_id;
+        res_addi res ni_s (-.db.v_id);
+        jac_addi jd ~stride ni_d ni_g did.(0);
+        jac_addi jd ~stride ni_d ni_d did.(1);
+        jac_addi jd ~stride ni_d ni_s did.(2);
+        jac_addi jd ~stride ni_d ni_b did.(3);
+        jac_addi jd ~stride ni_s ni_g (-.did.(0));
+        jac_addi jd ~stride ni_s ni_d (-.did.(1));
+        jac_addi jd ~stride ni_s ni_s (-.did.(2));
+        jac_addi jd ~stride ni_s ni_b (-.did.(3));
+        (* Terminal charges. *)
+        q_out.(off) <- db.v_qg;
+        q_out.(off + 1) <- db.v_qd;
+        q_out.(off + 2) <- db.v_qs;
+        q_out.(off + 3) <- db.v_qb;
         (match mode with
-        | Dc -> i_out.(off) <- 0.0
+        | Dc ->
+          for c = 0 to 3 do
+            i_out.(off + c) <- 0.0
+          done
         | Tran { h; trap } ->
           let factor = (if trap then 2.0 else 1.0) /. h in
-          let i =
-            (factor *. (q -. q_prev.(off)))
-            -. (if trap then i_prev.(off) else 0.0)
-          in
-          i_out.(off) <- i;
-          let geq = factor *. farads in
-          res_add a i;
-          res_add b (-.i);
-          jac_add_node a a geq;
-          jac_add_node a b (-.geq);
-          jac_add_node b a (-.geq);
-          jac_add_node b b geq)
-      | Netlist.Vsource { plus; minus; wave; _ } ->
-        let col = nn + !branch in
-        let row = nn + !branch in
-        incr branch;
-        let ibr = x.(col) in
-        res_add plus ibr;
-        res_add minus (-.ibr);
-        jac_add plus col 1.0;
-        jac_add minus col (-1.0);
-        res.(row) <-
-          nodev x plus -. nodev x minus -. (sscale *. Waveform.value wave time);
-        let stamp_row n v =
-          let j = Netlist.node_index n in
-          if j > 0 then Vstat_linalg.Matrix.add_to jac row (j - 1) v
-        in
-        stamp_row plus 1.0;
-        stamp_row minus (-1.0)
-      | Netlist.Isource { from_; to_; wave; _ } ->
-        let i = sscale *. Waveform.value wave time in
-        res_add from_ i;
-        res_add to_ (-.i)
-      | Netlist.Mosfet { d; g; s; b; dev; _ } ->
-        let ni_g = Netlist.node_index g
-        and ni_d = Netlist.node_index d
-        and ni_s = Netlist.node_index s
-        and ni_b = Netlist.node_index b in
-        let vg = nodev x g and vd = nodev x d and vs = nodev x s
-        and vb = nodev x b in
-        let off = t.charge_offset.(k) in
-        (match dev.Vstat_device.Device_model.eval_derivs with
-        | Some eval_derivs ->
-          (* Analytic path: one model call yields values, conductances and
-             the 4x4 transcapacitance block. *)
-          bump t c_model 1;
-          bump t c_analytic 1;
-          eval_derivs ~vg ~vd ~vs ~vb t.dbuf;
-          let db = t.dbuf in
-          let did = db.Vstat_device.Device_model.did
-          and dq = db.Vstat_device.Device_model.dq in
-          (* Channel current (columns in terminal order g, d, s, b). *)
-          res_addi ni_d db.v_id;
-          res_addi ni_s (-.db.v_id);
-          jac_addi ni_d ni_g did.(0);
-          jac_addi ni_d ni_d did.(1);
-          jac_addi ni_d ni_s did.(2);
-          jac_addi ni_d ni_b did.(3);
-          jac_addi ni_s ni_g (-.did.(0));
-          jac_addi ni_s ni_d (-.did.(1));
-          jac_addi ni_s ni_s (-.did.(2));
-          jac_addi ni_s ni_b (-.did.(3));
-          (* Terminal charges. *)
-          q_out.(off) <- db.v_qg;
-          q_out.(off + 1) <- db.v_qd;
-          q_out.(off + 2) <- db.v_qs;
-          q_out.(off + 3) <- db.v_qb;
-          (match mode with
-          | Dc ->
-            for c = 0 to 3 do
-              i_out.(off + c) <- 0.0
-            done
-          | Tran { h; trap } ->
-            let factor = (if trap then 2.0 else 1.0) /. h in
-            let stamp_charge_row c row_idx =
-              let q = q_out.(off + c) in
-              let i =
-                (factor *. (q -. q_prev.(off + c)))
-                -. (if trap then i_prev.(off + c) else 0.0)
-              in
-              i_out.(off + c) <- i;
-              res_addi row_idx i;
-              let o = 4 * c in
-              jac_addi row_idx ni_g (factor *. dq.(o));
-              jac_addi row_idx ni_d (factor *. dq.(o + 1));
-              jac_addi row_idx ni_s (factor *. dq.(o + 2));
-              jac_addi row_idx ni_b (factor *. dq.(o + 3))
-            in
-            stamp_charge_row 0 ni_g;
-            stamp_charge_row 1 ni_d;
-            stamp_charge_row 2 ni_s;
-            stamp_charge_row 3 ni_b)
-        | None ->
-          (* Finite-difference fallback: 5 evals per linearization. *)
-          let eval ~vg ~vd ~vs ~vb =
-            bump t c_model 1;
-            bump t c_fd 1;
-            dev.Vstat_device.Device_model.eval ~vg ~vd ~vs ~vb
-          in
-          let base = eval ~vg ~vd ~vs ~vb in
-          let perturbed =
-            [|
-              eval ~vg:(vg +. fd_dv) ~vd ~vs ~vb;
-              eval ~vg ~vd:(vd +. fd_dv) ~vs ~vb;
-              eval ~vg ~vd ~vs:(vs +. fd_dv) ~vb;
-              eval ~vg ~vd ~vs ~vb:(vb +. fd_dv);
-            |]
-          in
-          let terminals = [| g; d; s; b |] in
-          (* Channel current. *)
-          res_add d base.id;
-          res_add s (-.base.id);
-          Array.iteri
-            (fun j p ->
-              let did =
-                (p.Vstat_device.Device_model.id -. base.id) /. fd_dv
-              in
-              jac_add_node d terminals.(j) did;
-              jac_add_node s terminals.(j) (-.did))
-            perturbed;
-          (* Terminal charges. *)
-          let q_of (st : Vstat_device.Device_model.terminal_state) = function
-            | 0 -> st.qg
-            | 1 -> st.qd
-            | 2 -> st.qs
-            | _ -> st.qb
-          in
-          for c = 0 to 3 do
-            q_out.(off + c) <- q_of base c
-          done;
-          (match mode with
-          | Dc ->
-            for c = 0 to 3 do
-              i_out.(off + c) <- 0.0
-            done
-          | Tran { h; trap } ->
-            let factor = (if trap then 2.0 else 1.0) /. h in
-            for c = 0 to 3 do
-              let q = q_out.(off + c) in
-              let i =
-                (factor *. (q -. q_prev.(off + c)))
-                -. (if trap then i_prev.(off + c) else 0.0)
-              in
-              i_out.(off + c) <- i;
-              res_add terminals.(c) i;
-              Array.iteri
-                (fun j p ->
-                  let dq = (q_of p c -. q) /. fd_dv in
-                  jac_add_node terminals.(c) terminals.(j) (factor *. dq))
-                perturbed
-            done)))
-    t.elems
+          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 0 ni_g;
+          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 1 ni_d;
+          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 2 ni_s;
+          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 3 ni_b)
+      | None ->
+        (* Finite-difference fallback: 5 evals per linearization.  A cold
+           compatibility path for models without analytic derivatives — it
+           allocates by design (5 terminal-state records per device), so
+           the hot-path closure bans are waived here. *)
+        (let eval ~vg ~vd ~vs ~vb =
+           bump t c_model 1;
+           bump t c_fd 1;
+           dev.Vstat_device.Device_model.eval ~vg ~vd ~vs ~vb
+         in
+         let base = eval ~vg ~vd ~vs ~vb in
+         let perturbed =
+           [|
+             eval ~vg:(vg +. fd_dv) ~vd ~vs ~vb;
+             eval ~vg ~vd:(vd +. fd_dv) ~vs ~vb;
+             eval ~vg ~vd ~vs:(vs +. fd_dv) ~vb;
+             eval ~vg ~vd ~vs ~vb:(vb +. fd_dv);
+           |]
+         in
+         let terminals = [| g; d; s; b |] in
+         (* Channel current. *)
+         res_add res d base.id;
+         res_add res s (-.base.id);
+         Array.iteri
+           (fun j p ->
+             let did =
+               (p.Vstat_device.Device_model.id -. base.id) /. fd_dv
+             in
+             jac_add_node jd ~stride d terminals.(j) did;
+             jac_add_node jd ~stride s terminals.(j) (-.did))
+           perturbed;
+         (* Terminal charges. *)
+         let q_of (st : Vstat_device.Device_model.terminal_state) = function
+           | 0 -> st.qg
+           | 1 -> st.qd
+           | 2 -> st.qs
+           | _ -> st.qb
+         in
+         for c = 0 to 3 do
+           q_out.(off + c) <- q_of base c
+         done;
+         match mode with
+         | Dc ->
+           for c = 0 to 3 do
+             i_out.(off + c) <- 0.0
+           done
+         | Tran { h; trap } ->
+           let factor = (if trap then 2.0 else 1.0) /. h in
+           for c = 0 to 3 do
+             let q = q_out.(off + c) in
+             let i =
+               (factor *. (q -. q_prev.(off + c)))
+               -. (if trap then i_prev.(off + c) else 0.0)
+             in
+             i_out.(off + c) <- i;
+             res_add res terminals.(c) i;
+             Array.iteri
+               (fun j p ->
+                 let dq = (q_of p c -. q) /. fd_dv in
+                 jac_add_node jd ~stride terminals.(c) terminals.(j)
+                   (factor *. dq))
+               perturbed
+           done)
+        [@vstat.allow "hot-path"])
+  done
 
 (* Why a Newton solve stopped; carries the data the diagnostics need. *)
 type newton_outcome =
@@ -459,59 +509,96 @@ type newton_outcome =
 (* Newton iteration in place on [x] (normally [t.xws]).  On [N_converged]
    the solution is in [x] with the matching charge state in
    [t.q_work]/[t.i_work]; on any other outcome the contents of [x] are
-   unspecified.  Performs no allocation. *)
-let newton t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter ~clamp =
+   unspecified.  Sources are evaluated at time [t.now.(0)].
+
+   A [while] loop over mutable locals rather than a recursive closure, and
+   [Float.max]/[min]/[is_finite]/[Floatx.clamp] spelled as explicit
+   branches: under classic ocamlopt the closure would be allocated per
+   call and each out-of-line float call would box per unknown per
+   iteration.  Outcome records are built on failure paths only, so the
+   success path performs no allocation. *)
+let[@vstat.hot] newton t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter
+    ~clamp =
   let n = unknowns t in
+  let nn = t.nn in
   let rhs = t.rhs in
+  let outcome = ref N_converged in
+  let running = ref true in
+  let iter = ref 0 in
   let last_dmax = ref Float.infinity in
-  let rec loop iter =
-    if iter >= max_iter then N_max_iter { iter; dmax = !last_dmax }
-    else if t.work_used >= t.work_cap then N_work_cap
+  while !running do
+    if !iter >= max_iter then begin
+      outcome := N_max_iter { iter = !iter; dmax = !last_dmax };
+      running := false
+    end
+    else if t.work_used >= t.work_cap then begin
+      outcome := N_work_cap;
+      running := false
+    end
     else begin
       bump t c_newton 1;
       t.work_used <- t.work_used + 1;
-      assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale;
+      assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale;
       for i = 0 to n - 1 do
         rhs.(i) <- -.t.res.(i)
       done;
       bump t c_lu 1;
       match Vstat_linalg.Lu.factor_in_place t.jac ~pivots:t.pivots with
-      | exception Vstat_linalg.Lu.Singular _ -> N_singular { iter }
+      | exception Vstat_linalg.Lu.Singular _ ->
+        outcome := N_singular { iter = !iter };
+        running := false
       | _sign ->
         Vstat_linalg.Lu.solve_in_place ~lu:t.jac ~pivots:t.pivots rhs;
         let finite = ref true in
         for i = 0 to n - 1 do
-          if not (Float.is_finite rhs.(i)) then finite := false
+          (* [v -. v] is 0 for finite v and NaN for NaN/infinity — the
+             exact comparison is the point of the test. *)
+          let v = rhs.(i) in
+          if ((v -. v <> 0.0) [@vstat.allow "float-compare"]) then
+            finite := false
         done;
-        if not !finite then N_nonfinite { iter }
+        if not !finite then begin
+          outcome := N_nonfinite { iter = !iter };
+          running := false
+        end
         else begin
           (* Damp voltage updates; exponential nonlinearities diverge under
              full Newton steps far from the solution. *)
           let dmax = ref 0.0 in
           for i = 0 to n - 1 do
+            let u = rhs.(i) in
             let d =
-              if i < t.nn then
-                Vstat_util.Floatx.clamp ~lo:(-.clamp) ~hi:clamp rhs.(i)
-              else rhs.(i)
+              if i < nn then
+                if u < -.clamp then -.clamp
+                else if u > clamp then clamp
+                else u
+              else u
             in
             x.(i) <- x.(i) +. d;
-            if i < t.nn then dmax := Float.max !dmax (Float.abs d)
+            let ad = Float.abs d in
+            if i < nn then begin
+              if ad > !dmax then dmax := ad
+            end
             else begin
-              let rel = Float.abs d /. Float.max 1e-9 (Float.abs x.(i)) in
-              dmax := Float.max !dmax (Float.min rel (Float.abs d))
+              let ax = Float.abs x.(i) in
+              let rel = ad /. (if ax > 1e-9 then ax else 1e-9) in
+              let m = if rel < ad then rel else ad in
+              if m > !dmax then dmax := m
             end
           done;
           last_dmax := !dmax;
           if !dmax < 1e-11 then begin
-            (* Final assembly at the accepted solution refreshes q/i state. *)
-            assemble t ~mode ~time ~x ~q_prev ~i_prev ~gmin ~sscale;
-            N_converged
+            (* Final assembly at the accepted solution refreshes q/i
+               state. *)
+            assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale;
+            outcome := N_converged;
+            running := false
           end
-          else loop (iter + 1)
+          else incr iter
         end
     end
-  in
-  loop 0
+  done;
+  !outcome
 
 type op = { x : float array; time : float }
 
@@ -521,13 +608,14 @@ type op = { x : float array; time : float }
 let dc_core ?guess ~opts ~time t =
   let n = unknowns t in
   let x = t.xws in
+  t.now.(0) <- time;
   let from_zero () = Array.fill x 0 (Array.length x) 0.0 in
   (* Failed stages, most recent first, for failure classification. *)
   let failed_stages = ref [] in
   let run ~stage ~gmin ~sscale =
     match
-      newton t ~mode:Dc ~time ~x ~q_prev:t.q_work ~i_prev:t.i_work ~gmin
-        ~sscale ~max_iter:opts.max_iter_dc ~clamp:opts.damping_clamp
+      newton t ~mode:Dc ~x ~q_prev:t.q_work ~i_prev:t.i_work ~gmin ~sscale
+        ~max_iter:opts.max_iter_dc ~clamp:opts.damping_clamp
     with
     | N_converged -> true
     | N_work_cap ->
@@ -613,6 +701,7 @@ let branch_slot_named t ~caller name =
          (match t.vsrc_index with
          | [] -> "none"
          | l -> String.concat ", " (List.map fst l)))
+    [@vstat.allow "exn-discipline"]
 
 let branch_slot t name = branch_slot_named t ~caller:"Engine.branch_slot" name
 
@@ -638,7 +727,20 @@ let source_breakpoints t ~tstop =
   let sorted = List.sort_uniq Float.compare !acc in
   Array.of_list sorted
 
-let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
+type raw_trace = {
+  raw_unknowns : int;
+  raw_len : int;
+  raw_times : float array;
+  raw_states : float array;
+}
+
+(* The integration loop proper.  Returns the flat trace buffers unsliced so
+   the steady-state loop performs no per-step allocation: materializing
+   per-step rows (as {!transient} does) inherently allocates O(steps)
+   arrays, and keeping it out of this function is what lets the
+   zero-allocation gate difference two runs of different lengths and assert
+   an exactly-zero per-step cost. *)
+let transient_raw ?options ?trap ?dt_min_factor t ~tstop ~dt =
   let opts = match options with Some o -> o | None -> current_options () in
   (* Per-call keyword overrides win over the ambient/explicit option set. *)
   let opts = match trap with Some b -> { opts with trap = b } | None -> opts in
@@ -657,34 +759,24 @@ let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
   let nq = Int.max t.n_charges 1 in
   (* Recover the consistent charge state at t = 0. *)
   Array.blit start.x 0 t.xws 0 n;
-  assemble t ~mode:Dc ~time:0.0 ~x:t.xws ~q_prev:t.q_work ~i_prev:t.i_work
+  t.now.(0) <- 0.0;
+  assemble t ~mode:Dc ~x:t.xws ~q_prev:t.q_work ~i_prev:t.i_work
     ~gmin:opts.gmin_floor ~sscale:1.0;
   let q_prev = ref (Array.copy t.q_work) in
   let i_prev = ref (Array.make nq 0.0) in
   Array.blit t.i_work 0 !i_prev 0 nq;
   let x = Array.copy start.x in
   (* Growable trace storage: a flat row-major state buffer doubled on
-     demand, sliced into per-step rows only once at the end. *)
+     demand.  The append is written inline (not a [push] closure): a local
+     closure taking a float argument would allocate the closure per run and
+     box the time argument per step. *)
   let cap = ref 256 in
   let times_buf = ref (Array.make !cap 0.0) in
   let states_buf = ref (Array.make (!cap * Int.max n 1) 0.0) in
   let len = ref 0 in
-  let push time xv =
-    if !len = !cap then begin
-      let cap' = 2 * !cap in
-      let tb = Array.make cap' 0.0 in
-      Array.blit !times_buf 0 tb 0 !len;
-      times_buf := tb;
-      let sb = Array.make (cap' * Int.max n 1) 0.0 in
-      Array.blit !states_buf 0 sb 0 (!len * n);
-      states_buf := sb;
-      cap := cap'
-    end;
-    !times_buf.(!len) <- time;
-    Array.blit xv 0 !states_buf (!len * n) n;
-    incr len
-  in
-  push 0.0 x;
+  !times_buf.(0) <- 0.0;
+  Array.blit x 0 !states_buf 0 n;
+  len := 1;
   let bps = source_breakpoints t ~tstop in
   let n_bps = Array.length bps in
   let bp_tol = dt *. 1e-9 in
@@ -696,20 +788,32 @@ let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
   let h = ref dt in
   let dt_min = dt *. opts.dt_min_factor in
   let last_reject = ref None in
+  (* Step-mode cache: in steady state every step has h = dt, so the [Tran]
+     record is rebuilt only when the step size actually changes (step
+     rejection, breakpoint truncation, the final partial step) instead of
+     once per step. *)
+  let mode = ref (Tran { h = dt; trap }) in
+  let mode_h = ref dt in
   while !time < tstop -. 1e-18 do
-    let h_nat = Float.min !h (tstop -. !time) in
+    let rem = tstop -. !time in
+    let h_nat = if !h < rem then !h else rem in
     (* Truncate (or slightly stretch) the step to land on the next source
        corner, so sharp input edges are never straddled. *)
-    let hit_bp, t_next =
-      if !bp_idx < n_bps && bps.(!bp_idx) -. !time <= h_nat +. bp_tol then
-        (true, bps.(!bp_idx))
-      else (false, !time +. h_nat)
+    let hit_bp =
+      !bp_idx < n_bps && bps.(!bp_idx) -. !time <= h_nat +. bp_tol
     in
+    let t_next = if hit_bp then bps.(!bp_idx) else !time +. h_nat in
     let h_now = t_next -. !time in
-    let mode = Tran { h = h_now; trap } in
+    (* Exact equality is the correct cache test here: any other h must
+       rebuild the mode record. *)
+    if ((h_now <> !mode_h) [@vstat.allow "float-compare"]) then begin
+      mode := Tran { h = h_now; trap };
+      mode_h := h_now
+    end;
+    t.now.(0) <- t_next;
     Array.blit x 0 t.xws 0 n;
     match
-      newton t ~mode ~time:t_next ~x:t.xws ~q_prev:!q_prev ~i_prev:!i_prev
+      newton t ~mode:!mode ~x:t.xws ~q_prev:!q_prev ~i_prev:!i_prev
         ~gmin:opts.gmin_floor ~sscale:1.0 ~max_iter:opts.max_iter_tran
         ~clamp:opts.damping_clamp
     with
@@ -726,14 +830,26 @@ let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
       let it = t.i_work in
       t.i_work <- !i_prev;
       i_prev := it;
-      push t_next x;
+      if !len = !cap then begin
+        let cap' = 2 * !cap in
+        let tb = Array.make cap' 0.0 in
+        Array.blit !times_buf 0 tb 0 !len;
+        times_buf := tb;
+        let sb = Array.make (cap' * Int.max n 1) 0.0 in
+        Array.blit !states_buf 0 sb 0 (!len * n);
+        states_buf := sb;
+        cap := cap'
+      end;
+      !times_buf.(!len) <- t_next;
+      Array.blit x 0 !states_buf (!len * n) n;
+      incr len;
       if hit_bp then begin
         bump t c_breakpoint 1;
         while !bp_idx < n_bps && bps.(!bp_idx) <= !time +. bp_tol do
           incr bp_idx
         done
       end;
-      h := Float.min dt (!h *. 1.4)
+      h := (let g = !h *. 1.4 in if g > dt then dt else g)
     | N_work_cap ->
       flush_counters t;
       Diag.fail ~time:!time ~counters:(counter_snapshot t)
@@ -768,9 +884,19 @@ let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
   done;
   flush_counters t;
   {
-    times = Array.sub !times_buf 0 !len;
+    raw_unknowns = n;
+    raw_len = !len;
+    raw_times = !times_buf;
+    raw_states = !states_buf;
+  }
+
+let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
+  let raw = transient_raw ?options ?trap ?dt_min_factor t ~tstop ~dt in
+  let n = raw.raw_unknowns in
+  {
+    times = Array.sub raw.raw_times 0 raw.raw_len;
     states =
-      Array.init !len (fun k -> Array.sub !states_buf (k * n) n);
+      Array.init raw.raw_len (fun k -> Array.sub raw.raw_states (k * n) n);
   }
 
 let node_wave _t trace n =
@@ -784,8 +910,9 @@ let source_current_wave t trace name =
 let residual_norm t op =
   let n = unknowns t in
   Array.blit op.x 0 t.xws 0 n;
-  assemble t ~mode:Dc ~time:op.time ~x:t.xws ~q_prev:t.q_work
-    ~i_prev:t.i_work ~gmin:1e-12 ~sscale:1.0;
+  t.now.(0) <- op.time;
+  assemble t ~mode:Dc ~x:t.xws ~q_prev:t.q_work ~i_prev:t.i_work ~gmin:1e-12
+    ~sscale:1.0;
   flush_counters t;
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
@@ -796,15 +923,16 @@ let residual_norm t op =
 let linearize t op =
   let n = unknowns t in
   Array.blit op.x 0 t.xws 0 n;
-  assemble t ~mode:Dc ~time:op.time ~x:t.xws ~q_prev:t.q_work
-    ~i_prev:t.i_work ~gmin:1e-12 ~sscale:1.0;
+  t.now.(0) <- op.time;
+  assemble t ~mode:Dc ~x:t.xws ~q_prev:t.q_work ~i_prev:t.i_work ~gmin:1e-12
+    ~sscale:1.0;
   let jac_dc = Vstat_linalg.Matrix.copy t.jac in
   (* With h = 1 and the charge state equal to the operating-point charges,
      the transient Jacobian is exactly G + C. *)
   let q0 = Array.copy t.q_work and i0 = Array.copy t.i_work in
   assemble t
     ~mode:(Tran { h = 1.0; trap = false })
-    ~time:op.time ~x:t.xws ~q_prev:q0 ~i_prev:i0 ~gmin:1e-12 ~sscale:1.0;
+    ~x:t.xws ~q_prev:q0 ~i_prev:i0 ~gmin:1e-12 ~sscale:1.0;
   flush_counters t;
   (jac_dc, Vstat_linalg.Matrix.sub t.jac jac_dc)
 

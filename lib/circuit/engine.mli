@@ -113,6 +113,31 @@ val transient :
     [Nonfinite_update]/[Singular_jacobian] when that is what kept killing
     steps), [Work_cap_exceeded], or a DC kind from the t=0 solve. *)
 
+type raw_trace = {
+  raw_unknowns : int;   (** row width of [raw_states] *)
+  raw_len : int;        (** valid points, including the t=0 row *)
+  raw_times : float array;
+      (** length >= [raw_len]; only the [raw_len] prefix is meaningful *)
+  raw_states : float array;
+      (** row-major: point k occupies
+          [raw_states.(k * raw_unknowns .. (k+1) * raw_unknowns - 1)] *)
+}
+
+val transient_raw :
+  ?options:solver_options ->
+  ?trap:bool ->
+  ?dt_min_factor:float ->
+  t -> tstop:float -> dt:float -> raw_trace
+(** Exactly {!transient}, but returning the engine's flat trace buffers
+    instead of materialized per-step rows.  The integration loop itself
+    performs no per-step allocation (the allocation gate in
+    test/test_lint.ml pins it at zero minor words for a source-free
+    circuit); slicing the trace into rows is the one O(steps) allocation
+    of {!transient}, and this entry point is for callers — measurement
+    kernels, the allocation gate — that can consume the flat buffers
+    directly.  The returned arrays are freshly built each call (not
+    engine workspace), but may be longer than [raw_len]. *)
+
 val node_wave : t -> trace -> Netlist.node -> float array
 val source_current_wave : t -> trace -> string -> float array
 

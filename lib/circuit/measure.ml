@@ -23,7 +23,9 @@ let propagation_delay ~times ~input ~output ~v50 ~input_rising ~output_rising =
 
 let settled_value ~values ~tail_fraction =
   let n = Array.length values in
-  if n = 0 then invalid_arg "Measure.settled_value: empty waveform";
+  if n = 0 then
+    invalid_arg "Measure.settled_value: empty waveform"
+    [@vstat.allow "exn-discipline"];
   let k = Int.max 1 (Float.to_int (tail_fraction *. Float.of_int n)) in
   let tail = Array.sub values (n - k) k in
   Array.fold_left ( +. ) 0.0 tail /. Float.of_int k

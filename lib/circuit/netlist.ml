@@ -43,11 +43,15 @@ let node_index n = n
 let add t e = t.elems <- e :: t.elems
 
 let resistor t name ~a ~b ~ohms =
-  if ohms <= 0.0 then invalid_arg "Netlist.resistor: ohms must be positive";
+  if ohms <= 0.0 then
+    invalid_arg "Netlist.resistor: ohms must be positive"
+    [@vstat.allow "exn-discipline"];
   add t (Resistor { name; a; b; ohms })
 
 let capacitor t name ~a ~b ~farads =
-  if farads < 0.0 then invalid_arg "Netlist.capacitor: negative capacitance";
+  if farads < 0.0 then
+    invalid_arg "Netlist.capacitor: negative capacitance"
+    [@vstat.allow "exn-discipline"];
   add t (Capacitor { name; a; b; farads })
 
 let vsource t name ~plus ~minus ~wave = add t (Vsource { name; plus; minus; wave })

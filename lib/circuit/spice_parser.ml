@@ -36,6 +36,9 @@ let parse_value s =
   match float_of_string_opt body with
   | Some v -> v *. scale
   | None -> failwith (Printf.sprintf "malformed value %S" s)
+(* Internal failures are wrapped into the typed [Parse_error] (with a deck
+   line number) by [value] below — the bare [failwith]s never escape. *)
+[@@vstat.allow "exn-discipline"]
 
 (* Like [parse_value] but failures surface as [Parse_error] carrying the
    offending line number, so every malformed scalar in a deck reports

@@ -29,7 +29,9 @@ and sine_shape = {
 }
 
 let pwl points =
-  if Array.length points = 0 then invalid_arg "Waveform.pwl: empty point list";
+  if Array.length points = 0 then
+    invalid_arg "Waveform.pwl: empty point list"
+    [@vstat.allow "exn-discipline"];
   (* Split the (time, value) pairs once at construction: [pwl_value] runs
      inside every Newton iteration of every transient step, and mapping
      fst/snd there would allocate two arrays per evaluation. *)

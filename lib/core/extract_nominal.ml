@@ -161,7 +161,8 @@ let objective ~polarity dataset (p : Vs.params) =
      of being one of 42 log-space points. *)
   let ioff_term =
     match
-      Array.find_opt (fun (vgs, vds, _) -> vgs = 0.0 && vds = vdd)
+      Array.find_opt
+        (fun (vgs, vds, _) -> Float.equal vgs 0.0 && Float.equal vds vdd)
         dataset.transfer
     with
     | None -> 0.0

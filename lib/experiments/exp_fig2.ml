@@ -21,7 +21,7 @@ let run ?(polarity = `N) (p : Vstat_core.Pipeline.t) =
     Vstat_core.Bpv.extract_per_geometry ~vs ~vdd:p.vdd ~options observations
   in
   let pct individual reference =
-    if reference = 0.0 then 0.0
+    if Float.equal reference 0.0 then 0.0
     else 100.0 *. (individual -. reference) /. reference
   in
   let rows =

@@ -59,7 +59,8 @@ let decompose ?(max_sweeps = 100) a0 =
     done
   done;
   if !sweeps >= max_sweeps && off_diagonal_norm a > tol *. 100.0 then
-    failwith "Eigen_sym.decompose: Jacobi did not converge";
+    Linalg_error.fail ~routine:"Eigen_sym.decompose"
+      ~reason:"Jacobi did not converge";
   let order =
     List.sort
       (fun i j -> Float.compare (Matrix.get a j j) (Matrix.get a i i))

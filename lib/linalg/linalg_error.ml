@@ -1,0 +1,13 @@
+exception Numeric_error of { routine : string; reason : string }
+
+let fail ~routine ~reason = raise (Numeric_error { routine; reason })
+
+let to_string ~routine ~reason = Printf.sprintf "%s: %s" routine reason
+
+let () =
+  Printexc.register_printer (function
+    | Numeric_error { routine; reason } ->
+      Some
+        ("Vstat_linalg.Linalg_error.Numeric_error: "
+        ^ to_string ~routine ~reason)
+    | _ -> None)

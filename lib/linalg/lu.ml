@@ -6,18 +6,27 @@ type t = {
 
 exception Singular of int
 
-let factor_in_place a ~pivots =
+(* Hot-path notes (enforced by the [@vstat.hot] lint rule and the
+   zero-allocation gate in test/test_lint.ml):
+   - the permutation parity is returned as an int (+1/-1), not a float — a
+     boxed float return from a non-inlined function would allocate on every
+     Newton iteration;
+   - the inner loops index [Matrix.buffer] directly, because out-of-line
+     [Matrix.get]/[set]/[add_to] calls box their float argument or result
+     under classic (non-flambda) ocamlopt. *)
+let[@vstat.hot] factor_in_place a ~pivots =
   let n = Matrix.rows a in
   if Matrix.cols a <> n then invalid_arg "Lu.factor_in_place: square matrix";
   if Array.length pivots <> n then
     invalid_arg "Lu.factor_in_place: pivot array length";
-  let sign = ref 1.0 in
+  let d = Matrix.buffer a in
+  let sign = ref 1 in
   for k = 0 to n - 1 do
     (* Partial pivoting: find the largest remaining entry in column k. *)
     let pivot_row = ref k in
-    let pivot_val = ref (Float.abs (Matrix.get a k k)) in
+    let pivot_val = ref (Float.abs d.((k * n) + k)) in
     for i = k + 1 to n - 1 do
-      let v = Float.abs (Matrix.get a i k) in
+      let v = Float.abs d.((i * n) + k) in
       if v > !pivot_val then begin
         pivot_val := v;
         pivot_row := i
@@ -26,27 +35,29 @@ let factor_in_place a ~pivots =
     if !pivot_val < 1e-280 then raise (Singular k);
     pivots.(k) <- !pivot_row;
     if !pivot_row <> k then begin
+      let p = !pivot_row in
       for j = 0 to n - 1 do
-        let tmp = Matrix.get a k j in
-        Matrix.set a k j (Matrix.get a !pivot_row j);
-        Matrix.set a !pivot_row j tmp
+        let tmp = d.((k * n) + j) in
+        d.((k * n) + j) <- d.((p * n) + j);
+        d.((p * n) + j) <- tmp
       done;
-      sign := -. !sign
+      sign := - !sign
     end;
-    let ukk = Matrix.get a k k in
+    let ukk = d.((k * n) + k) in
     for i = k + 1 to n - 1 do
-      let lik = Matrix.get a i k /. ukk in
-      Matrix.set a i k lik;
+      let lik = d.((i * n) + k) /. ukk in
+      d.((i * n) + k) <- lik;
       for j = k + 1 to n - 1 do
-        Matrix.add_to a i j (-.lik *. Matrix.get a k j)
+        d.((i * n) + j) <- d.((i * n) + j) -. (lik *. d.((k * n) + j))
       done
     done
   done;
   !sign
 
-let solve_in_place ~lu ~pivots b =
+let[@vstat.hot] solve_in_place ~lu ~pivots b =
   let n = Matrix.rows lu in
   if Array.length b <> n then invalid_arg "Lu.solve_in_place: rhs length";
+  let d = Matrix.buffer lu in
   (* Replay the row exchanges recorded during factorization. *)
   for k = 0 to n - 1 do
     let p = pivots.(k) in
@@ -59,15 +70,15 @@ let solve_in_place ~lu ~pivots b =
   (* Forward substitution with unit-diagonal L. *)
   for i = 1 to n - 1 do
     for j = 0 to i - 1 do
-      b.(i) <- b.(i) -. (Matrix.get lu i j *. b.(j))
+      b.(i) <- b.(i) -. (d.((i * n) + j) *. b.(j))
     done
   done;
   (* Backward substitution with U. *)
   for i = n - 1 downto 0 do
     for j = i + 1 to n - 1 do
-      b.(i) <- b.(i) -. (Matrix.get lu i j *. b.(j))
+      b.(i) <- b.(i) -. (d.((i * n) + j) *. b.(j))
     done;
-    b.(i) <- b.(i) /. Matrix.get lu i i
+    b.(i) <- b.(i) /. d.((i * n) + i)
   done
 
 let factor a =
@@ -75,7 +86,7 @@ let factor a =
   if Matrix.cols a <> n then invalid_arg "Lu.factor: matrix must be square";
   let lu = Matrix.copy a in
   let pivots = Array.make n 0 in
-  let sign = factor_in_place lu ~pivots in
+  let sign = Float.of_int (factor_in_place lu ~pivots) in
   { lu; pivots; sign }
 
 let solve_factored { lu; pivots; _ } b =

@@ -16,12 +16,14 @@ val factor : Matrix.t -> t
 val solve_factored : t -> float array -> float array
 (** Solve A x = b reusing a factorization.  O(n^2) per right-hand side. *)
 
-val factor_in_place : Matrix.t -> pivots:int array -> float
+val factor_in_place : Matrix.t -> pivots:int array -> int
 (** Allocation-free factorization for hot loops: overwrite the matrix with
     its combined L (unit diagonal) / U factors, record the row exchanges in
     [pivots] (LAPACK convention: at step k, row k was swapped with row
-    [pivots.(k)]), and return the permutation sign.  [pivots] must have
-    length equal to the matrix dimension.
+    [pivots.(k)]), and return the permutation sign as [+1] or [-1].  The
+    sign is an [int] deliberately: a boxed float return would allocate on
+    every Newton iteration and break the zero-allocation gate.  [pivots]
+    must have length equal to the matrix dimension.
     @raise Singular when the matrix is numerically singular.
     @raise Invalid_argument on non-square input or a mis-sized pivot array. *)
 

@@ -27,6 +27,7 @@ let of_rows arr =
 
 let rows m = m.rows
 let cols m = m.cols
+let buffer m = m.data
 
 let check m i j =
   if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
@@ -68,7 +69,7 @@ let mul a b =
   for i = 0 to a.rows - 1 do
     for k = 0 to a.cols - 1 do
       let aik = a.data.((i * a.cols) + k) in
-      if aik <> 0.0 then
+      if not (Float.equal aik 0.0) then
         for j = 0 to b.cols - 1 do
           m.data.((i * m.cols) + j) <-
             m.data.((i * m.cols) + j) +. (aik *. b.data.((k * b.cols) + j))

@@ -21,6 +21,15 @@ val of_rows : float array array -> t
 val rows : t -> int
 val cols : t -> int
 
+val buffer : t -> float array
+(** The underlying flat row-major storage: entry (i, j) lives at index
+    [i * cols m + j].  Exposed for the allocation-free hot loops (LU,
+    circuit assembly): under classic (non-flambda) ocamlopt an out-of-line
+    {!get}/{!set}/{!add_to} call boxes its float argument or result, so the
+    inner loops index the buffer directly.  The array aliases the matrix —
+    writes through one are visible through the other.  No bounds checks
+    beyond the array's own. *)
+
 val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 val add_to : t -> int -> int -> float -> unit

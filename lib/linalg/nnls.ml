@@ -50,7 +50,8 @@ let solve ?(max_iter = 0) a b =
   let rec outer () =
     incr iterations;
     if !iterations > max_iter then
-      failwith "Nnls.solve: active-set iteration did not converge";
+      Linalg_error.fail ~routine:"Nnls.solve"
+        ~reason:"active-set iteration did not converge";
     let w = gradient () in
     (* Most-violating inactive coordinate. *)
     let best = ref (-1) in

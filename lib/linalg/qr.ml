@@ -18,7 +18,7 @@ let factor a =
       nrm := Float.hypot !nrm v
     done;
     let nrm = if Matrix.get qr k k < 0.0 then -. !nrm else !nrm in
-    if nrm <> 0.0 then begin
+    if not (Float.equal nrm 0.0) then begin
       for i = k to m - 1 do
         Matrix.set qr i k (Matrix.get qr i k /. nrm)
       done;
@@ -42,7 +42,7 @@ let q_transpose_apply { qr; m; n; _ } b =
   if Array.length b <> m then invalid_arg "Qr.q_transpose_apply: length";
   let y = Array.copy b in
   for k = 0 to n - 1 do
-    if Matrix.get qr k k <> 0.0 then begin
+    if not (Float.equal (Matrix.get qr k k) 0.0) then begin
       let s = ref 0.0 in
       for i = k to m - 1 do
         s := !s +. (Matrix.get qr i k *. y.(i))
@@ -59,7 +59,7 @@ let solve_r { qr; rdiag; n; _ } y =
   let x = Array.sub y 0 n in
   for k = n - 1 downto 0 do
     if Float.abs rdiag.(k) < 1e-280 then
-      failwith "Qr.solve_r: rank-deficient system";
+      Linalg_error.fail ~routine:"Qr.solve_r" ~reason:"rank-deficient system";
     for j = k + 1 to n - 1 do
       x.(k) <- x.(k) -. (Matrix.get qr k j *. x.(j))
     done;

@@ -1,0 +1,54 @@
+(* A single rule violation, pinned to a source position.  The linter's
+   output formats (human and JSON) both render from this record. *)
+
+type t = {
+  rule : string;     (* rule identifier, e.g. "float-compare" *)
+  file : string;     (* path as given to the linter *)
+  line : int;        (* 1-based *)
+  col : int;         (* 0-based, matching compiler convention *)
+  message : string;
+}
+
+let make ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+(* Stable report order: file, then position, then rule.  Explicit
+   comparators throughout — this module must satisfy its own float/compare
+   rule. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> (
+        match String.compare a.rule b.rule with
+        | 0 -> String.compare a.message b.message
+        | c -> c)
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_human d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (json_escape d.rule) (json_escape d.file) d.line d.col
+    (json_escape d.message)

@@ -1,0 +1,32 @@
+(* Rendering of a lint run: human file:line diagnostics for terminals and
+   CI logs, machine-readable JSON for the uploaded CI artifact. *)
+
+type format = Text | Json
+
+let format_of_string = function
+  | "text" | "human" -> Some Text
+  | "json" -> Some Json
+  | _ -> None
+
+let text oc ~files_scanned diags =
+  List.iter (fun d -> output_string oc (Diagnostic.to_human d ^ "\n")) diags;
+  let n = List.length diags in
+  if n = 0 then
+    Printf.fprintf oc "vstat_lint: %d files, clean\n" files_scanned
+  else
+    Printf.fprintf oc "vstat_lint: %d files, %d violation%s\n" files_scanned n
+      (if n = 1 then "" else "s")
+
+let json oc ~files_scanned diags =
+  let rows = List.map Diagnostic.to_json diags in
+  Printf.fprintf oc
+    {|{"tool":"vstat_lint","files_scanned":%d,"violations":[%s],"count":%d}|}
+    files_scanned
+    (String.concat "," rows)
+    (List.length diags);
+  output_string oc "\n"
+
+let print fmt oc ~files_scanned diags =
+  match fmt with
+  | Text -> text oc ~files_scanned diags
+  | Json -> json oc ~files_scanned diags

@@ -1,0 +1,93 @@
+(* Rule registry: one entry per rule family, with the project invariant it
+   protects.  DESIGN.md mirrors this table; [--list-rules] prints it. *)
+
+type info = {
+  id : string;
+  summary : string;
+  invariant : string;  (* which earlier guarantee the rule makes static *)
+}
+
+let determinism_random = "determinism-random"
+let determinism_hashtbl = "determinism-hashtbl-order"
+let determinism_wallclock = "determinism-wallclock"
+let float_compare = "float-compare"
+let exn_discipline = "exn-discipline"
+let hot_path = "hot-path"
+let parse_error = "parse-error"
+
+let all =
+  [
+    {
+      id = determinism_random;
+      summary =
+        "no Random.* / Random.State outside the counter-indexed \
+         Vstat_util.Rng substream machinery (lib/util/rng.ml)";
+      invariant =
+        "jobs:1 == jobs:N bit-identical Monte Carlo: all variates must \
+         derive from per-sample substreams, never from ambient global \
+         generator state";
+    };
+    {
+      id = determinism_hashtbl;
+      summary =
+        "no Hashtbl.iter/Hashtbl.fold in a function without an adjacent \
+         List.sort / sort_uniq / Array.sort re-establishing a total order";
+      invariant =
+        "hash-bucket traversal order is unspecified; unsorted results \
+         leaking out of a census or merge make output depend on hashing";
+    };
+    {
+      id = determinism_wallclock;
+      summary =
+        "no Unix.gettimeofday / Unix.time / Sys.time outside the \
+         runtime/experiments timing whitelist (lint.allow)";
+      invariant =
+        "sample values must be pure functions of (index, substream); wall \
+         clocks belong only in the runtime's stats and the table-4 \
+         throughput experiment";
+    };
+    {
+      id = float_compare;
+      summary =
+        "no polymorphic = / <> / compare / min / max on float-valued \
+         expressions or tuple literals; use Float.equal / Float.compare / \
+         an explicit comparator";
+      invariant =
+        "polymorphic compare on floats orders nan inconsistently and on \
+         tuples silently depends on field order; censuses and sorts must \
+         use explicit total orders";
+    };
+    {
+      id = exn_discipline;
+      summary =
+        "no failwith / invalid_arg / raise Not_found in lib/circuit, \
+         lib/cells, lib/device outside Diag-sanctioned sites; no failwith \
+         in lib/linalg, lib/opt (typed Numeric_error instead)";
+      invariant =
+        "every solver failure is a typed Diag.Solver_error (or \
+         Linalg_error.Numeric_error) so Monte Carlo budgets and censuses \
+         classify why samples die";
+    };
+    {
+      id = hot_path;
+      summary =
+        "inside [@vstat.hot] bindings: no List.map/fold/filter-family \
+         combinators, no Printf/Format, no nested closure definitions";
+      invariant =
+        "zero minor-heap allocation per Newton iteration in the engine \
+         inner loop (pinned dynamically by the Gc.minor_words gate in \
+         test/test_lint.ml)";
+    };
+    {
+      id = parse_error;
+      summary = "source file failed to parse (reported as a violation)";
+      invariant = "the lint pass must see every file it claims to cover";
+    };
+  ]
+
+let pp_list ppf () =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-26s %s@." r.id r.summary;
+      Format.fprintf ppf "%-26s   invariant: %s@." "" r.invariant)
+    all

@@ -27,5 +27,7 @@ val minimize :
     length m >= n.  Convergence when the gradient norm falls below [g_tol]
     (default 1e-12 relative) or the step stalls below [x_tol]
     (default 1e-12 relative).  [lambda0] is the initial damping (1e-3).
-    @raise Invalid_argument on empty input.
-    @raise Failure if the damped normal equations stay singular. *)
+    @raise Invalid_argument on empty input.  Singular damped normal
+    equations are not an error: the damping is increased and the
+    iteration continues, so a persistently singular system ends with
+    [converged = false] rather than an exception. *)

@@ -1,7 +1,9 @@
 type result = { x : float array; f : float; iterations : int; converged : bool }
 
 let default_step x0 =
-  Array.map (fun x -> if x = 0.0 then 0.01 else 0.05 *. Float.abs x) x0
+  Array.map
+    (fun x -> if Float.equal x 0.0 then 0.01 else 0.05 *. Float.abs x)
+    x0
 
 let minimize ?(max_iter = 2000) ?(f_tol = 1e-12) ?(x_tol = 1e-10)
     ?initial_step ~f ~x0 () =

@@ -1,7 +1,7 @@
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then lo
-  else if fhi = 0.0 then hi
+  if Float.equal flo 0.0 then lo
+  else if Float.equal fhi 0.0 then hi
   else if flo *. fhi > 0.0 then
     invalid_arg "Scalar.bisect: interval does not bracket a root"
   else begin
@@ -11,7 +11,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ~f ~lo ~hi () =
       incr i;
       let mid = 0.5 *. (!lo +. !hi) in
       let fmid = f mid in
-      if fmid = 0.0 then begin
+      if Float.equal fmid 0.0 then begin
         lo := mid;
         hi := mid
       end

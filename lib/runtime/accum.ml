@@ -9,7 +9,7 @@ type t = {
 let create () =
   { n = 0; mean = 0.0; m2 = 0.0; lo = Float.infinity; hi = Float.neg_infinity }
 
-let add t x =
+let[@vstat.hot] add t x =
   t.n <- t.n + 1;
   let delta = x -. t.mean in
   t.mean <- t.mean +. (delta /. Float.of_int t.n);
@@ -17,7 +17,7 @@ let add t x =
   if x < t.lo then t.lo <- x;
   if x > t.hi then t.hi <- x
 
-let merge a b =
+let[@vstat.hot] merge a b =
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }
   else begin
@@ -59,7 +59,7 @@ module Histogram = struct
     if not (lo < hi) then invalid_arg "Accum.Histogram.create: lo < hi";
     { lo; hi; bins = Array.make bins 0; under = 0; over = 0 }
 
-  let add h x =
+  let[@vstat.hot] add h x =
     if x < h.lo then h.under <- h.under + 1
     else if x >= h.hi then h.over <- h.over + 1
     else begin
@@ -70,7 +70,8 @@ module Histogram = struct
     end
 
   let merge a b =
-    if a.lo <> b.lo || a.hi <> b.hi
+    if (not (Float.equal a.lo b.lo))
+       || (not (Float.equal a.hi b.hi))
        || Array.length a.bins <> Array.length b.bins
     then invalid_arg "Accum.Histogram.merge: bin geometry mismatch";
     {

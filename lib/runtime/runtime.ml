@@ -272,7 +272,13 @@ let failure_census run =
         (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.category)))
     (failures run);
   let census = Hashtbl.fold (fun name c acc -> (name, c) :: acc) tbl [] in
-  List.sort (fun (na, ca) (nb, cb) -> compare (cb, na) (ca, nb)) census
+  (* Count descending, then name ascending — with explicit monomorphic
+     comparators so the ordering is independent of polymorphic-compare
+     details and the Hashtbl's internal bucket order. *)
+  List.sort
+    (fun (na, ca) (nb, cb) ->
+      match Int.compare cb ca with 0 -> String.compare na nb | c -> c)
+    census
 
 let census_to_string census =
   String.concat ", "

@@ -95,7 +95,7 @@ let gaussian t =
       let u = uniform t ~lo:(-1.0) ~hi:1.0 in
       let v = uniform t ~lo:(-1.0) ~hi:1.0 in
       let s = (u *. u) +. (v *. v) in
-      if s >= 1.0 || s = 0.0 then polar ()
+      if s >= 1.0 || Float.equal s 0.0 then polar ()
       else begin
         let scale = sqrt (-2.0 *. log s /. s) in
         t.cached_gaussian <- Some (v *. scale);

@@ -93,7 +93,7 @@ let log_gamma x =
    continued fraction otherwise (Numerical Recipes 6.2). *)
 let gamma_p a x =
   if x < 0.0 || a <= 0.0 then invalid_arg "Special.gamma_p";
-  if x = 0.0 then 0.0
+  if Float.equal x 0.0 then 0.0
   else if x < a +. 1.0 then begin
     let ap = ref a in
     let sum = ref (1.0 /. a) in

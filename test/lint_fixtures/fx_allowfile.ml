@@ -1,0 +1,7 @@
+(* Exercised twice by ../test_lint.ml: once in the golden run (empty
+   allowlist — both violations below appear) and once under a synthetic
+   allowlist whose line-pinned entry sanctions only the first. *)
+
+let with_line_entry x = x = 1.0
+
+let without_entry x = x = 2.0

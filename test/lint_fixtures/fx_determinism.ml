@@ -1,0 +1,24 @@
+(* Positive and negative fixtures for the determinism rule family.  The
+   golden test in ../test_lint.ml pins (rule, file, line) for every
+   violation below, so keep the line numbers stable when editing. *)
+
+let bad_random () = Random.float 1.0
+
+let bad_self_init () = Random.self_init ()
+
+let bad_gettimeofday () = Unix.gettimeofday ()
+
+let bad_sys_time () = Sys.time ()
+
+let bad_fold tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let bad_iter tbl = Hashtbl.iter (fun _ v -> ignore v) tbl
+
+(* Negative: an adjacent sort re-establishes a total order. *)
+let ok_sorted_census tbl =
+  let xs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+(* Negative: inline suppression on the application expression. *)
+let ok_suppressed_random () =
+  (Random.bits () [@vstat.allow "determinism-random"])

@@ -1,0 +1,9 @@
+(* The [@@@vstat.allow] file floor: every float-compare in this file is
+   sanctioned by the floor attribute, so the golden run must see nothing
+   from it. *)
+
+[@@@vstat.allow "float-compare"]
+
+let ok_floored x = x = 1.0
+
+let ok_floored_too x = compare x 2.0

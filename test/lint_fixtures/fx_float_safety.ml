@@ -1,0 +1,19 @@
+(* Positive and negative fixtures for the float-compare rule.  Line
+   numbers are pinned by the golden test in ../test_lint.ml. *)
+
+let bad_eq x = x = 1.0
+
+let bad_ne x = x <> 0.5
+
+let bad_compare x = compare x 2.0
+
+let bad_min x = min (x : float) 3.0
+
+let bad_max_tuple a b = max (a, 1.0) (b, 2.0)
+
+(* Negatives: explicit float comparators and an inline suppression. *)
+let ok_float_equal x = Float.equal x 1.0
+
+let ok_float_compare x = Float.compare x 2.0
+
+let ok_suppressed x = ((x = 1.0) [@vstat.allow "float-compare"])

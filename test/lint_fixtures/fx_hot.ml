@@ -1,0 +1,28 @@
+(* Positive and negative fixtures for hot-path hygiene ([@vstat.hot]). *)
+
+let[@vstat.hot] bad_printf x = Printf.printf "%f\n" x
+
+let[@vstat.hot] bad_list_map xs = List.map succ xs
+
+let[@vstat.hot] bad_append a b = a @ b
+
+let[@vstat.hot] bad_concat a b = a ^ b
+
+let[@vstat.hot] bad_closure n =
+  let f = fun x -> x + n in
+  f n
+
+(* Negative: an index loop over a preallocated array allocates nothing. *)
+let[@vstat.hot] ok_index_sum (a : float array) =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. a.(i)
+  done;
+  !s
+
+(* Negative: the same combinator is fine outside a hot body. *)
+let ok_cold_map xs = List.map succ xs
+
+(* Negative: inline suppression inside a hot body. *)
+let[@vstat.hot] ok_suppressed_debug x =
+  (Printf.printf "debug %f\n" x [@vstat.allow "hot-path"])

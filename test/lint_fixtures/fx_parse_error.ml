@@ -1,0 +1,4 @@
+(* A deliberately unparseable file: the golden run must report it as a
+   parse-error diagnostic rather than crash or skip it silently. *)
+
+let broken = )

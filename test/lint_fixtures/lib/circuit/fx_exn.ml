@@ -1,0 +1,13 @@
+(* Exception-discipline fixtures for the strict layers: this file's path
+   contains /lib/circuit/, so the default config applies the full
+   failwith / invalid_arg / raise Not_found ban. *)
+
+let bad_failwith () = failwith "boom"
+
+let bad_invalid_arg () = invalid_arg "nope"
+
+let bad_not_found () = raise Not_found
+
+(* Negative: a sanctioned precondition check. *)
+let ok_sanctioned x =
+  if x < 0 then invalid_arg "x must be >= 0" [@vstat.allow "exn-discipline"]

@@ -1,0 +1,9 @@
+(* Exception-discipline fixtures for the failwith-only layers (the path
+   contains /lib/linalg/): failwith is banned in favour of the typed
+   Linalg_error.Numeric_error, while invalid_arg remains the legitimate
+   idiom for caller-precondition violations. *)
+
+let bad_failwith () = failwith "singular"
+
+(* Negative: invalid_arg is the sanctioned precondition idiom here. *)
+let ok_precondition n = if n < 0 then invalid_arg "n must be >= 0"

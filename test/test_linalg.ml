@@ -96,7 +96,7 @@ let test_lu_in_place_matches_solve () =
   let a = M.of_rows rows in
   let pivots = Array.make 3 0 in
   let sign = Lu.factor_in_place a ~pivots in
-  Alcotest.(check bool) "sign is +-1" true (Float.abs sign = 1.0);
+  Alcotest.(check bool) "sign is +-1" true (abs sign = 1);
   let x = Array.copy b in
   Lu.solve_in_place ~lu:a ~pivots x;
   Array.iteri
@@ -108,7 +108,7 @@ let test_lu_in_place_pivoting () =
   let a = M.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
   let pivots = Array.make 2 0 in
   let sign = Lu.factor_in_place a ~pivots in
-  check_float "swap sign" (-1.0) sign;
+  Alcotest.(check int) "swap sign" (-1) sign;
   let x = [| 2.0; 3.0 |] in
   Lu.solve_in_place ~lu:a ~pivots x;
   check_float "x0" 3.0 x.(0);

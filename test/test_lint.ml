@@ -1,0 +1,170 @@
+(* Golden tests for the vstat_lint static-analysis pass (lib/lint), plus
+   the dynamic zero-allocation gate over the circuit engine's transient
+   inner loop.
+
+   The fixture corpus under lint_fixtures/ contains, per rule family, both
+   positive cases (which must be reported at exactly the pinned file:line)
+   and negatives (sorted censuses, explicit comparators, [@vstat.allow]
+   suppressions, the [@@@vstat.allow] file floor) which must stay silent.
+   An exact set comparison covers both directions: a missed violation and
+   a false positive both fail the test. *)
+
+module L = Vstat_lint_core
+module N = Vstat_circuit.Netlist
+module E = Vstat_circuit.Engine
+
+let fixture_root = "lint_fixtures"
+
+(* `dune runtest` runs with the test directory as cwd; a bare
+   `dune exec test/test_lint.exe` runs from the project root.  Normalize so
+   diagnostic paths (and hence the golden strings) agree. *)
+let () =
+  if
+    (not (Sys.file_exists fixture_root))
+    && Sys.file_exists (Filename.concat "test" fixture_root)
+  then Sys.chdir "test"
+
+let render (d : L.Diagnostic.t) =
+  Printf.sprintf "%s:%d %s" d.L.Diagnostic.file d.L.Diagnostic.line
+    d.L.Diagnostic.rule
+
+(* Sorted by (file, line): the engine's report order. *)
+let expected_golden =
+  [
+    "lint_fixtures/fx_allowfile.ml:5 float-compare";
+    "lint_fixtures/fx_allowfile.ml:7 float-compare";
+    "lint_fixtures/fx_determinism.ml:5 determinism-random";
+    "lint_fixtures/fx_determinism.ml:7 determinism-random";
+    "lint_fixtures/fx_determinism.ml:9 determinism-wallclock";
+    "lint_fixtures/fx_determinism.ml:11 determinism-wallclock";
+    "lint_fixtures/fx_determinism.ml:13 determinism-hashtbl-order";
+    "lint_fixtures/fx_determinism.ml:15 determinism-hashtbl-order";
+    "lint_fixtures/fx_float_safety.ml:4 float-compare";
+    "lint_fixtures/fx_float_safety.ml:6 float-compare";
+    "lint_fixtures/fx_float_safety.ml:8 float-compare";
+    "lint_fixtures/fx_float_safety.ml:10 float-compare";
+    "lint_fixtures/fx_float_safety.ml:12 float-compare";
+    "lint_fixtures/fx_hot.ml:3 hot-path";
+    "lint_fixtures/fx_hot.ml:5 hot-path";
+    "lint_fixtures/fx_hot.ml:7 hot-path";
+    "lint_fixtures/fx_hot.ml:9 hot-path";
+    "lint_fixtures/fx_hot.ml:12 hot-path";
+    "lint_fixtures/lib/circuit/fx_exn.ml:5 exn-discipline";
+    "lint_fixtures/lib/circuit/fx_exn.ml:7 exn-discipline";
+    "lint_fixtures/lib/circuit/fx_exn.ml:9 exn-discipline";
+    "lint_fixtures/lib/linalg/fx_failwith.ml:6 exn-discipline";
+  ]
+
+let test_golden () =
+  let cfg = L.Engine.default_config () in
+  let files, diags = L.Engine.run cfg [ fixture_root ] in
+  Alcotest.(check int) "fixture files scanned" 8 files;
+  let parse_errors, rest =
+    List.partition (fun d -> d.L.Diagnostic.rule = "parse-error") diags
+  in
+  (match parse_errors with
+  | [ d ] ->
+    Alcotest.(check string)
+      "parse-error pinned to the unparseable fixture"
+      "lint_fixtures/fx_parse_error.ml" d.L.Diagnostic.file
+  | ds ->
+    Alcotest.failf "expected exactly one parse-error diagnostic, got %d"
+      (List.length ds));
+  Alcotest.(check (list string))
+    "golden diagnostics" expected_golden (List.map render rest)
+
+(* A line-pinned lint.allow entry sanctions exactly one of the two
+   violations in fx_allowfile.ml. *)
+let test_allow_line_pinned () =
+  let allow =
+    L.Allowlist.of_string ~file:"<synthetic>"
+      "# synthetic allowlist for the test\n\
+       float-compare:lint_fixtures/fx_allowfile.ml:5\n"
+  in
+  let cfg = L.Engine.default_config ~allow () in
+  let diags = L.Engine.lint_file cfg "lint_fixtures/fx_allowfile.ml" in
+  Alcotest.(check (list string))
+    "only the unpinned line remains"
+    [ "lint_fixtures/fx_allowfile.ml:7 float-compare" ]
+    (List.map render diags)
+
+(* A whole-file entry matches by trailing '/'-separated components, so the
+   short form "fx_allowfile.ml" must cover the scanned relative path. *)
+let test_allow_whole_file () =
+  let allow =
+    L.Allowlist.of_string ~file:"<synthetic>" "float-compare:fx_allowfile.ml\n"
+  in
+  let cfg = L.Engine.default_config ~allow () in
+  let diags = L.Engine.lint_file cfg "lint_fixtures/fx_allowfile.ml" in
+  Alcotest.(check (list string)) "whole file sanctioned" []
+    (List.map render diags)
+
+(* Every rule id exercised by the fixtures must exist in the registry that
+   --list-rules and DESIGN.md document. *)
+let test_rules_registry () =
+  let ids = List.map (fun r -> r.L.Rules.id) L.Rules.all in
+  List.iter
+    (fun must ->
+      Alcotest.(check bool) (must ^ " registered") true (List.mem must ids))
+    [
+      "determinism-random"; "determinism-hashtbl-order";
+      "determinism-wallclock"; "float-compare"; "exn-discipline"; "hot-path";
+      "parse-error";
+    ]
+
+(* --- the dynamic allocation gate --------------------------------------- *)
+
+(* The [@vstat.hot] lint rules are the static half of the engine's
+   zero-allocation contract; this test is the dynamic half.  It integrates
+   a source-free RC circuit (independent sources are the documented
+   exception: an out-of-line Waveform.value call boxes its float argument
+   and result per source per iteration) twice with different step counts
+   and requires the minor-heap allocation of the two runs to be *exactly*
+   equal: the fixed per-call costs (the returned raw_trace buffers, boxed
+   float arguments of the transient_raw call itself) cancel, so any
+   per-step or per-Newton-iteration allocation would surface as a nonzero
+   difference over the 100 extra accepted steps.  Both runs stay under the
+   256-point initial trace capacity so no buffer growth occurs. *)
+let test_zero_alloc_transient () =
+  let net = N.create () in
+  let gnd = N.ground net in
+  let n1 = N.node net "n1" in
+  N.resistor net "r1" ~a:n1 ~b:gnd ~ohms:1e3;
+  N.capacitor net "c1" ~a:n1 ~b:gnd ~farads:1e-15;
+  let eng = E.compile net in
+  let dt = 1e-12 in
+  let run steps =
+    let r = E.transient_raw eng ~tstop:(Float.of_int steps *. dt) ~dt in
+    if r.E.raw_len <> steps + 1 then
+      Alcotest.failf "expected %d trace points, got %d" (steps + 1)
+        r.E.raw_len
+  in
+  (* Warm-up: one-time costs (first-solve paths, trace buffer sizing). *)
+  run 50;
+  let m0 = Gc.minor_words () in
+  run 100;
+  let m1 = Gc.minor_words () in
+  run 200;
+  let m2 = Gc.minor_words () in
+  let first = m1 -. m0 and second = m2 -. m1 in
+  Alcotest.(check (float 0.0))
+    "minor words for 100 extra transient steps" 0.0 (second -. first)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "golden corpus" `Quick test_golden;
+          Alcotest.test_case "allowlist line-pinned" `Quick
+            test_allow_line_pinned;
+          Alcotest.test_case "allowlist whole-file suffix" `Quick
+            test_allow_whole_file;
+          Alcotest.test_case "rule registry" `Quick test_rules_registry;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "transient inner loop allocates zero" `Quick
+            test_zero_alloc_transient;
+        ] );
+    ]
