@@ -338,7 +338,70 @@ let tests =
       bench_ac_sweep;
     ]
 
-let () =
+(* --- checkpoint overhead ------------------------------------------------ *)
+
+(* `dune exec bench/main.exe -- --checkpoint-overhead [OUT.json]`: time the
+   circuit-level Monte Carlo (fig-5 inverter delay) through Checkpoint.run
+   with periodic flushing off (--checkpoint-every 0: one final snapshot)
+   and on (every 100), and record per-sample cost plus the relative
+   overhead in OUT.json (default BENCH_checkpoint.json).  bench/ sits
+   outside the lint perimeter, so direct wall-clock reads are fine here. *)
+let checkpoint_overhead out_path =
+  let module C = Vstat_runtime.Checkpoint in
+  let n = 200 and reps = 5 in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "vstat_bench_ckpt"
+  in
+  let sample ~attempt:_ ~index:_ rng =
+    let tech = vs_tech rng in
+    let s =
+      Vstat_cells.Inverter.sample tech ~wp_nm:600.0 ~wn_nm:300.0 ~fanout:3
+    in
+    (Vstat_cells.Inverter.measure s).Vstat_cells.Inverter.tpd
+  in
+  let run ~every () =
+    ignore
+      (C.run ~jobs:1
+         ~settings:(C.settings ~every dir)
+         ~codec:C.float_codec
+         ~label:(Printf.sprintf "bench-every-%d" every)
+         ~rng:(Vstat_util.Rng.create ~seed:4242)
+         ~n ~f:sample ())
+  in
+  let time f =
+    let t0 = Vstat_runtime.Deadline.now_ns () in
+    f ();
+    Int64.to_float (Int64.sub (Vstat_runtime.Deadline.now_ns ()) t0)
+  in
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort Float.compare a;
+    a.(Array.length a / 2)
+  in
+  run ~every:0 () (* warm-up: code paths, allocator, page cache *);
+  let t0 = median (List.init reps (fun _ -> time (run ~every:0))) in
+  let t100 = median (List.init reps (fun _ -> time (run ~every:100))) in
+  let per_sample t = t /. Float.of_int n in
+  let overhead = (t100 -. t0) /. t0 in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"inverter-delay MC (fig 5), jobs:1\",\n\
+      \  \"samples\": %d,\n\
+      \  \"reps\": %d,\n\
+      \  \"every0_ns_per_sample\": %.1f,\n\
+      \  \"every100_ns_per_sample\": %.1f,\n\
+      \  \"overhead_frac\": %.4f\n\
+       }\n"
+      n reps (per_sample t0) (per_sample t100) overhead
+  in
+  Out_channel.with_open_text out_path (fun oc -> output_string oc json);
+  Fmt.pr
+    "checkpoint overhead: every=0 %.1f ns/sample, every=100 %.1f ns/sample \
+     (%+.2f%%) -> %s@."
+    (per_sample t0) (per_sample t100) (100.0 *. overhead) out_path
+
+let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -381,3 +444,12 @@ let () =
       ("rejected-steps", c.rejected_steps);
       ("breakpoint-hits", c.breakpoint_hits);
     ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--checkpoint-overhead" :: rest ->
+    let out =
+      match rest with [ p ] -> p | _ -> "BENCH_checkpoint.json"
+    in
+    checkpoint_overhead out
+  | _ -> run_benchmarks ()

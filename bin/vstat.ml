@@ -9,8 +9,18 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
+(* Checkpoint/deadline state shared between the pipeline build and the
+   experiment runs: one watchdog instance is the whole process's budget. *)
+let checkpoint_settings : Vstat_runtime.Checkpoint.settings option ref =
+  ref None
+
+let process_deadline : (unit -> bool) option ref = ref None
+let graceful_signals = [ Sys.sigint; Sys.sigterm ]
+
 let pipeline samples_per_geometry seed =
-  Vstat_core.Pipeline.build ~seed ~mc_per_geometry:samples_per_geometry ()
+  Vstat_core.Pipeline.build ~seed ?checkpoint:!checkpoint_settings
+    ?deadline:!process_deadline ~signals:graceful_signals
+    ~mc_per_geometry:samples_per_geometry ()
 
 open Cmdliner
 
@@ -25,6 +35,26 @@ let positive_int =
     | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
   in
   Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 0 -> Ok j
+    | Some _ -> Error (`Msg "must be a non-negative integer (>= 0)")
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let positive_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0.0 -> Ok v
+    | Some _ -> Error (`Msg "must be a finite positive number")
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid value %S, expected a number" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
 
 let jobs_t =
   Arg.(
@@ -44,13 +74,58 @@ let seed_t =
 
 let retry_t =
   Arg.(
-    value & opt int 1
+    value & opt positive_int 1
     & info [ "retry" ] ~docv:"ATTEMPTS"
         ~doc:
           "Max attempts per Monte Carlo sample. Failed samples are re-run \
            with escalated solver options on the same RNG substream, so \
            results stay deterministic and jobs-independent. 1 disables \
            retries.")
+
+let deadline_t =
+  Arg.(
+    value
+    & opt (some positive_float) None
+    & info [ "deadline" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget (seconds) for the whole invocation, measured \
+           on the monotonic clock. When it expires, the Monte Carlo run in \
+           flight stops at a sample boundary, checkpoints (if enabled) and \
+           reports a partial result with honestly widened confidence \
+           intervals.")
+
+let checkpoint_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR"
+        ~doc:
+          "Journal completed Monte Carlo samples into $(docv) (one .ckpt \
+           snapshot + .json manifest per run label), written atomically so \
+           a crash never leaves a torn file. Use $(b,--resume) to continue \
+           from them.")
+
+let checkpoint_every_t =
+  Arg.(
+    value & opt nonneg_int 100
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Flush a snapshot after every $(docv) newly completed samples (0 \
+           = only at run end / interruption).")
+
+let resume_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"DIR"
+        ~doc:
+          "Resume from snapshots in $(docv) (implies \
+           $(b,--checkpoint-dir) $(docv)). Snapshots are verified against \
+           the run identity (label, seed, sample count, retry depth, \
+           injection config); a mismatched or corrupt snapshot aborts with \
+           a typed error. Only incomplete sample indices are re-run, on \
+           their original RNG substreams: the resumed result is \
+           bit-identical to an uninterrupted run.")
 
 let inject_fault_t =
   let fault_conv =
@@ -74,15 +149,57 @@ let inject_fault_t =
            raise (default raise). Injection is keyed by sample index and \
            retry attempt, so it is reproducible and independent of --jobs.")
 
-let apply_resilience retry inject =
-  if retry < 1 then begin
-    Format.eprintf "--retry must be >= 1@.";
-    exit 2
-  end;
-  if retry > 1 then
+type controls = {
+  retry : int;
+  inject : Vstat_device.Fault_inject.config option;
+  deadline_s : float option;
+  ckpt_dir : string option;
+  ckpt_every : int;
+  resume_dir : string option;
+}
+
+let controls_t =
+  let mk retry inject deadline_s ckpt_dir ckpt_every resume_dir =
+    { retry; inject; deadline_s; ckpt_dir; ckpt_every; resume_dir }
+  in
+  Term.(
+    const mk $ retry_t $ inject_fault_t $ deadline_t $ checkpoint_dir_t
+    $ checkpoint_every_t $ resume_t)
+
+let apply_controls c =
+  if c.retry > 1 then
     Vstat_experiments.Mc_compare.set_default_retry
-      (Vstat_runtime.Runtime.retry retry);
-  Vstat_experiments.Mc_compare.set_default_inject inject
+      (Vstat_runtime.Runtime.retry c.retry);
+  Vstat_experiments.Mc_compare.set_default_inject c.inject;
+  (match (c.ckpt_dir, c.resume_dir) with
+  | Some _, Some _ ->
+    Format.eprintf
+      "--checkpoint-dir and --resume are mutually exclusive (--resume DIR \
+       already checkpoints into DIR)@.";
+    exit 2
+  | _ -> ());
+  let settings =
+    match (c.resume_dir, c.ckpt_dir) with
+    | Some dir, _ ->
+      Some
+        (Vstat_runtime.Checkpoint.settings ~every:c.ckpt_every ~resume:true
+           dir)
+    | None, Some dir ->
+      Some (Vstat_runtime.Checkpoint.settings ~every:c.ckpt_every dir)
+    | None, None -> None
+  in
+  checkpoint_settings := settings;
+  Vstat_experiments.Mc_compare.set_default_checkpoint settings;
+  (* One watchdog for the whole process: every subsequent run shares the
+     same wall-clock budget (created here, at CLI-parse time — the only
+     sanctioned wall-clock use, inside Vstat_runtime.Deadline). *)
+  (match c.deadline_s with
+  | Some seconds ->
+    let w = Vstat_runtime.Deadline.watchdog ~seconds in
+    process_deadline := Some w;
+    Vstat_experiments.Mc_compare.set_default_deadline (Some w)
+  | None -> ());
+  Vstat_experiments.Mc_compare.set_default_signals graceful_signals
 
 let samples_t default =
   Arg.(
@@ -99,10 +216,10 @@ let geometry_mc_t =
 let std_formatter_flush () = Format.pp_print_flush Format.std_formatter ()
 
 let run_cmd name doc ~default_n f =
-  let run verbose jobs seed retry inject bpv_n n =
+  let run verbose jobs seed controls bpv_n n =
     setup_logs verbose;
     Option.iter Vstat_runtime.Runtime.set_default_jobs jobs;
-    apply_resilience retry inject;
+    apply_controls controls;
     let p = pipeline bpv_n seed in
     f p ~n ~seed;
     std_formatter_flush ()
@@ -110,8 +227,8 @@ let run_cmd name doc ~default_n f =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const run $ verbose_t $ jobs_t $ seed_t $ retry_t $ inject_fault_t
-      $ geometry_mc_t $ samples_t default_n)
+      const run $ verbose_t $ jobs_t $ seed_t $ controls_t $ geometry_mc_t
+      $ samples_t default_n)
 
 let fmt = Format.std_formatter
 
@@ -208,10 +325,10 @@ let export_cmd =
       value & opt string "csv"
       & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run verbose jobs seed retry inject bpv_n n dir =
+  let run verbose jobs seed controls bpv_n n dir =
     setup_logs verbose;
     Option.iter Vstat_runtime.Runtime.set_default_jobs jobs;
-    apply_resilience retry inject;
+    apply_controls controls;
     let p = pipeline bpv_n seed in
     export dir p ~n ~seed;
     std_formatter_flush ()
@@ -219,8 +336,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export" ~doc:"Export figure data series to CSV files")
     Term.(
-      const run $ verbose_t $ jobs_t $ seed_t $ retry_t $ inject_fault_t
-      $ geometry_mc_t $ samples_t 300 $ dir_t)
+      const run $ verbose_t $ jobs_t $ seed_t $ controls_t $ geometry_mc_t
+      $ samples_t 300 $ dir_t)
 
 let cmds =
   [
@@ -264,4 +381,26 @@ let () =
         "Statistical Virtual Source MOSFET model: reproduction of the DATE \
          2013 experiments"
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  match Cmd.eval ~catch:false (Cmd.group info cmds) with
+  | exception Vstat_runtime.Checkpoint.Interrupted
+      { label; signal; completed; n; snapshot } ->
+    std_formatter_flush ();
+    let signal = Vstat_runtime.Checkpoint.os_signal_number signal in
+    Format.eprintf
+      "vstat: interrupted by signal %d during %s: %d/%d samples safe%s@."
+      signal label completed n
+      (match snapshot with
+      | Some path -> ", snapshot at " ^ path ^ " (re-run with --resume)"
+      | None -> " (no --checkpoint-dir, progress not persisted)");
+    exit (128 + signal)
+  | exception Vstat_runtime.Journal.Rejected e ->
+    Format.eprintf "vstat: cannot resume: %s@."
+      (Vstat_runtime.Journal.error_to_string e);
+    exit 2
+  | exception e ->
+    Format.eprintf "vstat: internal error: %s@." (Printexc.to_string e);
+    exit 125
+  | code ->
+    (* cmdliner reports CLI parse/validation errors as its own 124; the
+       documented contract here is exit code 2 for bad flags. *)
+    exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -78,7 +78,7 @@ let inject_netlist cfg ~attempt netlist =
         incr created;
         if ord = plan.FI.device_ordinal then FI.wrap plan dev else dev)
 
-let run_netlist ~csv (deck : P.deck) netlist =
+let run_netlist ~csv ~deadline (deck : P.deck) netlist =
   let eng = E.compile netlist in
   let nodes = N.all_nodes netlist in
   let names = List.map fst nodes in
@@ -92,9 +92,19 @@ let run_netlist ~csv (deck : P.deck) netlist =
     (fun src ->
       Printf.printf "  i(%s) = %.6g A\n" src (E.source_current eng op src))
     (N.vsource_names netlist);
-  (* Analyses. *)
+  (* Analyses.  The wall-clock budget is checked between directives: an
+     expired deadline skips the remaining analyses (each completed one has
+     already been printed) instead of tearing the run mid-solve. *)
+  let expired = ref false in
   List.iter
     (fun analysis ->
+      if (not !expired) && deadline () then begin
+        expired := true;
+        Printf.printf
+          "\ndeadline reached — skipping the remaining analyses\n"
+      end;
+      if !expired then ()
+      else
       match analysis with
       | P.Tran { tstep; tstop } ->
         Printf.printf "\n.tran %g %g\n" tstep tstop;
@@ -201,7 +211,7 @@ let run_netlist ~csv (deck : P.deck) netlist =
         print_series ~csv ~x_label:"freq" ~x:freqs ~columns)
     deck.analyses
 
-let run_deck ~csv ~retry ~inject path =
+let run_deck ~csv ~retry ~inject ~deadline path =
   let deck = P.parse_file path in
   Printf.printf "* %s\n" deck.P.title;
   (* Deterministic retry ladder: re-run the whole deck under escalated
@@ -214,7 +224,9 @@ let run_deck ~csv ~retry ~inject path =
       | Some cfg -> inject_netlist cfg ~attempt deck.P.netlist
     in
     let opts = E.escalate ~attempt E.default_options in
-    match E.with_options opts (fun () -> run_netlist ~csv deck netlist) with
+    match
+      E.with_options opts (fun () -> run_netlist ~csv ~deadline deck netlist)
+    with
     | () -> ()
     | exception ((Vstat_circuit.Diag.Solver_error _ | FI.Injected _) as e) ->
       if attempt + 1 < retry then begin
@@ -235,7 +247,19 @@ let () =
      positional parse. *)
   let retry = ref 1 in
   let inject = ref None in
+  let deadline = ref Vstat_runtime.Deadline.never in
   let rec extract acc = function
+    | "--deadline" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some s when Float.is_finite s && s > 0.0 ->
+        (* Built once, at CLI-parse time: the budget covers the whole
+           invocation, not each analysis separately. *)
+        deadline := Vstat_runtime.Deadline.watchdog ~seconds:s;
+        extract acc rest
+      | _ ->
+        prerr_endline
+          "vstat_sim: --deadline expects a positive number of seconds";
+        exit 2)
     | "--jobs" :: v :: rest -> (
       match int_of_string_opt v with
       | Some j when j >= 1 ->
@@ -264,13 +288,13 @@ let () =
     | [] -> List.rev acc
   in
   let args = extract [] (List.tl (Array.to_list Sys.argv)) in
-  let retry = !retry and inject = !inject in
+  let retry = !retry and inject = !inject and deadline = !deadline in
   match args with
-  | [ path ] -> run_deck ~csv:false ~retry ~inject path
+  | [ path ] -> run_deck ~csv:false ~retry ~inject ~deadline path
   | [ path; "--csv" ] | [ "--csv"; path ] ->
-    run_deck ~csv:true ~retry ~inject path
+    run_deck ~csv:true ~retry ~inject ~deadline path
   | _ ->
     prerr_endline
       "usage: vstat_sim <deck.sp> [--csv] [--jobs N] [--retry N] \
-       [--inject-fault RATE[:KIND]]";
+       [--inject-fault RATE[:KIND]] [--deadline SEC]";
     exit 2

@@ -23,8 +23,8 @@ let default_geometries =
     (1500.0, 40.0);
   ]
 
-let build ?(seed = 42) ?jobs ?(mc_per_geometry = 2000)
-    ?(geometries = default_geometries)
+let build ?(seed = 42) ?jobs ?checkpoint ?deadline ?signals
+    ?(mc_per_geometry = 2000) ?(geometries = default_geometries)
     ?(vdd = Vstat_device.Cards.vdd_nominal) () =
   let rng = Vstat_util.Rng.create ~seed in
   let golden_nmos = Bsim_statistical.golden_nmos in
@@ -45,17 +45,25 @@ let build ?(seed = 42) ?jobs ?(mc_per_geometry = 2000)
         (fun ~w_nm ~l_nm -> fit.Extract_nominal.params_of ~w_nm ~l_nm);
     }
   in
-  let observe golden =
+  (* Each geometry gets its own snapshot file (label = polarity +
+     geometry), so an interrupted pipeline build resumes from the first
+     geometry whose journal is incomplete. *)
+  let observe pol golden =
     List.map
       (fun (w_nm, l_nm) ->
-        Bpv.observe_golden ?jobs golden
+        Bpv.observe_golden ?jobs ?checkpoint ?deadline ?signals
+          ~label:(Printf.sprintf "bpv-%s-w%g-l%g" pol w_nm l_nm)
+          ~fingerprint:
+            (Printf.sprintf "pipeline:seed=%d:vdd=%g:n=%d" seed vdd
+               mc_per_geometry)
+          golden
           ~rng:(Vstat_util.Rng.split rng)
           ~n:mc_per_geometry ~vdd ~w_nm ~l_nm)
       geometries
   in
   Logs.info (fun m -> m "pipeline: measuring golden sigmas");
-  let observations_nmos = observe golden_nmos in
-  let observations_pmos = observe golden_pmos in
+  let observations_nmos = observe "nmos" golden_nmos in
+  let observations_pmos = observe "pmos" golden_pmos in
   Logs.info (fun m -> m "pipeline: running BPV extraction");
   let options_n =
     { Bpv.default_options with known_cinv_alpha = golden_nmos.alphas.a_cinv }

@@ -33,6 +33,9 @@ val default_geometries : (float * float) list
 val build :
   ?seed:int ->
   ?jobs:int ->
+  ?checkpoint:Vstat_runtime.Checkpoint.settings ->
+  ?deadline:(unit -> bool) ->
+  ?signals:int list ->
   ?mc_per_geometry:int ->
   ?geometries:(float * float) list ->
   ?vdd:float ->
@@ -40,7 +43,10 @@ val build :
   t
 (** [jobs] is the {!Vstat_runtime.Runtime} worker count for the per-geometry
     sigma measurements (step 2); the built pipeline is bit-identical for any
-    [jobs] value. *)
+    [jobs] value.  [checkpoint]/[deadline]/[signals] flow into each
+    geometry's golden Monte Carlo ({!Bpv.observe_golden}): every geometry
+    gets its own snapshot file, so an interrupted build resumes at the
+    first incomplete one. *)
 
 val default : unit -> t
 (** Memoized [build ~seed:42 ~mc_per_geometry:2000 ()]. *)

@@ -32,7 +32,18 @@ let mix64 z =
 
 let golden = 0x9E3779B97F4A7C15L
 
+(* Documented precondition (see mli): a config built by hand rather than
+   through [parse_spec] must still carry a probability.  A NaN or
+   out-of-range rate would silently bias every fault decision, so it is a
+   programming error, reported as such. *)
+let[@vstat.allow "exn-discipline"] validate cfg =
+  if not (Float.is_finite cfg.rate && cfg.rate >= 0.0 && cfg.rate <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Fault_inject: rate %g is not a probability in [0,1]"
+         cfg.rate)
+
 let plan cfg ~key =
+  validate cfg;
   if cfg.rate <= 0.0 then None
   else begin
     let h =

@@ -47,7 +47,9 @@ val ordinal_span : int
 val plan : config -> key:int -> plan option
 (** Deterministic decision for one key: [None] (no fault — probability
     [1 - rate]) or the fault placement.  Same config and key always yield
-    the same answer. *)
+    the same answer.
+    @raise Invalid_argument when [config.rate] is NaN or outside [0,1] —
+    a hand-built config bypassing {!parse_spec} is validated here. *)
 
 val wrap : plan -> Device_model.t -> Device_model.t
 (** The same device with the fault armed on both the value and analytic

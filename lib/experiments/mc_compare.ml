@@ -27,6 +27,20 @@ let set_default_retry p = default_retry := p
 let default_inject : Vstat_device.Fault_inject.config option ref = ref None
 let set_default_inject c = default_inject := c
 
+(* Checkpoint/deadline defaults likewise come from the CLIs
+   (--checkpoint-dir/--resume, --deadline): one process-wide watchdog so a
+   whole experiment batch shares a single wall-clock budget. *)
+let default_checkpoint : Vstat_runtime.Checkpoint.settings option ref =
+  ref None
+
+let set_default_checkpoint c = default_checkpoint := c
+
+let default_deadline : (unit -> bool) option ref = ref None
+let set_default_deadline d = default_deadline := d
+let default_signals : int list ref = ref []
+let set_default_signals s = default_signals := s
+let warned_no_codec = Atomic.make false
+
 (* Injection key for (sample, attempt): injective for < 64 attempts, so
    each retry attempt rolls an independent fault decision while staying a
    pure function of the sample index — jobs-independent. *)
@@ -51,14 +65,41 @@ let engine_tallies ~before ~after =
   ]
 
 let collect_run ?jobs ?(max_failure_frac = default_max_failure_frac) ?retry
-    ?inject ~label ~n ~tech_of_rng ~rng ~measure () =
+    ?inject ?codec ~label ~n ~tech_of_rng ~rng ~measure () =
+  let module C = Vstat_runtime.Checkpoint in
   let retry = match retry with Some r -> r | None -> !default_retry in
   let inject =
     match inject with Some i -> Some i | None -> !default_inject
   in
+  (* Persistence needs a payload codec; without one, deadline and signal
+     handling stay active but nothing is journaled. *)
+  let codec, settings =
+    match (codec, !default_checkpoint) with
+    | Some c, s -> (c, s)
+    | None, None -> (C.opaque_codec label, None)
+    | None, Some _ ->
+      if not (Atomic.exchange warned_no_codec true) then
+        Log.warn (fun m ->
+            m
+              "%s: measurement has no payload codec; checkpoint persistence \
+               disabled (deadline/signal handling still active)"
+              label);
+      (C.opaque_codec label, None)
+  in
+  (* The injection config changes sample values, so it is part of the run
+     identity a resume must match. *)
+  let fingerprint =
+    match inject with
+    | None -> "inject:none"
+    | Some cfg ->
+      Printf.sprintf "inject:%s:seed=%d"
+        (Vstat_device.Fault_inject.spec_to_string cfg)
+        cfg.Vstat_device.Fault_inject.seed
+  in
   let before = Vstat_circuit.Engine.global_counters () in
-  let r =
-    Vstat_runtime.Runtime.map_rng_attempt_samples ?jobs ~retry ~rng ~n
+  let o =
+    C.run ?jobs ~retry ?deadline:!default_deadline ?settings
+      ~signals:!default_signals ~fingerprint ~codec ~label ~rng ~n
       ~f:(fun ~attempt ~index sample_rng ->
         let tech = tech_of_rng sample_rng in
         let tech =
@@ -79,6 +120,32 @@ let collect_run ?jobs ?(max_failure_frac = default_max_failure_frac) ?retry
       ()
   in
   let after = Vstat_circuit.Engine.global_counters () in
+  (match o.C.cause with
+  | C.Signalled signal ->
+    (* The final snapshot is already flushed; unwind to the CLI. *)
+    raise
+      (C.Interrupted
+         {
+           label;
+           signal;
+           completed = o.C.completed;
+           n;
+           snapshot = o.C.snapshot;
+         })
+  | C.Deadline_reached when o.C.completed < 2 ->
+    failwith
+      (Printf.sprintf
+         "Mc_compare:%s: deadline expired after %d/%d samples — nothing to \
+          report"
+         label o.C.completed n)
+  | C.Deadline_reached ->
+    Log.warn (fun m ->
+        m "%s: partial result (%d/%d samples) — deadline reached" label
+          o.C.completed n)
+  | C.Finished -> ());
+  (* Under a deadline this compacts to the completed subset: downstream
+     statistics see a smaller but index-ordered, bit-reproducible run. *)
+  let r = C.completed_run o in
   let stats =
     Vstat_runtime.Runtime.with_tallies (engine_tallies ~before ~after) r.stats
   in
@@ -88,11 +155,11 @@ let collect_run ?jobs ?(max_failure_frac = default_max_failure_frac) ?retry
     ~max_failure_frac r;
   { r with stats }
 
-let collect ?jobs ?max_failure_frac ?retry ?inject ~label ~n ~tech_of_rng ~rng
-    ~measure () =
+let collect ?jobs ?max_failure_frac ?retry ?inject ?codec ~label ~n
+    ~tech_of_rng ~rng ~measure () =
   Vstat_runtime.Runtime.values
-    (collect_run ?jobs ?max_failure_frac ?retry ?inject ~label ~n ~tech_of_rng
-       ~rng ~measure ())
+    (collect_run ?jobs ?max_failure_frac ?retry ?inject ?codec ~label ~n
+       ~tech_of_rng ~rng ~measure ())
 
 let summarize ~label golden vs =
   {
@@ -110,14 +177,18 @@ let run_lists ?jobs ?max_failure_frac ?retry ?inject p ~label ~vdd ~n ~seed
     ~measure =
   let rng_g = Vstat_util.Rng.create ~seed in
   let rng_v = Vstat_util.Rng.create ~seed:(seed + 1) in
+  (* Measurements here return float lists, so checkpoint persistence is
+     available whenever the CLI armed a checkpoint directory. *)
+  let codec = Vstat_runtime.Checkpoint.float_list_codec in
   let golden =
-    collect ?jobs ?max_failure_frac ?retry ?inject ~label:(label ^ "/golden")
-      ~n
+    collect ?jobs ?max_failure_frac ?retry ?inject ~codec
+      ~label:(label ^ "/golden") ~n
       ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_bsim p ~rng ~vdd)
       ~rng:rng_g ~measure ()
   in
   let vs =
-    collect ?jobs ?max_failure_frac ?retry ?inject ~label:(label ^ "/vs") ~n
+    collect ?jobs ?max_failure_frac ?retry ?inject ~codec
+      ~label:(label ^ "/vs") ~n
       ~tech_of_rng:(fun rng -> Vstat_core.Techs.stochastic_vs p ~rng ~vdd)
       ~rng:rng_v ~measure ()
   in
@@ -161,6 +232,15 @@ let pp_pair ppf t =
   Format.fprintf ppf
     "  agreement: |dmean|=%.2f%% |dstd|=%.2f%% KS=%.3f (p=%.2f) overlap=%.3f@\n"
     (100.0 *. t.rel_mean_diff) (100.0 *. t.rel_std_diff) t.ks t.ks_p t.overlap;
+  (* The interval half-width scales as 1/sqrt(n): a deadline-degraded
+     partial run shows an honestly wider interval here. *)
+  if Array.length t.golden >= 2 && Array.length t.vs >= 2 then begin
+    let glo, ghi = Vstat_stats.Descriptive.mean_ci t.golden in
+    let vlo, vhi = Vstat_stats.Descriptive.mean_ci t.vs in
+    Format.fprintf ppf
+      "  mean 95%%-CI: golden [%.4g, %.4g] (n=%d)  vs [%.4g, %.4g] (n=%d)@\n"
+      glo ghi (Array.length t.golden) vlo vhi (Array.length t.vs)
+  end;
   let spark xs =
     Vstat_stats.Histogram.sparkline
       (Array.map snd (Vstat_stats.Histogram.kde ~points:60 xs))

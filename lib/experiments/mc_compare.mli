@@ -23,11 +23,31 @@ val set_default_inject : Vstat_device.Fault_inject.config option -> unit
     [--inject-fault RATE[:KIND]]); explicit [?inject] arguments win.
     Default: no injection. *)
 
+val set_default_checkpoint : Vstat_runtime.Checkpoint.settings option -> unit
+(** Process-wide checkpoint settings (the CLIs' [--checkpoint-dir] /
+    [--checkpoint-every] / [--resume]).  Persistence only engages for
+    measurements that declare a payload codec ([?codec] below, wired for
+    {!run}/{!run_many}); others warn once and run unjournaled. *)
+
+val set_default_deadline : (unit -> bool) option -> unit
+(** Process-wide wall-clock watchdog (the CLIs' [--deadline SEC], built
+    with {!Vstat_runtime.Deadline.watchdog}).  One watchdog instance is
+    shared by every subsequent run, so a batch of experiments degrades
+    together: the run in flight when the budget expires stops at a sample
+    boundary, checkpoints, and reports a partial result; later runs report
+    what little they evaluate or fail fast with a clear message. *)
+
+val set_default_signals : int list -> unit
+(** Signals trapped for graceful shutdown during runs (the CLIs install
+    [SIGINT; SIGTERM]).  On delivery the run drains, flushes a final
+    snapshot and raises {!Vstat_runtime.Checkpoint.Interrupted}. *)
+
 val collect :
   ?jobs:int ->
   ?max_failure_frac:float ->
   ?retry:Vstat_runtime.Runtime.retry_policy ->
   ?inject:Vstat_device.Fault_inject.config ->
+  ?codec:'a Vstat_runtime.Checkpoint.codec ->
   label:string ->
   n:int ->
   tech_of_rng:(Vstat_util.Rng.t -> Vstat_cells.Celltech.t) ->
@@ -49,6 +69,7 @@ val collect_run :
   ?max_failure_frac:float ->
   ?retry:Vstat_runtime.Runtime.retry_policy ->
   ?inject:Vstat_device.Fault_inject.config ->
+  ?codec:'a Vstat_runtime.Checkpoint.codec ->
   label:string ->
   n:int ->
   tech_of_rng:(Vstat_util.Rng.t -> Vstat_cells.Celltech.t) ->
@@ -58,7 +79,17 @@ val collect_run :
   'a Vstat_runtime.Runtime.run
 (** {!collect} returning the full run record (per-sample cells, attempt
     counts, retry/recovery stats, engine tallies) — what the chaos benches
-    and failure-path tests inspect. *)
+    and failure-path tests inspect.
+
+    Checkpointing/deadlines: runs route through
+    {!Vstat_runtime.Checkpoint.run}.  When checkpoint settings are armed
+    and a [codec] is given, completed samples are journaled under [label]
+    and a resumed run replays only incomplete indices (bit-identical
+    results).  When the process deadline expires mid-run the returned run
+    is the completed subset ([stats.n] = evaluated count, logged as
+    partial); with fewer than 2 completed samples it raises [Failure]
+    instead.  A trapped signal raises
+    {!Vstat_runtime.Checkpoint.Interrupted} after the final flush. *)
 
 val run :
   ?jobs:int ->

@@ -175,11 +175,14 @@ let check_ident st loc path =
       "Random.* breaks jobs:1 == jobs:N determinism; draw from a \
        counter-indexed Vstat_util.Rng substream instead (allowed only in \
        lib/util/rng.ml)"
-  | [ "Unix"; ("gettimeofday" | "time") ] | [ "Sys"; "time" ] ->
+  | [ "Unix"; ("gettimeofday" | "time") ]
+  | [ "Sys"; "time" ]
+  | [ "Monotonic_clock"; "now" ] ->
     emit st ~rule:Rules.determinism_wallclock ~loc
       "wall-clock reads are forbidden outside the runtime stats / \
-       throughput-experiment whitelist (lint.allow): sample values must \
-       be pure functions of (index, substream)"
+       throughput-experiment whitelist (lint.allow) and the sanctioned \
+       deadline watchdog (Vstat_runtime.Deadline): sample values must be \
+       pure functions of (index, substream)"
   | [ "Hashtbl"; (("iter" | "fold") as fn) ] ->
     if st.sorted_ctx = 0 then
       emit st ~rule:Rules.determinism_hashtbl ~loc

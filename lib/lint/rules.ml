@@ -39,12 +39,13 @@ let all =
     {
       id = determinism_wallclock;
       summary =
-        "no Unix.gettimeofday / Unix.time / Sys.time outside the \
-         runtime/experiments timing whitelist (lint.allow)";
+        "no Unix.gettimeofday / Unix.time / Sys.time / Monotonic_clock.now \
+         outside the runtime/experiments timing whitelist (lint.allow)";
       invariant =
         "sample values must be pure functions of (index, substream); wall \
-         clocks belong only in the runtime's stats and the table-4 \
-         throughput experiment";
+         clocks belong only in the runtime's stats, the table-4 throughput \
+         experiment, and the deadline watchdog's single suppressed read \
+         (Vstat_runtime.Deadline)";
     };
     {
       id = float_compare;

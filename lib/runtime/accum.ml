@@ -87,3 +87,8 @@ module Histogram = struct
   let overflow h = h.over
   let total h = h.under + h.over + Array.fold_left ( + ) 0 h.bins
 end
+
+(* Checkpoint support: the full internal state round-trips through five
+   numbers, so snapshots can persist and restore exact accumulators. *)
+let dump t = (t.n, t.mean, t.m2, t.lo, t.hi)
+let restore (n, mean, m2, lo, hi) = { n; mean; m2; lo; hi }

@@ -49,3 +49,9 @@ module Histogram : sig
   val overflow : h -> int
   val total : h -> int
 end
+
+val dump : t -> int * float * float * float * float
+(** Full internal state [(count, mean, m2, lo, hi)] — what checkpoint
+    snapshots persist.  [restore (dump t)] is state-identical to [t]. *)
+
+val restore : int * float * float * float * float -> t

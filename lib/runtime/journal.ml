@@ -1,0 +1,278 @@
+(* Durable run-journal snapshots for checkpoint/resume.
+
+   One snapshot is a single self-validating binary blob:
+
+     magic "VSTATCKP" | u32 format version
+     identity: label | fingerprint | n | base_seed | max_attempts
+     completion bitmap (ceil(n/8) bytes, bit i = sample i completed)
+     per-observable streaming moments (count/mean/M2/lo/hi)
+     completed entries: (index, attempts, payload) sorted by index
+     u32 CRC-32 footer over every preceding byte
+
+   All integers little-endian.  The reader validates magic, version and
+   CRC before parsing, bounds-checks every field, and cross-checks the
+   bitmap against the entry list — a corrupted, truncated or
+   version-skewed snapshot is rejected with a typed {!error}, never
+   silently merged.  Durability comes from {!Vstat_util.Atomic_io}
+   (write-temp -> fsync -> atomic rename), so a crash mid-flush leaves
+   the previous snapshot intact. *)
+
+type identity = {
+  label : string;
+  fingerprint : string;
+  n : int;
+  base_seed : int64;
+  max_attempts : int;
+}
+
+type entry = { index : int; attempts : int; payload : string }
+
+type moments = {
+  m_count : int;
+  m_mean : float;
+  m_m2 : float;
+  m_lo : float;
+  m_hi : float;
+}
+
+type snapshot = {
+  identity : identity;
+  entries : entry array;
+  moments : moments array;
+}
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Version_skew of { found : int; expected : int }
+  | Corrupt of string
+  | Mismatch of { field : string; expected : string; found : string }
+
+exception Rejected of error
+
+let error_to_string = function
+  | Io msg -> Printf.sprintf "snapshot IO error: %s" msg
+  | Bad_magic -> "not a vstat checkpoint snapshot (bad magic)"
+  | Version_skew { found; expected } ->
+    Printf.sprintf "snapshot format version %d, this build reads version %d"
+      found expected
+  | Corrupt msg -> Printf.sprintf "corrupt snapshot: %s" msg
+  | Mismatch { field; expected; found } ->
+    Printf.sprintf
+      "snapshot belongs to a different run: %s is %s, expected %s" field
+      found expected
+
+let () =
+  Printexc.register_printer (function
+    | Rejected e -> Some (Printf.sprintf "Journal.Rejected(%s)" (error_to_string e))
+    | _ -> None)
+
+let magic = "VSTATCKP"
+let version = 1
+
+(* --- encoding ---------------------------------------------------------- *)
+
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let add_i64 b v = Buffer.add_int64_le b v
+let add_f64 b v = add_i64 b (Int64.bits_of_float v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let bitmap_of_entries ~n entries =
+  let bm = Bytes.make ((n + 7) / 8) '\000' in
+  Array.iter
+    (fun e ->
+      if e.index < 0 || e.index >= n then
+        invalid_arg
+          (Printf.sprintf "Journal.encode: entry index %d outside [0,%d)"
+             e.index n);
+      let byte = e.index lsr 3 and bit = e.index land 7 in
+      Bytes.set bm byte
+        (Char.chr (Char.code (Bytes.get bm byte) lor (1 lsl bit))))
+    entries;
+  Bytes.unsafe_to_string bm
+
+let encode snap =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  add_u32 b version;
+  add_str b snap.identity.label;
+  add_str b snap.identity.fingerprint;
+  add_u32 b snap.identity.n;
+  add_i64 b snap.identity.base_seed;
+  add_u32 b snap.identity.max_attempts;
+  Buffer.add_string b (bitmap_of_entries ~n:snap.identity.n snap.entries);
+  add_u32 b (Array.length snap.moments);
+  Array.iter
+    (fun m ->
+      add_u32 b m.m_count;
+      add_f64 b m.m_mean;
+      add_f64 b m.m_m2;
+      add_f64 b m.m_lo;
+      add_f64 b m.m_hi)
+    snap.moments;
+  add_u32 b (Array.length snap.entries);
+  Array.iter
+    (fun e ->
+      add_u32 b e.index;
+      add_u32 b e.attempts;
+      add_str b e.payload)
+    snap.entries;
+  let crc = Vstat_util.Crc32.digest (Buffer.contents b) in
+  add_u32 b crc;
+  Buffer.contents b
+
+(* --- decoding ---------------------------------------------------------- *)
+
+exception Short of string
+
+type cursor = { src : string; limit : int; mutable pos : int }
+
+let need cur k what =
+  if cur.pos + k > cur.limit then
+    raise (Short (Printf.sprintf "truncated while reading %s" what))
+
+let get_u32 cur what =
+  need cur 4 what;
+  let v = Int32.to_int (String.get_int32_le cur.src cur.pos) land 0xFFFFFFFF in
+  cur.pos <- cur.pos + 4;
+  v
+
+let get_i64 cur what =
+  need cur 8 what;
+  let v = String.get_int64_le cur.src cur.pos in
+  cur.pos <- cur.pos + 8;
+  v
+
+let get_f64 cur what = Int64.float_of_bits (get_i64 cur what)
+
+let get_raw cur k what =
+  need cur k what;
+  let s = String.sub cur.src cur.pos k in
+  cur.pos <- cur.pos + k;
+  s
+
+let get_str cur what = get_raw cur (get_u32 cur (what ^ " length")) what
+
+let decode s =
+  let len = String.length s in
+  let header = String.length magic + 4 in
+  if len < header + 4 then Error (Corrupt "file too short for header")
+  else if String.sub s 0 (String.length magic) <> magic then Error Bad_magic
+  else begin
+    let found =
+      Int32.to_int (String.get_int32_le s (String.length magic))
+      land 0xFFFFFFFF
+    in
+    if found <> version then Error (Version_skew { found; expected = version })
+    else begin
+      let stored = Int32.to_int (String.get_int32_le s (len - 4)) land 0xFFFFFFFF in
+      let computed = Vstat_util.Crc32.digest_sub s ~pos:0 ~len:(len - 4) in
+      if stored <> computed then
+        Error
+          (Corrupt
+             (Printf.sprintf "CRC mismatch (stored %08x, computed %08x)"
+                stored computed))
+      else begin
+        let cur = { src = s; limit = len - 4; pos = header } in
+        match
+          let label = get_str cur "label" in
+          let fingerprint = get_str cur "fingerprint" in
+          let n = get_u32 cur "n" in
+          let base_seed = get_i64 cur "base_seed" in
+          let max_attempts = get_u32 cur "max_attempts" in
+          let bitmap = get_raw cur ((n + 7) / 8) "completion bitmap" in
+          let n_moments = get_u32 cur "moments count" in
+          let moments =
+            Array.init n_moments (fun _ ->
+                let m_count = get_u32 cur "moment count" in
+                let m_mean = get_f64 cur "moment mean" in
+                let m_m2 = get_f64 cur "moment m2" in
+                let m_lo = get_f64 cur "moment lo" in
+                let m_hi = get_f64 cur "moment hi" in
+                { m_count; m_mean; m_m2; m_lo; m_hi })
+          in
+          let n_entries = get_u32 cur "entry count" in
+          let entries =
+            Array.init n_entries (fun _ ->
+                let index = get_u32 cur "entry index" in
+                let attempts = get_u32 cur "entry attempts" in
+                let payload = get_str cur "entry payload" in
+                { index; attempts; payload })
+          in
+          if cur.pos <> cur.limit then
+            raise (Short "trailing bytes after entry list");
+          (* Cross-checks: entries strictly increasing, inside [0,n), and
+             in exact agreement with the completion bitmap. *)
+          Array.iteri
+            (fun k e ->
+              if e.index < 0 || e.index >= n then
+                raise (Short (Printf.sprintf "entry index %d outside [0,%d)"
+                                e.index n));
+              if k > 0 && entries.(k - 1).index >= e.index then
+                raise (Short "entry indices not strictly increasing"))
+            entries;
+          let popcount = ref 0 in
+          String.iter
+            (fun c ->
+              let byte = Char.code c in
+              for bit = 0 to 7 do
+                if byte land (1 lsl bit) <> 0 then incr popcount
+              done)
+            bitmap;
+          if !popcount <> n_entries then
+            raise
+              (Short
+                 (Printf.sprintf
+                    "bitmap population %d disagrees with %d entries"
+                    !popcount n_entries));
+          Array.iter
+            (fun e ->
+              if
+                Char.code bitmap.[e.index lsr 3] land (1 lsl (e.index land 7))
+                = 0
+              then
+                raise
+                  (Short
+                     (Printf.sprintf "entry %d not marked in bitmap" e.index)))
+            entries;
+          {
+            identity = { label; fingerprint; n; base_seed; max_attempts };
+            entries;
+            moments;
+          }
+        with
+        | snap -> Ok snap
+        | exception Short msg -> Error (Corrupt msg)
+      end
+    end
+  end
+
+(* --- IO ---------------------------------------------------------------- *)
+
+let write ~path snap = Vstat_util.Atomic_io.write_file ~path (encode snap)
+
+let read ~path =
+  match Vstat_util.Atomic_io.read_file ~path with
+  | Error msg -> Error (Io msg)
+  | Ok s -> decode s
+
+let check_identity ~expected found =
+  let fail field expected found = Error (Mismatch { field; expected; found }) in
+  if not (String.equal expected.label found.label) then
+    fail "label" expected.label found.label
+  else if not (String.equal expected.fingerprint found.fingerprint) then
+    fail "fingerprint" expected.fingerprint found.fingerprint
+  else if expected.n <> found.n then
+    fail "sample count" (string_of_int expected.n) (string_of_int found.n)
+  else if not (Int64.equal expected.base_seed found.base_seed) then
+    fail "RNG base seed"
+      (Int64.to_string expected.base_seed)
+      (Int64.to_string found.base_seed)
+  else if expected.max_attempts <> found.max_attempts then
+    fail "retry ladder depth"
+      (string_of_int expected.max_attempts)
+      (string_of_int found.max_attempts)
+  else Ok ()

@@ -1,0 +1,78 @@
+(** Durable, self-validating run-journal snapshots (the on-disk half of
+    {!Checkpoint}).
+
+    A snapshot records a Monte Carlo run's identity (label, caller
+    fingerprint, sample count, RNG base seed, retry-ladder depth), a
+    per-sample completion bitmap, per-observable streaming moments, and
+    one encoded payload per completed sample.  The binary blob carries a
+    magic string, a format version and a CRC-32 footer; writes go through
+    {!Vstat_util.Atomic_io} (write-temp → fsync → atomic rename), so a
+    reader — including a post-crash resume — observes either the previous
+    complete snapshot or the new one, never a torn file.
+
+    Decoding is paranoid by design: bad magic, version skew, CRC
+    mismatch, truncation, out-of-range fields and bitmap/entry
+    disagreement each yield a typed {!error}.  A snapshot is never
+    silently merged into a mismatched run — {!check_identity} compares
+    every identity field and names the offending one. *)
+
+type identity = {
+  label : string;       (** run label, also the snapshot's file stem *)
+  fingerprint : string;
+      (** caller-supplied run configuration digest (tech label, solver
+          option ladder, injection spec, codec name, ...) *)
+  n : int;              (** total samples in the run *)
+  base_seed : int64;    (** substream family seed derived from the run RNG *)
+  max_attempts : int;   (** retry-ladder depth the samples ran under *)
+}
+
+type entry = {
+  index : int;     (** sample index *)
+  attempts : int;  (** attempts the sample consumed (1 = first try) *)
+  payload : string;    (** codec-encoded sample value *)
+}
+
+type moments = {
+  m_count : int;
+  m_mean : float;
+  m_m2 : float;    (** sum of squared deviations (Welford) *)
+  m_lo : float;
+  m_hi : float;
+}
+
+type snapshot = {
+  identity : identity;
+  entries : entry array;   (** completed samples, sorted by index *)
+  moments : moments array; (** one per observable, index order *)
+}
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Version_skew of { found : int; expected : int }
+  | Corrupt of string  (** CRC mismatch, truncation, inconsistent fields *)
+  | Mismatch of { field : string; expected : string; found : string }
+      (** identity disagreement found by {!check_identity} *)
+
+exception Rejected of error
+(** Raised by {!Checkpoint} when a resume is refused; registered with
+    [Printexc] for readable reports. *)
+
+val error_to_string : error -> string
+
+val version : int
+(** Current snapshot format version. *)
+
+val encode : snapshot -> string
+(** Serialize (including the CRC footer).  @raise Invalid_argument if an
+    entry index falls outside [0, n). *)
+
+val decode : string -> (snapshot, error) result
+
+val write : path:string -> snapshot -> unit
+(** Atomic, durable replacement of [path] ({!Vstat_util.Atomic_io}). *)
+
+val read : path:string -> (snapshot, error) result
+
+val check_identity : expected:identity -> identity -> (unit, error) result
+(** [Error (Mismatch _)] naming the first differing field, if any. *)

@@ -124,51 +124,75 @@ let eval ~policy f i =
   in
   go 0 []
 
-let run_serial ?on_progress ~policy ~n ~f () =
-  let attempts = Array.make n 0 in
-  let chunk = Int.max 1 (n / 20) in
-  let cells =
-    Array.init n (fun i ->
-        let cell, used = eval ~policy f i in
-        attempts.(i) <- used;
-        (match on_progress with
-        | Some cb when (i + 1) mod chunk = 0 || i = n - 1 ->
-          cb ~completed:(i + 1) ~n
-        | _ -> ());
-        cell)
-  in
-  (cells, attempts, [| n |])
+(* Both execution paths run over an explicit [indices] work list (the
+   identity permutation for a full run; the incomplete tail of a resumed
+   run for the checkpoint machinery) and poll [should_stop] at sample
+   boundaries, so a deadline watchdog or a signal flag can drain the pool
+   without tearing any in-flight sample.  Result cells stay addressed by
+   sample index, never by work-list position — the determinism contract
+   is untouched by subsetting. *)
 
-let run_parallel ?on_progress ~policy ~jobs ~n ~f () =
+let run_serial ?on_progress ~should_stop ~policy ~n ~indices ~f () =
+  let m = Array.length indices in
+  let cells = Array.make n None in
+  let attempts = Array.make n 0 in
+  let chunk = Int.max 1 (m / 20) in
+  let k = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !k < m do
+    if should_stop () then stopped := true
+    else begin
+      let i = indices.(!k) in
+      let cell, used = eval ~policy f i in
+      attempts.(i) <- used;
+      cells.(i) <- Some cell;
+      incr k;
+      match on_progress with
+      | Some cb when !k mod chunk = 0 || !k = m -> cb ~completed:!k ~n:m
+      | _ -> ()
+    end
+  done;
+  (cells, attempts, [| !k |])
+
+let run_parallel ?on_progress ~should_stop ~policy ~jobs ~n ~indices ~f () =
+  let m = Array.length indices in
   let cells = Array.make n None in
   let attempts = Array.make n 0 in
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
+  let stop_flag = Atomic.make false in
   let per_worker = Array.make jobs 0 in
   let progress_mutex = Mutex.create () in
   (* Small chunks give dynamic load balancing (samples have very uneven
      cost: a DFF bisection vs a device metric); the atomic counter is the
      only shared mutable word on the hot path. *)
-  let chunk = Int.max 1 (n / (jobs * 8)) in
+  let chunk = Int.max 1 (m / (jobs * 8)) in
   let worker w =
     let rec loop () =
-      let start = Atomic.fetch_and_add next chunk in
-      if start < n then begin
-        let stop = Int.min n (start + chunk) in
-        for i = start to stop - 1 do
-          let cell, used = eval ~policy f i in
-          attempts.(i) <- used;
-          cells.(i) <- Some cell
-        done;
-        per_worker.(w) <- per_worker.(w) + (stop - start);
-        let total =
-          Atomic.fetch_and_add completed (stop - start) + (stop - start)
-        in
-        (match on_progress with
-        | Some cb ->
-          Mutex.protect progress_mutex (fun () -> cb ~completed:total ~n)
-        | None -> ());
-        loop ()
+      if Atomic.get stop_flag || should_stop () then
+        Atomic.set stop_flag true
+      else begin
+        let start = Atomic.fetch_and_add next chunk in
+        if start < m then begin
+          let stop = Int.min m (start + chunk) in
+          let k = ref start in
+          while !k < stop && not (Atomic.get stop_flag) do
+            let i = indices.(!k) in
+            let cell, used = eval ~policy f i in
+            attempts.(i) <- used;
+            cells.(i) <- Some cell;
+            incr k;
+            if should_stop () then Atomic.set stop_flag true
+          done;
+          let batch = !k - start in
+          per_worker.(w) <- per_worker.(w) + batch;
+          let total = Atomic.fetch_and_add completed batch + batch in
+          (match on_progress with
+          | Some cb ->
+            Mutex.protect progress_mutex (fun () -> cb ~completed:total ~n:m)
+          | None -> ());
+          loop ()
+        end
       end
     in
     loop ()
@@ -178,9 +202,6 @@ let run_parallel ?on_progress ~policy ~jobs ~n ~f () =
   in
   worker 0;
   Array.iter Domain.join helpers;
-  let cells =
-    Array.map (function Some c -> c | None -> assert false) cells
-  in
   (cells, attempts, per_worker)
 
 let failed_count run =
@@ -190,44 +211,94 @@ let failed_count run =
 
 let ok_count run = run.stats.n - failed_count run
 
-let map_attempt_samples ?jobs ?on_progress ?(retry = no_retry) ~n ~f () =
-  if n < 0 then invalid_arg "Runtime.map_samples: n must be >= 0";
+type stop_cause = Completed | Stopped
+
+type 'a partial = {
+  slots : ('a, failure) result option array;
+  slot_attempts : int array;
+  partial_stats : stats;
+  cause : stop_cause;
+  evaluated : int;
+}
+
+let run_core ?jobs ?on_progress ?(should_stop = fun () -> false) ~policy ~n
+    ~indices ~f () =
+  let m = Array.length indices in
   let jobs =
     match jobs with Some j -> Int.max 1 j | None -> default_jobs ()
   in
-  let jobs = Int.max 1 (Int.min jobs n) in
+  let jobs = Int.max 1 (Int.min jobs m) in
   let t0 = Unix.gettimeofday () in
-  let cells, attempts, per_worker =
-    if jobs = 1 then run_serial ?on_progress ~policy:retry ~n ~f ()
-    else run_parallel ?on_progress ~policy:retry ~jobs ~n ~f ()
+  let slots, slot_attempts, per_worker =
+    if jobs = 1 then
+      run_serial ?on_progress ~should_stop ~policy ~n ~indices ~f ()
+    else
+      run_parallel ?on_progress ~should_stop ~policy ~jobs ~n ~indices ~f ()
   in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let evaluated = Array.fold_left (fun acc k -> acc + k) 0 per_worker in
   let retried_samples = ref 0 and recovered_samples = ref 0 in
   Array.iteri
     (fun i used ->
       if used > 1 then begin
         incr retried_samples;
-        match cells.(i) with Ok _ -> incr recovered_samples | Error _ -> ()
+        match slots.(i) with
+        | Some (Ok _) -> incr recovered_samples
+        | Some (Error _) | None -> ()
       end)
-    attempts;
-  let stats =
+    slot_attempts;
+  let partial_stats =
     {
       jobs;
-      n;
+      n = m;
       wall_s;
       samples_per_sec =
-        (if wall_s > 0.0 then Float.of_int n /. wall_s else Float.infinity);
+        (if wall_s > 0.0 then Float.of_int evaluated /. wall_s
+         else Float.infinity);
       per_worker;
       retried_samples = !retried_samples;
       recovered_samples = !recovered_samples;
       tallies = [];
     }
   in
-  let run = { cells; attempts; stats } in
+  {
+    slots;
+    slot_attempts;
+    partial_stats;
+    cause = (if evaluated = m then Completed else Stopped);
+    evaluated;
+  }
+
+let map_subset_attempt_samples ?jobs ?on_progress ?(retry = no_retry)
+    ?should_stop ~n ~indices ~f () =
+  if n < 0 then
+    invalid_arg "Runtime.map_subset_attempt_samples: n must be >= 0";
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then
+        invalid_arg
+          (Printf.sprintf
+             "Runtime.map_subset_attempt_samples: index %d outside [0,%d)" i
+             n))
+    indices;
+  run_core ?jobs ?on_progress ?should_stop ~policy:retry ~n ~indices ~f ()
+
+let map_attempt_samples ?jobs ?on_progress ?(retry = no_retry) ~n ~f () =
+  if n < 0 then invalid_arg "Runtime.map_samples: n must be >= 0";
+  let p =
+    run_core ?jobs ?on_progress ~policy:retry ~n
+      ~indices:(Array.init n (fun i -> i))
+      ~f ()
+  in
+  let cells =
+    Array.map (function Some c -> c | None -> assert false) p.slots
+  in
+  let stats = { p.partial_stats with n } in
+  let run = { cells; attempts = p.slot_attempts; stats } in
   Log.info (fun m ->
       m "map_samples: n=%d jobs=%d wall=%.3fs rate=%.0f/s failed=%d \
          retried=%d recovered=%d"
-        n jobs wall_s stats.samples_per_sec (failed_count run)
+        n stats.jobs stats.wall_s stats.samples_per_sec (failed_count run)
         stats.retried_samples stats.recovered_samples);
   run
 

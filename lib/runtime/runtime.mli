@@ -135,6 +135,40 @@ val map_attempt_samples :
     raising, and since the ladder is evaluated inline per index, that value
     is identical under any [jobs] count. *)
 
+type stop_cause =
+  | Completed  (** every scheduled index was evaluated *)
+  | Stopped    (** the pool drained early ([should_stop] fired) *)
+
+type 'a partial = {
+  slots : ('a, failure) result option array;
+      (** length [n], addressed by sample index; [None] = not evaluated
+          in this run (not scheduled, or the pool stopped first) *)
+  slot_attempts : int array;
+      (** attempts consumed per sample; 0 = not evaluated *)
+  partial_stats : stats;   (** [n] = scheduled indices, not the domain *)
+  cause : stop_cause;
+  evaluated : int;         (** scheduled indices actually evaluated *)
+}
+
+val map_subset_attempt_samples :
+  ?jobs:int ->
+  ?on_progress:(completed:int -> n:int -> unit) ->
+  ?retry:retry_policy ->
+  ?should_stop:(unit -> bool) ->
+  n:int ->
+  indices:int array ->
+  f:(attempt:int -> int -> 'a) ->
+  unit ->
+  'a partial
+(** The checkpoint/resume entry point: evaluate only [indices] (any
+    subset of [0, n)), polling [should_stop] at sample boundaries — a
+    deadline watchdog or signal flag drains the pool gracefully without
+    tearing an in-flight sample (its retry ladder runs to completion).
+    Results land in index-addressed [slots], so evaluating a subset
+    yields bit-identical cells to the same indices of a full run, under
+    any [jobs].  @raise Invalid_argument if an index falls outside
+    [0, n). *)
+
 val map_rng_samples :
   ?jobs:int ->
   ?on_progress:(completed:int -> n:int -> unit) ->

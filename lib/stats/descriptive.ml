@@ -1,6 +1,13 @@
 let require_samples xs n name =
-  if Array.length xs < n then
-    invalid_arg (Printf.sprintf "Descriptive.%s: need at least %d samples" name n)
+  let got = Array.length xs in
+  if got < n then
+    invalid_arg
+      (Printf.sprintf
+         "Descriptive.%s: need at least %d sample%s, got %d — partial or \
+          empty runs must be reported, not summarized"
+         name n
+         (if n = 1 then "" else "s")
+         got)
 
 let mean xs =
   require_samples xs 1 "mean";
@@ -66,6 +73,21 @@ let quantiles xs ps =
   List.map (quantile_of_sorted sorted) ps
 
 let median xs = quantile xs 0.5
+
+(* Normal-approximation two-sided confidence interval on the mean.  The
+   half-width scales as 1/sqrt(n), so the interval a deadline-degraded
+   partial run reports is honestly wider than the full run's would be. *)
+let mean_ci ?(confidence = 0.95) xs =
+  require_samples xs 2 "mean_ci";
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Descriptive.mean_ci: confidence %g outside (0,1)"
+         confidence);
+  let mu = mean xs in
+  let n = Float.of_int (Array.length xs) in
+  let z = Vstat_util.Special.normal_quantile (0.5 +. (confidence /. 2.0)) in
+  let half = z *. std xs /. sqrt n in
+  (mu -. half, mu +. half)
 
 let covariance xs ys =
   require_samples xs 2 "covariance";

@@ -40,6 +40,13 @@ val quantile_of_sorted : float array -> float -> float
 
 val median : float array -> float
 
+val mean_ci : ?confidence:float -> float array -> float * float
+(** [(lo, hi)] two-sided normal-approximation confidence interval on the
+    mean ([confidence] defaults to 0.95).  The half-width scales as
+    [1/sqrt n]: partial (deadline-degraded) runs naturally report wider,
+    honest intervals.  @raise Invalid_argument if fewer than 2 samples or
+    [confidence] outside (0,1). *)
+
 val covariance : float array -> float array -> float
 (** Unbiased sample covariance of paired samples. *)
 

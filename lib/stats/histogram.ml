@@ -19,7 +19,10 @@ let freedman_diaconis xs =
   end
 
 let build ?bins xs =
-  if Array.length xs = 0 then invalid_arg "Histogram.build: empty sample";
+  if Array.length xs = 0 then
+    invalid_arg
+      "Histogram.build: empty sample (0 of the requested samples \
+       completed — nothing to bin)";
   let bins = match bins with Some b -> Int.max 1 b | None -> freedman_diaconis xs in
   let lo, hi = Descriptive.min_max xs in
   let hi = if hi > lo then hi else lo +. 1.0 in
@@ -57,7 +60,11 @@ let silverman xs =
   0.9 *. spread *. (n ** (-0.2))
 
 let kde ?bandwidth ?(points = 101) xs =
-  if Array.length xs < 2 then invalid_arg "Histogram.kde: need >= 2 samples";
+  if Array.length xs < 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Histogram.kde: need at least 2 samples for a bandwidth, got %d"
+         (Array.length xs));
   let h = match bandwidth with Some h -> h | None -> silverman xs in
   let lo, hi = Descriptive.min_max xs in
   let lo = lo -. (3.0 *. h) and hi = hi +. (3.0 *. h) in

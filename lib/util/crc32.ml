@@ -1,0 +1,28 @@
+(* Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over
+   strings — the integrity footer of checkpoint snapshots.  Pure integer
+   arithmetic on the native int (the 32-bit state always fits), no
+   dependencies, no allocation per byte. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: substring out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest_sub s ~pos ~len = update 0 s ~pos ~len
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)

@@ -22,3 +22,10 @@ let ok_sorted_census tbl =
 (* Negative: inline suppression on the application expression. *)
 let ok_suppressed_random () =
   (Random.bits () [@vstat.allow "determinism-random"])
+
+let bad_monotonic () = Monotonic_clock.now ()
+
+(* Negative: the single sanctioned wall-clock read pattern — the deadline
+   watchdog in Vstat_runtime.Deadline carries exactly this suppression. *)
+let ok_suppressed_monotonic () =
+  (Monotonic_clock.now () [@vstat.allow "determinism-wallclock"])

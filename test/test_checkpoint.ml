@@ -1,0 +1,419 @@
+(* Checkpoint/resume correctness: journal round-trips and typed
+   rejection of corrupt/mismatched snapshots, subset execution and stop
+   polling in the runtime, codec round-trips, deadline watchdogs, and the
+   tentpole property — an interrupted-then-resumed Monte Carlo run is
+   bit-identical to an uninterrupted one at any worker count. *)
+
+module R = Vstat_runtime.Runtime
+module C = Vstat_runtime.Checkpoint
+module J = Vstat_runtime.Journal
+module D = Vstat_runtime.Deadline
+module Rng = Vstat_util.Rng
+
+let bits = Int64.bits_of_float
+
+let check_bits_array what a b =
+  Alcotest.(check int) (what ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (bits x) (bits b.(i))) then
+        Alcotest.failf "%s: sample %d differs: %h vs %h" what i x b.(i))
+    a
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "vstat_ckpt_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    Vstat_util.Atomic_io.ensure_dir dir;
+    dir
+
+(* --- CRC32 ------------------------------------------------------------- *)
+
+let test_crc32 () =
+  Alcotest.(check int)
+    "IEEE check vector" 0xCBF43926
+    (Vstat_util.Crc32.digest "123456789");
+  Alcotest.(check int) "empty" 0 (Vstat_util.Crc32.digest "");
+  Alcotest.(check int)
+    "digest_sub matches digest"
+    (Vstat_util.Crc32.digest "456")
+    (Vstat_util.Crc32.digest_sub "123456789" ~pos:3 ~len:3)
+
+(* --- journal round-trip and rejection ---------------------------------- *)
+
+let identity n =
+  { J.label = "t"; fingerprint = "fp"; n; base_seed = 42L; max_attempts = 2 }
+
+let snapshot () =
+  let c = C.float_codec in
+  let entry i =
+    { J.index = i; attempts = 1 + (i mod 2); payload = c.C.encode (float_of_int i *. 1.25) }
+  in
+  {
+    J.identity = identity 10;
+    entries = Array.map entry [| 0; 3; 4; 7; 9 |];
+    moments =
+      [| { J.m_count = 5; m_mean = 1.5; m_m2 = 0.25; m_lo = 0.0; m_hi = 9.0 } |];
+  }
+
+let test_journal_roundtrip () =
+  let snap = snapshot () in
+  match J.decode (J.encode snap) with
+  | Error e -> Alcotest.failf "decode failed: %s" (J.error_to_string e)
+  | Ok got ->
+    Alcotest.(check string) "label" snap.J.identity.J.label got.J.identity.J.label;
+    Alcotest.(check int) "n" 10 got.J.identity.J.n;
+    Alcotest.(check int) "entries" 5 (Array.length got.J.entries);
+    Array.iteri
+      (fun k (e : J.entry) ->
+        let o = got.J.entries.(k) in
+        Alcotest.(check int) "index" e.J.index o.J.index;
+        Alcotest.(check int) "attempts" e.J.attempts o.J.attempts;
+        Alcotest.(check string) "payload" e.J.payload o.J.payload)
+      snap.J.entries;
+    let m = got.J.moments.(0) in
+    Alcotest.(check int) "moment count" 5 m.J.m_count;
+    Alcotest.(check bool) "moment mean" true
+      (Int64.equal (bits 1.5) (bits m.J.m_mean))
+
+let expect_error what result pred =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: decode unexpectedly succeeded" what
+  | Error e ->
+    if not (pred e) then
+      Alcotest.failf "%s: wrong error: %s" what (J.error_to_string e)
+
+let test_journal_rejection () =
+  let s = J.encode (snapshot ()) in
+  (* Flipped payload byte: CRC catches it. *)
+  let corrupt = Bytes.of_string s in
+  let mid = String.length s / 2 in
+  Bytes.set corrupt mid (Char.chr (Char.code (Bytes.get corrupt mid) lxor 0x41));
+  expect_error "bad CRC"
+    (J.decode (Bytes.to_string corrupt))
+    (function J.Corrupt _ -> true | _ -> false);
+  (* Truncation. *)
+  expect_error "truncated"
+    (J.decode (String.sub s 0 (String.length s - 5)))
+    (function J.Corrupt _ -> true | _ -> false);
+  expect_error "almost empty"
+    (J.decode (String.sub s 0 6))
+    (function J.Corrupt _ -> true | _ -> false);
+  (* Wrong magic. *)
+  expect_error "bad magic"
+    (J.decode ("XXXXXXXX" ^ String.sub s 8 (String.length s - 8)))
+    (function J.Bad_magic -> true | _ -> false);
+  (* Version skew is detected before the CRC is even checked. *)
+  let skewed = Bytes.of_string s in
+  Bytes.set_int32_le skewed 8 99l;
+  expect_error "version skew"
+    (J.decode (Bytes.to_string skewed))
+    (function
+      | J.Version_skew { found = 99; _ } -> true
+      | _ -> false)
+
+let test_identity_mismatch () =
+  let a = identity 10 in
+  (match J.check_identity ~expected:a a with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "self mismatch: %s" (J.error_to_string e));
+  let checks =
+    [
+      ("label", { a with J.label = "other" });
+      ("fingerprint", { a with J.fingerprint = "fp2" });
+      ("sample count", { a with J.n = 11 });
+      ("RNG base seed", { a with J.base_seed = 43L });
+      ("retry ladder depth", { a with J.max_attempts = 1 });
+    ]
+  in
+  List.iter
+    (fun (field, found) ->
+      match J.check_identity ~expected:a found with
+      | Ok () -> Alcotest.failf "%s mismatch not detected" field
+      | Error (J.Mismatch m) ->
+        Alcotest.(check string) "mismatched field named" field m.field
+      | Error e ->
+        Alcotest.failf "%s: wrong error %s" field (J.error_to_string e))
+    checks
+
+(* --- codecs ------------------------------------------------------------ *)
+
+let test_codecs () =
+  let check_rt name codec v equal =
+    let got = codec.C.decode (codec.C.encode v) in
+    Alcotest.(check bool) (name ^ " round-trip") true (equal v got)
+  in
+  let feq a b = Int64.equal (bits a) (bits b) in
+  check_rt "float" C.float_codec 3.14159 feq;
+  check_rt "float negative zero" C.float_codec (-0.0) feq;
+  check_rt "float nan" C.float_codec Float.nan feq;
+  check_rt "float-array" C.float_array_codec
+    [| 1.0; -2.5; Float.infinity |]
+    (fun a b -> Array.for_all2 feq a b);
+  check_rt "float-list" C.float_list_codec [ 0.1; 0.2 ] (fun a b ->
+      List.for_all2 feq a b);
+  check_rt "float-triple" C.float_triple_codec (1.0, -1.0, 0.5)
+    (fun (a, b, c) (x, y, z) -> feq a x && feq b y && feq c z);
+  (* Malformed payloads fail loudly, not silently. *)
+  (match C.float_codec.C.decode "abc" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "short float payload accepted");
+  (match C.float_array_codec.C.decode "abcdefghi" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "ragged float-array payload accepted")
+
+(* --- runtime subset execution ------------------------------------------ *)
+
+let test_subset () =
+  let p =
+    R.map_subset_attempt_samples ~jobs:1 ~n:10 ~indices:[| 2; 5; 7 |]
+      ~f:(fun ~attempt:_ i -> i * 10)
+      ()
+  in
+  Alcotest.(check int) "evaluated" 3 p.R.evaluated;
+  Alcotest.(check bool) "completed" true (p.R.cause = R.Completed);
+  Array.iteri
+    (fun i slot ->
+      let expect_some = i = 2 || i = 5 || i = 7 in
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d" i)
+        expect_some
+        (Option.is_some slot);
+      match slot with
+      | Some (Ok v) -> Alcotest.(check int) "value" (i * 10) v
+      | Some (Error _) -> Alcotest.fail "unexpected failure"
+      | None -> ())
+    p.R.slots;
+  (match
+     R.map_subset_attempt_samples ~n:3 ~indices:[| 3 |]
+       ~f:(fun ~attempt:_ i -> i)
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range index accepted");
+  (* should_stop = always: nothing runs, cause says so. *)
+  let stopped =
+    R.map_subset_attempt_samples ~jobs:1 ~n:5
+      ~indices:[| 0; 1; 2; 3; 4 |]
+      ~should_stop:(fun () -> true)
+      ~f:(fun ~attempt:_ i -> i)
+      ()
+  in
+  Alcotest.(check int) "none evaluated" 0 stopped.R.evaluated;
+  Alcotest.(check bool) "stopped" true (stopped.R.cause = R.Stopped)
+
+(* --- deadline ----------------------------------------------------------- *)
+
+let test_deadline () =
+  (match D.watchdog ~seconds:0.0 with
+  | exception Invalid_argument _ -> ()
+  | (_ : unit -> bool) -> Alcotest.fail "zero-second watchdog accepted");
+  let loose = D.watchdog ~seconds:3600.0 in
+  Alcotest.(check bool) "fresh budget" false (loose ());
+  let tight = D.watchdog ~seconds:1e-6 in
+  Unix.sleepf 0.005;
+  Alcotest.(check bool) "expired budget" true (tight ());
+  Alcotest.(check bool) "never" false (D.never ());
+  Alcotest.(check bool) "combine fires on either" true
+    (D.combine D.never tight ())
+
+let test_signal_numbers () =
+  (* OCaml's portable encodings are negative; exit codes need POSIX. *)
+  Alcotest.(check int) "sigterm" 15 (C.os_signal_number Sys.sigterm);
+  Alcotest.(check int) "sigint" 2 (C.os_signal_number Sys.sigint);
+  Alcotest.(check int) "raw number passes through" 7 (C.os_signal_number 7);
+  Alcotest.(check int) "unknown encoding" 0 (C.os_signal_number min_int)
+
+(* --- the tentpole: interrupt, resume, bit-identity ---------------------- *)
+
+let sample ~attempt:_ ~index:_ rng =
+  let a = Rng.gaussian rng in
+  let b = Rng.gaussian rng in
+  (a *. 1.5) +. (b *. b)
+
+let n = 40
+let seed = 97
+
+let plain_values ~jobs =
+  R.values
+    (R.map_rng_attempt_samples ~jobs ~rng:(Rng.create ~seed) ~n ~f:sample ())
+
+let test_checkpointed_matches_plain () =
+  let reference = plain_values ~jobs:1 in
+  check_bits_array "plain jobs:4" reference (plain_values ~jobs:4);
+  let dir = fresh_dir () in
+  let o =
+    C.run ~jobs:1
+      ~settings:(C.settings ~every:7 dir)
+      ~codec:C.float_codec ~label:"bit" ~rng:(Rng.create ~seed) ~n ~f:sample
+      ()
+  in
+  Alcotest.(check bool) "complete" true (C.is_complete o);
+  Alcotest.(check bool) "finished" true (o.C.cause = C.Finished);
+  check_bits_array "checkpointed = plain" reference (C.values o);
+  (match o.C.snapshot with
+  | Some path -> Alcotest.(check bool) "snapshot exists" true (Sys.file_exists path)
+  | None -> Alcotest.fail "no snapshot path");
+  match o.C.manifest with
+  | Some path ->
+    let json =
+      match Vstat_util.Atomic_io.read_file ~path with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "manifest unreadable: %s" e
+    in
+    let contains needle =
+      let nl = String.length needle and l = String.length json in
+      let rec go i = i + nl <= l && (String.sub json i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "manifest says complete" true
+      (contains "\"status\": \"complete\"")
+  | None -> Alcotest.fail "no manifest path"
+
+let interrupt_then_resume ~resume_jobs () =
+  let reference = plain_values ~jobs:1 in
+  let dir = fresh_dir () in
+  let settings = C.settings ~every:4 dir in
+  (* Cut the run after ~12 samples via a deterministic "deadline". *)
+  let calls = ref 0 in
+  let cut () =
+    incr calls;
+    !calls > 12
+  in
+  let o1 =
+    C.run ~jobs:1 ~settings ~deadline:cut ~codec:C.float_codec ~label:"kr"
+      ~rng:(Rng.create ~seed) ~n ~f:sample ()
+  in
+  Alcotest.(check bool) "stopped early" true (o1.C.cause = C.Deadline_reached);
+  Alcotest.(check bool) "partial" true (o1.C.completed < n && o1.C.completed > 0);
+  (* "Restart the process": a fresh run resumes from the snapshot. *)
+  let o2 =
+    C.run ~jobs:resume_jobs
+      ~settings:(C.settings ~every:4 ~resume:true dir)
+      ~codec:C.float_codec ~label:"kr" ~rng:(Rng.create ~seed) ~n ~f:sample ()
+  in
+  Alcotest.(check int) "restored what was checkpointed" o1.C.completed
+    o2.C.restored;
+  Alcotest.(check bool) "resume completes" true (C.is_complete o2);
+  check_bits_array
+    (Printf.sprintf "resumed(jobs:%d) = uninterrupted" resume_jobs)
+    reference (C.values o2);
+  (* Resuming a finished run replays nothing. *)
+  let o3 =
+    C.run ~jobs:1
+      ~settings:(C.settings ~resume:true dir)
+      ~codec:C.float_codec ~label:"kr" ~rng:(Rng.create ~seed) ~n ~f:sample ()
+  in
+  Alcotest.(check int) "fully restored" n o3.C.restored;
+  check_bits_array "no-op resume" reference (C.values o3)
+
+let test_resume_rejects_mismatch () =
+  let dir = fresh_dir () in
+  let settings = C.settings dir in
+  let run ?(label = "mm") ?(n = 10) ?(seed = 5) ~resume () =
+    C.run ~jobs:1
+      ~settings:{ settings with C.resume }
+      ~codec:C.float_codec ~label ~rng:(Rng.create ~seed) ~n ~f:sample ()
+  in
+  ignore (run ~resume:false ());
+  let expect_rejected what pred f =
+    match f () with
+    | _ -> Alcotest.failf "%s: resume unexpectedly accepted" what
+    | exception J.Rejected e ->
+      if not (pred e) then
+        Alcotest.failf "%s: wrong rejection: %s" what (J.error_to_string e)
+  in
+  expect_rejected "different n"
+    (function J.Mismatch { field = "sample count"; _ } -> true | _ -> false)
+    (fun () -> run ~resume:true ~n:12 ());
+  expect_rejected "different seed"
+    (function J.Mismatch { field = "RNG base seed"; _ } -> true | _ -> false)
+    (fun () -> run ~resume:true ~seed:6 ());
+  (* Same label, different codec: the fingerprint catches it. *)
+  expect_rejected "different codec"
+    (function J.Mismatch { field = "fingerprint"; _ } -> true | _ -> false)
+    (fun () ->
+      C.run ~jobs:1
+        ~settings:{ settings with C.resume = true }
+        ~codec:C.float_array_codec ~label:"mm" ~rng:(Rng.create ~seed:5) ~n:10
+        ~f:(fun ~attempt ~index rng -> [| sample ~attempt ~index rng |])
+        ());
+  (* A corrupted snapshot file is refused, not merged. *)
+  let path = C.snapshot_path settings "mm" in
+  Vstat_util.Atomic_io.write_file ~path "VSTATCKPgarbage-after-magic";
+  expect_rejected "corrupt snapshot"
+    (function J.Corrupt _ | J.Version_skew _ -> true | _ -> false)
+    (fun () -> run ~resume:true ())
+
+let test_retry_attempts_survive_resume () =
+  (* A sample that fails on attempt 0 and succeeds on attempt 1 must keep
+     its recorded attempt count through checkpoint/resume. *)
+  let flaky ~attempt ~index rng =
+    let v = sample ~attempt ~index rng in
+    if index = 3 && attempt = 0 then failwith "transient";
+    v
+  in
+  let retry = R.retry 2 in
+  let dir = fresh_dir () in
+  let calls = ref 0 in
+  let cut () =
+    incr calls;
+    !calls > 6
+  in
+  let o1 =
+    C.run ~jobs:1 ~retry ~settings:(C.settings ~every:2 dir) ~deadline:cut
+      ~codec:C.float_codec ~label:"flaky" ~rng:(Rng.create ~seed:11) ~n:12
+      ~f:flaky ()
+  in
+  Alcotest.(check bool) "cut early" true (o1.C.completed < 12);
+  let o2 =
+    C.run ~jobs:1 ~retry
+      ~settings:(C.settings ~resume:true dir)
+      ~codec:C.float_codec ~label:"flaky" ~rng:(Rng.create ~seed:11) ~n:12
+      ~f:flaky ()
+  in
+  Alcotest.(check bool) "resume completes" true (C.is_complete o2);
+  Alcotest.(check int) "sample 3 took two attempts" 2 o2.C.attempts.(3);
+  let full =
+    R.map_rng_attempt_samples ~jobs:1 ~retry ~rng:(Rng.create ~seed:11) ~n:12
+      ~f:flaky ()
+  in
+  check_bits_array "flaky resumed = uninterrupted" (R.values full)
+    (C.values o2)
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32;
+          Alcotest.test_case "snapshot round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick test_journal_rejection;
+          Alcotest.test_case "identity mismatch" `Quick test_identity_mismatch;
+          Alcotest.test_case "codecs" `Quick test_codecs;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "subset execution" `Quick test_subset;
+          Alcotest.test_case "deadline watchdog" `Quick test_deadline;
+          Alcotest.test_case "signal numbers" `Quick test_signal_numbers;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "checkpointed = plain" `Quick
+            test_checkpointed_matches_plain;
+          Alcotest.test_case "interrupt/resume jobs:1" `Quick
+            (interrupt_then_resume ~resume_jobs:1);
+          Alcotest.test_case "interrupt/resume jobs:4" `Quick
+            (interrupt_then_resume ~resume_jobs:4);
+          Alcotest.test_case "mismatch rejected" `Quick
+            test_resume_rejects_mismatch;
+          Alcotest.test_case "retry ladder survives resume" `Quick
+            test_retry_attempts_survive_resume;
+        ] );
+    ]

@@ -453,6 +453,17 @@ let test_fault_plan_deterministic () =
         Alcotest.(check bool) "at_eval >= 1" true (p.FI.at_eval >= 1))
     (List.init 64 Fun.id)
 
+let test_fault_plan_validates_rate () =
+  (* A typo'd probability must die at the plan call, not silently skew the
+     injection statistics for a whole Monte Carlo campaign. *)
+  List.iter
+    (fun rate ->
+      let cfg = { FI.rate; kind = FI.Raise; seed = 99 } in
+      match FI.plan cfg ~key:0 with
+      | _ -> Alcotest.failf "rate %g accepted" rate
+      | exception Invalid_argument _ -> ())
+    [ -0.1; 1.5; Float.nan; Float.infinity; neg_infinity ]
+
 let test_fault_wrap_raise_persistent () =
   let plan = { FI.device_ordinal = 0; at_eval = 3; kind = FI.Raise } in
   let dev = FI.wrap plan nmos_vs in
@@ -554,6 +565,8 @@ let () =
         [
           Alcotest.test_case "plan deterministic" `Quick
             test_fault_plan_deterministic;
+          Alcotest.test_case "plan validates rate" `Quick
+            test_fault_plan_validates_rate;
           Alcotest.test_case "raise persists" `Quick
             test_fault_wrap_raise_persistent;
           Alcotest.test_case "nan/inf currents" `Quick test_fault_wrap_nan_inf;

@@ -39,6 +39,7 @@ let expected_golden =
     "lint_fixtures/fx_determinism.ml:11 determinism-wallclock";
     "lint_fixtures/fx_determinism.ml:13 determinism-hashtbl-order";
     "lint_fixtures/fx_determinism.ml:15 determinism-hashtbl-order";
+    "lint_fixtures/fx_determinism.ml:26 determinism-wallclock";
     "lint_fixtures/fx_float_safety.ml:4 float-compare";
     "lint_fixtures/fx_float_safety.ml:6 float-compare";
     "lint_fixtures/fx_float_safety.ml:8 float-compare";

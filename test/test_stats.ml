@@ -236,6 +236,41 @@ let test_histogram_constant_sample () =
 let test_variance_needs_two () =
   match D.variance [| 1.0 |] with
   | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    (* The message must carry enough context to debug a partial run:
+       which function, what it needed, and what it got. *)
+    let contains needle =
+      let nl = String.length needle and l = String.length msg in
+      let rec go i = i + nl <= l && (String.sub msg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the function" true
+      (contains "Descriptive.variance");
+    Alcotest.(check bool) "states the got count" true (contains "got 1")
+
+let test_mean_ci () =
+  (* CI for a known sample: mean 2, std 1, n = 4 → half-width z * 1/2. *)
+  let xs = [| 1.0; 2.0; 2.0; 3.0 |] in
+  let mu = D.mean xs and sd = D.std xs in
+  let lo, hi = D.mean_ci xs in
+  check_float ~eps:1e-12 "centered" mu ((lo +. hi) /. 2.0);
+  check_float ~eps:1e-6 "95% half-width" (1.959964 *. sd /. 2.0)
+    ((hi -. lo) /. 2.0);
+  (* Wider confidence → wider interval; fewer samples → wider interval:
+     a deadline-truncated run reports honestly degraded precision. *)
+  let lo99, hi99 = D.mean_ci ~confidence:0.99 xs in
+  Alcotest.(check bool) "99% wider than 95%" true (hi99 -. lo99 > hi -. lo);
+  let rng = Rng.create ~seed:41 in
+  let big = Array.init 400 (fun _ -> Rng.gaussian rng) in
+  let part = Array.sub big 0 40 in
+  let blo, bhi = D.mean_ci big and plo, phi = D.mean_ci part in
+  Alcotest.(check bool) "partial run has a wider CI" true
+    (phi -. plo > bhi -. blo);
+  (match D.mean_ci [| 1.0 |] with
+  | _ -> Alcotest.fail "CI from one sample accepted"
+  | exception Invalid_argument _ -> ());
+  match D.mean_ci ~confidence:1.0 xs with
+  | _ -> Alcotest.fail "confidence 1.0 accepted"
   | exception Invalid_argument _ -> ()
 
 let test_ks_p_value_bounds () =
@@ -302,6 +337,7 @@ let () =
           Alcotest.test_case "sigma/mu" `Quick test_sigma_over_mu;
           Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
           Alcotest.test_case "variance needs two" `Quick test_variance_needs_two;
+          Alcotest.test_case "mean CI" `Quick test_mean_ci;
           QCheck_alcotest.to_alcotest prop_quantile_bounds;
           QCheck_alcotest.to_alcotest prop_std_shift_invariant;
         ] );
