@@ -401,6 +401,67 @@ let checkpoint_overhead out_path =
      (%+.2f%%) -> %s@."
     (per_sample t0) (per_sample t100) (100.0 *. overhead) out_path
 
+(* --- rare-event estimator comparison ----------------------------------- *)
+
+(* `dune exec bench/main.exe -- --rare [OUT.json]`: run the three SRAM-yield
+   estimators (plain MC golden, pilot-aimed importance sampling, statistical
+   blockade) at the reachable ~1e-3 tail level and record, per estimator,
+   the number of full circuit simulations spent and the plain-MC sample
+   count that an interval of the same width would have cost.  The headline
+   figure is fewer full simulations than plain MC at equal CI width:
+   IS speedup = mc-equivalent samples / simulations spent; blockade speedup
+   = 1 / simulation fraction (its Wilson interval is the one plain MC would
+   report at the same trial count). *)
+let rare_compare out_path =
+  let module Y = Vstat_experiments.Exp_sram_yield in
+  let module I = Vstat_rare.Importance in
+  let module B = Vstat_rare.Blockade in
+  let n_plain = 2000 and n_is = 400 and n_blockade = 2000 in
+  let is_pilot = 200 in
+  let half r = 0.5 *. (r.I.ci_hi -. r.I.ci_lo) in
+  Fmt.pr "rare: plain MC golden (n=%d)...@." n_plain;
+  let plain = Y.estimate_plain ~n:n_plain pipeline in
+  Fmt.pr "rare: importance sampling (n=%d + pilot %d)...@." n_is is_pilot;
+  let is = Y.estimate_is ~n:n_is ~pilot_n:is_pilot pipeline in
+  Fmt.pr "rare: statistical blockade (n=%d trials)...@." n_blockade;
+  let blockade = Y.estimate_blockade ~n:n_blockade pipeline in
+  let is_sims = is.I.n_requested + is_pilot in
+  let is_equiv = I.mc_equivalent_samples is in
+  let is_speedup = is_equiv /. Float.of_int is_sims in
+  let b_sims = blockade.B.n_pilot + blockade.B.n_simulated in
+  let b_speedup = 1.0 /. B.simulation_fraction blockade in
+  let b_half = 0.5 *. (blockade.B.ci_hi -. blockade.B.ci_lo) in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"sram-yield p(SNM < 25 mV) at vdd 0.80, read mode\",\n\
+      \  \"plain\": { \"simulations\": %d, \"p_hat\": %.6e,\n\
+      \             \"ci_half_width\": %.6e },\n\
+      \  \"importance_sampling\": {\n\
+      \    \"simulations\": %d, \"p_hat\": %.6e, \"ci_half_width\": %.6e,\n\
+      \    \"ess\": %.1f, \"max_weight\": %.3f,\n\
+      \    \"mc_equivalent_samples\": %.0f,\n\
+      \    \"speedup_vs_plain_at_equal_ci\": %.1f\n\
+      \  },\n\
+      \  \"blockade\": {\n\
+      \    \"trials\": %d, \"simulations\": %d, \"p_hat\": %.6e,\n\
+      \    \"ci_half_width\": %.6e,\n\
+      \    \"speedup_vs_plain_at_equal_ci\": %.1f\n\
+      \  }\n\
+       }\n"
+      n_plain plain.I.p_hat (half plain) is_sims is.I.p_hat (half is)
+      is.I.ess is.I.max_weight is_equiv is_speedup blockade.B.n b_sims
+      blockade.B.p_hat b_half b_speedup
+  in
+  Out_channel.with_open_text out_path (fun oc -> output_string oc json);
+  Fmt.pr "plain    : %d sims, p=%.3e (half-width %.2e)@." n_plain
+    plain.I.p_hat (half plain);
+  Fmt.pr "is       : %d sims, p=%.3e (half-width %.2e), %.1fx plain MC@."
+    is_sims is.I.p_hat (half is) is_speedup;
+  Fmt.pr "blockade : %d sims, p=%.3e (half-width %.2e), %.1fx plain MC@."
+    b_sims blockade.B.p_hat b_half b_speedup;
+  Fmt.pr "-> %s@." out_path
+
 let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -452,4 +513,7 @@ let () =
       match rest with [ p ] -> p | _ -> "BENCH_checkpoint.json"
     in
     checkpoint_overhead out
+  | _ :: "--rare" :: rest ->
+    let out = match rest with [ p ] -> p | _ -> "BENCH_rare.json" in
+    rare_compare out
   | _ -> run_benchmarks ()

@@ -319,6 +319,83 @@ let all p ~n ~seed =
   section "Extension: inter-die"; inter_die p ~n:(Int.min n 120) ~seed;
   section "Extension: SSTA"; ssta p ~n:(Int.min n 150) ~seed
 
+let sram_yield_cmd =
+  let rare_t =
+    Arg.(
+      value
+      & opt (enum [ ("is", `Is); ("blockade", `Blockade); ("all", `All) ]) `All
+      & info [ "rare" ] ~docv:"ESTIMATOR"
+          ~doc:
+            "Rare-event estimator: $(b,is) (importance sampling under a \
+             pilot-aimed defensive mixture proposal), $(b,blockade) \
+             (classifier-filtered Monte Carlo), or $(b,all) (both, \
+             cross-validated against a brute-force golden run).")
+  in
+  let sigma_shift_t =
+    Arg.(
+      value & opt positive_float 1.0
+      & info [ "sigma-shift" ] ~docv:"SCALE"
+          ~doc:
+            "Sigma multiplier of the importance-sampling proposal around \
+             its pilot-derived mean shifts (1.0 = shift only).")
+  in
+  let pilot_n_t =
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "pilot-n" ] ~docv:"N"
+          ~doc:
+            "Pilot samples used to aim the IS proposal and to train the \
+             blockade classifier (defaults: 200 for IS, max(100, n/20) \
+             for blockade).")
+  in
+  let threshold_t =
+    Arg.(
+      value & opt positive_float 0.025
+      & info [ "tail-threshold" ] ~docv:"VOLT"
+          ~doc:"Failure threshold: the cell fails when SNM < $(docv).")
+  in
+  let vdd_t =
+    Arg.(
+      value & opt positive_float 0.80
+      & info [ "vdd" ] ~docv:"VOLT"
+          ~doc:"Supply voltage for the yield question.")
+  in
+  let run verbose jobs seed controls bpv_n n rare sigma_shift pilot_n
+      threshold vdd =
+    setup_logs verbose;
+    Option.iter Vstat_runtime.Runtime.set_default_jobs jobs;
+    apply_controls controls;
+    let p = pipeline bpv_n seed in
+    let module Y = Vstat_experiments.Exp_sram_yield in
+    (match rare with
+    | `All ->
+      Y.pp fmt
+        (Y.run ~n ~seed ~vdd ~threshold ~sigma_shift ?pilot_n p)
+    | `Is ->
+      let r =
+        Y.estimate_is ~n ~seed ~vdd ~threshold ~sigma_shift ?pilot_n p
+      in
+      Vstat_rare.Importance.pp fmt r;
+      Format.fprintf fmt
+        "  plain-MC samples for this interval width: %.0f (%.1fx speedup)@\n"
+        (Vstat_rare.Importance.mc_equivalent_samples r)
+        (Vstat_rare.Importance.mc_equivalent_samples r /. Float.of_int r.n)
+    | `Blockade ->
+      let r = Y.estimate_blockade ~n ~seed ~vdd ~threshold ?pilot_n p in
+      Vstat_rare.Blockade.pp fmt r);
+    std_formatter_flush ()
+  in
+  Cmd.v
+    (Cmd.info "sram-yield"
+       ~doc:
+         "Rare-event SRAM yield: P(SNM < threshold) at low Vdd via \
+          importance sampling and statistical blockade")
+    Term.(
+      const run $ verbose_t $ jobs_t $ seed_t $ controls_t $ geometry_mc_t
+      $ samples_t 4000 $ rare_t $ sigma_shift_t $ pilot_n_t $ threshold_t
+      $ vdd_t)
+
 let export_cmd =
   let dir_t =
     Arg.(
@@ -342,6 +419,7 @@ let export_cmd =
 let cmds =
   [
     export_cmd;
+    sram_yield_cmd;
     run_cmd "fig1" "VS-vs-golden I-V fit (Fig. 1)" ~default_n:0 fig1;
     run_cmd "fig2" "Per-geometry vs stacked BPV (Fig. 2)" ~default_n:0 fig2;
     run_cmd "table1" "Variation parameter list (Table I)" ~default_n:0 table1;

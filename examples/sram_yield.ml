@@ -1,54 +1,67 @@
-(* SRAM parametric-yield estimation: Monte Carlo static noise margins of a
-   6T cell under within-die mismatch, with a yield estimate against a noise
-   specification (the paper's Fig. 9 workload taken one step further toward
-   a real design task).
+(* SRAM parametric yield as a rare-event problem: the paper's Fig. 9
+   workload pushed to the tail.  The failure event is READ SNM < 25 mV at a
+   lowered supply (0.80 V), a ~1e-3 probability the plain Monte Carlo of
+   the original example can barely resolve.  The Vstat_rare engine answers
+   it two ways, each cross-checked against a brute-force golden:
+
+   - importance sampling: a small pilot run regresses each butterfly lobe's
+     noise margin on the 30 mismatch coordinates (6 transistors x 5 BPV
+     parameters), aims a defensive Gaussian-mixture proposal at the two
+     per-lobe design points, and reweights by the exact likelihood ratio;
+   - statistical blockade: the same pilot fits a linear classifier that
+     blocks samples predicted to be comfortably safe, so only tail
+     candidates pay for a full butterfly simulation.
 
    Run with:  dune exec examples/sram_yield.exe *)
 
-module D = Vstat_stats.Descriptive
-module Sram = Vstat_cells.Sram6t
+module Y = Vstat_experiments.Exp_sram_yield
+module I = Vstat_rare.Importance
+module B = Vstat_rare.Blockade
 
-let n = 250
-let snm_spec = 0.04 (* V: minimum acceptable READ noise margin *)
+let n_golden = 1000
+let n_accel = 300
+let pilot_n = 150
 
 let () =
   let p = Vstat_core.Pipeline.build ~seed:42 ~mc_per_geometry:1000 () in
-  let vdd = p.vdd in
-  let rng = Vstat_util.Rng.create ~seed:21 in
-  let read = Array.make n 0.0 and hold = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    let tech =
-      Vstat_core.Techs.stochastic_vs p ~rng:(Vstat_util.Rng.split rng) ~vdd
-    in
-    let cell = Sram.sample tech in
-    read.(i) <- Sram.snm cell ~mode:Sram.Read;
-    hold.(i) <- Sram.snm cell ~mode:Sram.Hold
-  done;
-  Printf.printf "6T SRAM (PD/PU/ACC = 150/80/105 nm), %d cells sampled\n\n" n;
-  Printf.printf "  READ SNM: mean=%5.1f mV  sigma=%4.1f mV  min=%5.1f mV\n"
-    (1e3 *. D.mean read) (1e3 *. D.std read)
-    (1e3 *. fst (D.min_max read));
-  Printf.printf "  HOLD SNM: mean=%5.1f mV  sigma=%4.1f mV  min=%5.1f mV\n\n"
-    (1e3 *. D.mean hold) (1e3 *. D.std hold)
-    (1e3 *. fst (D.min_max hold));
-  (* Empirical yield plus the Gaussian-extrapolated estimate. *)
-  let failures = Array.fold_left (fun acc s -> if s < snm_spec then acc + 1 else acc) 0 read in
-  let z = (D.mean read -. snm_spec) /. D.std read in
-  Printf.printf "Yield against READ SNM > %.0f mV:\n" (1e3 *. snm_spec);
-  Printf.printf "  empirical: %d/%d cells fail\n" failures n;
-  Printf.printf "  Gaussian extrapolation: %.1f sigma margin -> %.2e fail probability\n"
-    z
-    (Vstat_util.Special.normal_cdf (-.z));
+  let vdd = 0.80 and threshold = 0.025 in
   Printf.printf
-    "  (the HOLD tail is slightly non-Gaussian — qq R2 = %.4f — so tail\n\
-    \   extrapolation from moments alone underestimates risk; see Fig. 9.)\n"
-    (Vstat_stats.Qq.linearity_r2 hold);
-  (* One cell's butterfly, as a visual. *)
-  let tech = Vstat_core.Techs.nominal_vs p ~vdd in
-  let cell = Sram.sample tech in
-  let b = Sram.butterfly cell ~mode:Sram.Read in
-  Printf.printf "\nNominal READ butterfly (VS model):\n";
-  Printf.printf "  qb(q):  %s\n"
-    (Vstat_stats.Histogram.sparkline (Array.map snd b.curve1));
-  Printf.printf "  q(qb):  %s\n"
-    (Vstat_stats.Histogram.sparkline (Array.map snd b.curve2))
+    "6T SRAM read-stability yield at vdd = %.2f V: p(SNM < %.0f mV)\n\n" vdd
+    (1e3 *. threshold);
+
+  (* Brute force: every sample is a full butterfly simulation. *)
+  let plain = Y.estimate_plain ~n:n_golden ~vdd ~threshold p in
+  Printf.printf "plain MC   %4d sims  p = %.2e  [%.2e, %.2e]\n" plain.I.n
+    plain.I.p_hat plain.I.ci_lo plain.I.ci_hi;
+
+  (* Importance sampling: pilot -> per-lobe design points -> mixture. *)
+  let is = Y.estimate_is ~n:n_accel ~pilot_n ~vdd ~threshold p in
+  Printf.printf
+    "IS         %4d sims  p = %.2e  [%.2e, %.2e]  (ess %.0f, max w %.2f)\n"
+    (n_accel + pilot_n) is.I.p_hat is.I.ci_lo is.I.ci_hi is.I.ess
+    is.I.max_weight;
+  Printf.printf
+    "           interval as tight as %.0f plain-MC samples -> %.1fx fewer \
+     sims\n"
+    (I.mc_equivalent_samples is)
+    (I.mc_equivalent_samples is /. Float.of_int (n_accel + pilot_n));
+
+  (* Blockade: simulate only what the classifier cannot rule out. *)
+  let blockade = Y.estimate_blockade ~n:n_golden ~pilot_n ~vdd ~threshold p in
+  let b_sims = blockade.B.n_pilot + blockade.B.n_simulated in
+  Printf.printf "blockade   %4d sims  p = %.2e  [%.2e, %.2e]\n" b_sims
+    blockade.B.p_hat blockade.B.ci_lo blockade.B.ci_hi;
+  Printf.printf
+    "           %d of %d trials simulated (cutoff %.1f mV, margin %.2f) -> \
+     %.1fx fewer sims\n"
+    blockade.B.n_simulated blockade.B.n
+    (1e3 *. blockade.B.cutoff)
+    blockade.B.margin
+    (1.0 /. B.simulation_fraction blockade);
+
+  let overlaps (lo1, hi1) (lo2, hi2) = lo1 <= hi2 && lo2 <= hi1 in
+  let golden = (plain.I.ci_lo, plain.I.ci_hi) in
+  Printf.printf "\nagreement with the brute-force interval: IS %b, blockade \
+                 %b\n"
+    (overlaps golden (is.I.ci_lo, is.I.ci_hi))
+    (overlaps golden (blockade.B.ci_lo, blockade.B.ci_hi))

@@ -76,7 +76,7 @@ let butterfly ?(points = 81) s ~mode =
    corners touch the two curves.  The lobe SNM is the maximum such t; the
    cell SNM is the smaller lobe's value (Seevinck's method restated in the
    original coordinates, which stays single-valued). *)
-let snm_of_butterfly { curve1; curve2 } =
+let snm_lobes_of_butterfly { curve1; curve2 } =
   let as_function curve =
     let pairs = Array.copy curve in
     Array.sort (fun (a, _) (b, _) -> Float.compare a b) pairs;
@@ -96,7 +96,7 @@ let snm_of_butterfly { curve1; curve2 } =
       (Array.fold_left (fun acc (q, _) -> Float.max acc q) neg_infinity curve2)
   in
   let span = q_hi -. q_lo in
-  if span <= 0.0 then 0.0
+  if span <= 0.0 then (0.0, 0.0)
   else begin
     (* Maximum square from the lower curve [low] up-right to [high]. *)
     let lobe ~low ~high =
@@ -126,7 +126,14 @@ let snm_of_butterfly { curve1; curve2 } =
     in
     let lobe1 = lobe ~low:f2 ~high:f1 in
     let lobe2 = lobe ~low:f1 ~high:f2 in
-    Float.min lobe1 lobe2
+    (lobe1, lobe2)
   end
+
+let snm_of_butterfly b =
+  let lobe1, lobe2 = snm_lobes_of_butterfly b in
+  Float.min lobe1 lobe2
+
+let snm_lobes ?(points = 81) s ~mode =
+  snm_lobes_of_butterfly (butterfly ~points s ~mode)
 
 let snm ?(points = 81) s ~mode = snm_of_butterfly (butterfly ~points s ~mode)

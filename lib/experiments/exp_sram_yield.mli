@@ -1,0 +1,135 @@
+(** SRAM yield at deep-sigma failure levels: the rare-event experiment.
+
+    The failure event is [SNM < threshold] for a 6T cell at a (typically
+    lowered) supply voltage — the classic read-stability yield question
+    the paper's statistical VS model exists to answer cheaply.  The
+    variation space is the BPV coordinate vector: 6 transistors x 5
+    independent Gaussian parameters (VT0, Leff, Weff, mu, Cinv) = 30
+    standard-normal coordinates.  {!problem} maps a coordinate vector to
+    an SNM through a {e z-driven} technology handle — the same Pelgrom
+    sigmas and {!Vstat_core.Vs_statistical.apply_shifts} couplings as the
+    stochastic Monte Carlo technology, but driven by explicit coordinates
+    so importance sampling can reweight the draw.
+
+    {!run} cross-validates three estimators of the same tail probability:
+    plain Monte Carlo (importance sampling under the standard proposal,
+    which is bit-identical to it), sigma-scaled importance sampling, and
+    statistical blockade.  Agreement means the 95% intervals of the two
+    accelerated estimators each overlap the brute-force interval. *)
+
+val params_per_device : int
+(** 5: VT0, Leff, Weff, mu, Cinv — the BPV parameter set, consumed in
+    {!Vstat_core.Vs_statistical.draw_shifts} order. *)
+
+val devices_per_cell : int
+(** 6: left then right half-cell, each pull-up (PMOS), pull-down (NMOS),
+    access (NMOS) — the {!Vstat_cells.Sram6t.sample} build order. *)
+
+val dim : int
+(** [params_per_device * devices_per_cell] = 30. *)
+
+val z_tech :
+  Vstat_core.Pipeline.t -> vdd:float -> float array ->
+  Vstat_cells.Celltech.t
+(** A technology handle that spends 5 coordinates of the given vector per
+    transistor, in creation order, instead of drawing from an RNG.
+    Single-use: build one per cell sample.
+    @raise Invalid_argument when the vector runs out of coordinates. *)
+
+val problem :
+  ?mode:Vstat_cells.Sram6t.mode ->
+  ?points:int ->
+  Vstat_core.Pipeline.t ->
+  vdd:float ->
+  threshold:float ->
+  Vstat_rare.Problem.t
+(** The rare-event problem [SNM(mode) < threshold] at [vdd].  [mode]
+    defaults to READ (the stability-limiting one), [points] (default 41)
+    is the butterfly sweep resolution.  The simulate closure escalates
+    solver options with the retry attempt, exactly like
+    {!Mc_compare.collect_run}, so the runtime retry ladder applies. *)
+
+type t = {
+  vdd : float;
+  threshold : float;
+  sigma_shift : float;
+      (** scale of the IS proposal around its pilot-derived mean shift *)
+  plain : Vstat_rare.Importance.result;
+      (** standard proposal — bit-identical to plain Monte Carlo *)
+  is : Vstat_rare.Importance.result;
+      (** mean-shifted proposal aimed by a small pilot run *)
+  blockade : Vstat_rare.Blockade.result;
+  is_agrees : bool;        (** IS interval overlaps the plain interval *)
+  blockade_agrees : bool;  (** blockade interval overlaps likewise *)
+}
+
+val estimate_plain :
+  ?jobs:int ->
+  ?n:int ->
+  ?seed:int ->
+  ?mode:Vstat_cells.Sram6t.mode ->
+  ?points:int ->
+  ?vdd:float ->
+  ?threshold:float ->
+  Vstat_core.Pipeline.t ->
+  Vstat_rare.Importance.result
+(** Brute-force Monte Carlo (standard-proposal importance sampling —
+    bit-identical to plain MC, weights exactly 1). *)
+
+val estimate_is :
+  ?jobs:int ->
+  ?n:int ->
+  ?seed:int ->
+  ?mode:Vstat_cells.Sram6t.mode ->
+  ?points:int ->
+  ?vdd:float ->
+  ?threshold:float ->
+  ?sigma_shift:float ->
+  ?pilot_n:int ->
+  Vstat_core.Pipeline.t ->
+  Vstat_rare.Importance.result
+(** Importance sampling under the pilot-aimed defensive mixture: a
+    [pilot_n]-sample pilot (default 200) records per-lobe noise margins,
+    one linear response surface per butterfly lobe yields that lobe's
+    design point, and the proposal mixes the nominal density with both
+    lobe cones ([sigma_shift], default 1.0, scales the cones). *)
+
+val estimate_blockade :
+  ?jobs:int ->
+  ?n:int ->
+  ?seed:int ->
+  ?mode:Vstat_cells.Sram6t.mode ->
+  ?points:int ->
+  ?vdd:float ->
+  ?threshold:float ->
+  ?pilot_n:int ->
+  Vstat_core.Pipeline.t ->
+  Vstat_rare.Blockade.result
+(** Statistical blockade on the cell SNM ({!Vstat_rare.Blockade}). *)
+
+val run :
+  ?jobs:int ->
+  ?n:int ->
+  ?n_accel:int ->
+  ?seed:int ->
+  ?mode:Vstat_cells.Sram6t.mode ->
+  ?points:int ->
+  ?vdd:float ->
+  ?threshold:float ->
+  ?sigma_shift:float ->
+  ?pilot_n:int ->
+  Vstat_core.Pipeline.t ->
+  t
+(** Brute-force golden with [n] samples (default 4000), then importance
+    sampling and blockade with [n_accel] samples each (default [n]).
+    The IS proposal is mean-shifted: a [pilot_n]-sample pilot (default
+    200, journaled like every other run) locates the failure direction
+    with {!Vstat_rare.Proposal.from_pilot}, and [sigma_shift] (default
+    1.0) additionally widens the proposal around that shift.  [pilot_n]
+    also sizes the blockade pilot.  Defaults [vdd] 0.80 V and
+    [threshold] 0.025 V put the failure probability near 2e-3 for the
+    default pipeline, so the cross-validation stays affordable on one
+    core.  All estimators run on independent deterministic substream
+    families derived from [seed] (default 61). *)
+
+val pp : Format.formatter -> t -> unit

@@ -39,6 +39,10 @@ let default_deadline : (unit -> bool) option ref = ref None
 let set_default_deadline d = default_deadline := d
 let default_signals : int list ref = ref []
 let set_default_signals s = default_signals := s
+let ambient_retry () = !default_retry
+let ambient_checkpoint () = !default_checkpoint
+let ambient_deadline () = !default_deadline
+let ambient_signals () = !default_signals
 let warned_no_codec = Atomic.make false
 
 (* Injection key for (sample, attempt): injective for < 64 attempts, so

@@ -18,6 +18,16 @@ val set_default_retry : Vstat_runtime.Runtime.retry_policy -> unit
     [--retry N]); explicit [?retry] arguments win.  Default:
     {!Vstat_runtime.Runtime.no_retry}. *)
 
+val ambient_retry : unit -> Vstat_runtime.Runtime.retry_policy
+val ambient_checkpoint : unit -> Vstat_runtime.Checkpoint.settings option
+val ambient_deadline : unit -> (unit -> bool) option
+
+val ambient_signals : unit -> int list
+(** Read back the process-wide defaults above, for experiments (e.g. the
+    rare-event ones) that drive {!Vstat_rare} estimators directly instead
+    of going through {!collect_run} but must honor the same CLI-installed
+    resilience knobs. *)
+
 val set_default_inject : Vstat_device.Fault_inject.config option -> unit
 (** Process-wide default fault-injection config (the CLIs'
     [--inject-fault RATE[:KIND]]); explicit [?inject] arguments win.

@@ -1,0 +1,211 @@
+module C = Vstat_runtime.Checkpoint
+module R = Vstat_runtime.Runtime
+
+let log_src =
+  Logs.Src.create "vstat.rare.blockade" ~doc:"Statistical blockade estimator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type result = {
+  label : string;
+  n_requested : int;
+  n : int;
+  n_pilot : int;
+  n_simulated : int;
+  n_hits : int;
+  p_hat : float;
+  confidence : float;
+  ci_lo : float;
+  ci_hi : float;
+  cutoff : float;
+  margin : float;
+  classifier : Classifier.t;
+  residual_std : float;
+  pilot_metrics : float array;
+  stats : R.stats;
+  complete : bool;
+}
+
+let handle_cause ~label ~n (o : _ C.outcome) =
+  match o.C.cause with
+  | C.Signalled signal ->
+    raise
+      (C.Interrupted
+         { label; signal; completed = o.C.completed; n; snapshot = o.C.snapshot })
+  | C.Deadline_reached when o.C.completed < 2 ->
+    failwith
+      (Printf.sprintf
+         "Blockade:%s: deadline expired after %d/%d samples — nothing to \
+          report"
+         label o.C.completed n)
+  | C.Deadline_reached ->
+    Log.warn (fun m ->
+        m "%s: partial result (%d/%d samples) — deadline reached" label
+          o.C.completed n)
+  | C.Finished -> ()
+
+let estimate ?jobs ?(retry = R.no_retry) ?(max_failure_frac = 0.2) ?checkpoint
+    ?deadline ?signals ?(confidence = 0.95) ?(margin = 0.90) ?pilot_n
+    ~(problem : Problem.t) ~rng ~n () =
+  if n < 2 then
+    invalid_arg
+      (Printf.sprintf "Blockade.estimate: need at least 2 samples, got %d" n);
+  if not (margin > 0.0 && margin < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Blockade.estimate: margin %g outside (0,1)" margin);
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Blockade.estimate: confidence %g outside (0,1)"
+         confidence);
+  let dim = problem.Problem.dim in
+  let pilot_n =
+    match pilot_n with Some p -> p | None -> Int.max 100 (n / 20)
+  in
+  (* The OLS fit needs dim+1 coefficients plus residual headroom. *)
+  if pilot_n < dim + 2 then
+    invalid_arg
+      (Printf.sprintf
+         "Blockade.estimate: pilot of %d cannot train a %d-coefficient \
+          classifier (need at least %d)"
+         pilot_n (dim + 1) (dim + 2));
+  let proposal = Proposal.standard ~dim in
+  let base_fingerprint = Problem.fingerprint problem in
+  (* Two deterministic substream families derived from the caller's RNG:
+     one draw each, in a fixed order, exactly as two consecutive
+     Checkpoint.run calls consume them. *)
+  let pilot_label = problem.Problem.label ^ "-blockade-pilot" in
+  let main_label = problem.Problem.label ^ "-blockade-main" in
+
+  (* --- phase 1: pilot --------------------------------------------------- *)
+  let pilot_o =
+    C.run ?jobs ~retry ?deadline ?settings:checkpoint ?signals
+      ~fingerprint:(base_fingerprint ^ "|phase:pilot")
+      ~codec:C.float_array_codec ~label:pilot_label ~rng ~n:pilot_n
+      ~f:(fun ~attempt ~index:_ sample_rng ->
+        let z = Proposal.draw proposal sample_rng in
+        let metric = problem.Problem.simulate ~attempt z in
+        Array.append [| metric |] z)
+      ()
+  in
+  handle_cause ~label:pilot_label ~n:pilot_n pilot_o;
+  let pilot_r = C.completed_run pilot_o in
+  R.check_budget ~label:("Blockade:" ^ pilot_label) ~max_failure_frac pilot_r;
+  let pilot_rows = R.values pilot_r in
+  if Array.length pilot_rows < dim + 2 then
+    failwith
+      (Printf.sprintf
+         "Blockade:%s: only %d surviving pilot samples — cannot train the \
+          classifier"
+         pilot_label (Array.length pilot_rows));
+  let pilot_metrics = Array.map (fun row -> row.(0)) pilot_rows in
+  let pilot_zs = Array.map (fun row -> Array.sub row 1 dim) pilot_rows in
+  let classifier = Classifier.fit ~zs:pilot_zs ~metrics:pilot_metrics in
+  let residual_std =
+    Classifier.residual_std classifier ~zs:pilot_zs ~metrics:pilot_metrics
+  in
+  (* Blockade cutoff: the pilot quantile at the margin, buffered by one
+     residual sigma on the safe side.  Everything the classifier predicts
+     past the cutoff gets a real simulation. *)
+  let cutoff =
+    match problem.Problem.tail with
+    | Problem.Lower ->
+      Vstat_stats.Descriptive.quantile pilot_metrics (1.0 -. margin)
+      +. residual_std
+    | Problem.Upper ->
+      Vstat_stats.Descriptive.quantile pilot_metrics margin -. residual_std
+  in
+  let is_candidate predicted =
+    match problem.Problem.tail with
+    | Problem.Lower -> predicted < cutoff
+    | Problem.Upper -> predicted > cutoff
+  in
+
+  (* --- phase 2: blockade-filtered main run ------------------------------ *)
+  let main_fingerprint =
+    String.concat "|"
+      [
+        base_fingerprint;
+        "phase:main";
+        "classifier:" ^ Classifier.fingerprint classifier;
+        Printf.sprintf "cutoff:%.17g" cutoff;
+        Printf.sprintf "margin:%.17g" margin;
+      ]
+  in
+  let main_o =
+    C.run ?jobs ~retry ?deadline ?settings:checkpoint ?signals
+      ~fingerprint:main_fingerprint ~codec:C.float_triple_codec
+      ~label:main_label ~rng ~n
+      ~f:(fun ~attempt ~index:_ sample_rng ->
+        let z = Proposal.draw proposal sample_rng in
+        let predicted = Classifier.predict classifier z in
+        if is_candidate predicted then
+          let metric = problem.Problem.simulate ~attempt z in
+          (predicted, 1.0, metric)
+        else (predicted, 0.0, Float.nan))
+      ()
+  in
+  handle_cause ~label:main_label ~n main_o;
+  let main_r = C.completed_run main_o in
+  R.check_budget ~label:("Blockade:" ^ main_label) ~max_failure_frac main_r;
+  let rows = R.values main_r in
+  let n_ok = Array.length rows in
+  if n_ok < 2 then
+    failwith
+      (Printf.sprintf "Blockade:%s: only %d surviving samples" main_label n_ok);
+  let n_simulated = ref 0 and n_hits = ref 0 in
+  Array.iter
+    (fun (_, simulated, metric) ->
+      if simulated > 0.5 then begin
+        incr n_simulated;
+        if Problem.fails problem metric then incr n_hits
+      end)
+    rows;
+  let k = !n_hits in
+  let ci_lo, ci_hi =
+    Vstat_stats.Histogram.wilson_interval ~confidence ~k n_ok
+  in
+  let result =
+    {
+      label = main_label;
+      n_requested = n;
+      n = n_ok;
+      n_pilot = Array.length pilot_rows;
+      n_simulated = !n_simulated;
+      n_hits = k;
+      p_hat = Float.of_int k /. Float.of_int n_ok;
+      confidence;
+      ci_lo;
+      ci_hi;
+      cutoff;
+      margin;
+      classifier;
+      residual_std;
+      pilot_metrics;
+      stats = main_r.R.stats;
+      complete =
+        (match (pilot_o.C.cause, main_o.C.cause) with
+        | C.Finished, C.Finished -> true
+        | _ -> false);
+    }
+  in
+  Log.info (fun m ->
+      m "%s: p=%.3e [%.3e, %.3e] hits=%d sims=%d+%d/%d cutoff=%.4g" main_label
+        result.p_hat ci_lo ci_hi k result.n_pilot result.n_simulated n_ok
+        cutoff);
+  result
+
+let simulation_fraction r =
+  Float.of_int (r.n_pilot + r.n_simulated) /. Float.of_int (r.n_pilot + r.n)
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%s: n=%d (%d requested%s) pilot=%d candidates=%d hits=%d@\n\
+    \  p_hat = %.4e  [%.4e, %.4e] (%.0f%% Wilson)@\n\
+    \  cutoff = %.4g (margin %.2f, residual sigma %.3g)  full sims = %.1f%% \
+     of plain MC@\n"
+    r.label r.n r.n_requested
+    (if r.complete then "" else ", partial")
+    r.n_pilot r.n_simulated r.n_hits r.p_hat r.ci_lo r.ci_hi
+    (100.0 *. r.confidence)
+    r.cutoff r.margin r.residual_std
+    (100.0 *. simulation_fraction r)

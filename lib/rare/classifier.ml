@@ -1,0 +1,68 @@
+type t = { intercept : float; coef : float array }
+
+let check ~zs ~metrics name =
+  let n = Array.length zs in
+  if n = 0 then invalid_arg (Printf.sprintf "Classifier.%s: empty pilot" name);
+  if Array.length metrics <> n then
+    invalid_arg
+      (Printf.sprintf "Classifier.%s: %d coordinate vectors but %d metrics"
+         name n (Array.length metrics));
+  let dim = Array.length zs.(0) in
+  if dim < 1 then
+    invalid_arg (Printf.sprintf "Classifier.%s: empty coordinate vectors" name);
+  Array.iter
+    (fun z ->
+      if Array.length z <> dim then
+        invalid_arg
+          (Printf.sprintf "Classifier.%s: ragged coordinate vectors" name))
+    zs;
+  (n, dim)
+
+let fit ~zs ~metrics =
+  let n, dim = check ~zs ~metrics "fit" in
+  if n < dim + 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Classifier.fit: %d pilot samples cannot determine %d coefficients"
+         n (dim + 1));
+  let a =
+    Vstat_linalg.Matrix.init ~rows:n ~cols:(dim + 1) ~f:(fun i j ->
+        if j = 0 then 1.0 else zs.(i).(j - 1))
+  in
+  let x = Vstat_linalg.Qr.least_squares a metrics in
+  { intercept = x.(0); coef = Array.sub x 1 dim }
+
+let predict t z =
+  if Array.length z <> Array.length t.coef then
+    invalid_arg
+      (Printf.sprintf "Classifier.predict: got %d coordinates, expected %d"
+         (Array.length z) (Array.length t.coef));
+  let acc = ref t.intercept in
+  for i = 0 to Array.length t.coef - 1 do
+    acc := !acc +. (t.coef.(i) *. z.(i))
+  done;
+  !acc
+
+let residual_std t ~zs ~metrics =
+  let n, dim = check ~zs ~metrics "residual_std" in
+  if n <= dim + 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Classifier.residual_std: %d samples leave no residual degrees of \
+          freedom for %d coefficients"
+         n (dim + 1));
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let r = metrics.(i) -. predict t zs.(i) in
+    acc := !acc +. (r *. r)
+  done;
+  sqrt (!acc /. Float.of_int (n - dim - 1))
+
+let fingerprint t =
+  let coeffs = Array.append [| t.intercept |] t.coef in
+  let b = Bytes.create (8 * Array.length coeffs) in
+  Array.iteri
+    (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float v))
+    coeffs;
+  Printf.sprintf "linear-ols:%d:%08x" (Array.length t.coef)
+    (Vstat_util.Crc32.digest (Bytes.unsafe_to_string b))

@@ -1,0 +1,33 @@
+(** Cheap linear tail classifier for statistical blockade.
+
+    Statistical blockade (Singhee & Rutenbar) needs only a {e ranking}
+    surrogate: a model accurate enough near the tail to decide which
+    candidate samples are worth a full circuit simulation.  An ordinary
+    least-squares fit of the metric on the standardized variation
+    coordinates is exactly that — fit once on a pilot run, evaluated in a
+    handful of flops per candidate, deterministic, and serializable into
+    the checkpoint fingerprint so a resumed blockade run is guaranteed to
+    filter with the same model it started with. *)
+
+type t = {
+  intercept : float;
+  coef : float array;   (** one slope per coordinate *)
+}
+
+val fit : zs:float array array -> metrics:float array -> t
+(** Least-squares fit of [metrics] on [[1; z]] (QR, full rank).
+    @raise Invalid_argument when inputs are empty, mismatched or ragged,
+    or when there are fewer samples than coefficients.
+    @raise Vstat_linalg.Linalg_error.Numeric_error on rank deficiency. *)
+
+val predict : t -> float array -> float
+(** @raise Invalid_argument on a coordinate-count mismatch. *)
+
+val residual_std : t -> zs:float array array -> metrics:float array -> float
+(** Unbiased residual standard deviation of the fit on the given data
+    (denominator n - dim - 1) — the safety margin unit for blockade
+    cutoffs.  @raise Invalid_argument as {!fit}, or when n <= dim + 1. *)
+
+val fingerprint : t -> string
+(** Bit-exact digest of the coefficients (CRC-32 over their IEEE-754
+    images), for checkpoint run identities. *)

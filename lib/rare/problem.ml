@@ -1,0 +1,29 @@
+type tail = Lower | Upper
+
+type t = {
+  label : string;
+  dim : int;
+  simulate : attempt:int -> float array -> float;
+  tail : tail;
+  threshold : float;
+}
+
+let create ~label ~dim ~simulate ~tail ~threshold =
+  if dim < 1 then
+    invalid_arg (Printf.sprintf "Problem.create: dimension %d must be >= 1" dim);
+  if not (Float.is_finite threshold) then
+    invalid_arg
+      (Printf.sprintf "Problem.create: threshold %g must be finite" threshold);
+  { label; dim; simulate; tail; threshold }
+
+let fails t metric =
+  match t.tail with
+  | Lower -> metric < t.threshold
+  | Upper -> metric > t.threshold
+
+let qq_tail t = match t.tail with Lower -> `Lower | Upper -> `Upper
+
+let fingerprint t =
+  Printf.sprintf "problem:%s|dim:%d|tail:%s|threshold:%.17g" t.label t.dim
+    (match t.tail with Lower -> "lower" | Upper -> "upper")
+    t.threshold

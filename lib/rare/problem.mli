@@ -1,0 +1,45 @@
+(** A rare-event estimation problem: a deterministic map from standardized
+    variation coordinates to a scalar metric, plus the tail event whose
+    probability is wanted.
+
+    [simulate] must be a pure function of the coordinate vector — all the
+    randomness lives in how [z] is drawn (see {!Proposal}) — and may raise
+    typed solver diagnostics; the runtime's failure machinery (budgets,
+    retry ladder, censuses) applies unchanged. *)
+
+type tail = Lower | Upper
+
+type t = {
+  label : string;  (** run-label/checkpoint stem *)
+  dim : int;       (** coordinates consumed per sample *)
+  simulate : attempt:int -> float array -> float;
+      (** [simulate ~attempt z] maps a coordinate vector (length [dim])
+          to the metric.  [attempt] is the runtime's 0-based retry
+          counter: circuit-backed problems thread it into
+          [Engine.escalate] exactly like {!Vstat_experiments.Mc_compare}
+          so the deterministic retry ladder applies unchanged; analytic
+          problems ignore it. *)
+  tail : tail;
+  threshold : float;  (** failure boundary on the metric *)
+}
+
+val create :
+  label:string -> dim:int ->
+  simulate:(attempt:int -> float array -> float) ->
+  tail:tail -> threshold:float -> t
+(** @raise Invalid_argument when [dim < 1] or [threshold] is not
+    finite. *)
+
+val fails : t -> float -> bool
+(** Strict inequality on the tail side: [metric < threshold] for
+    [Lower], [metric > threshold] for [Upper]. *)
+
+val qq_tail : t -> [ `Upper | `Lower ]
+(** The tail as the polymorphic variant {!Vstat_stats.Histogram} uses. *)
+
+val fingerprint : t -> string
+(** Identity string mixed into checkpoint fingerprints: label, dimension,
+    tail side and threshold.  The simulate closure itself cannot be
+    digested — callers running different circuits under one label get the
+    usual {!Vstat_runtime.Journal.Mismatch} protection only from what is
+    recorded here. *)

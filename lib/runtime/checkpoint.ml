@@ -76,6 +76,21 @@ let float_list_codec =
     observables = Array.of_list;
   }
 
+let float_pair_codec =
+  {
+    codec_name = "float-pair";
+    encode = (fun (a, b) -> encode_floats [| a; b |]);
+    decode =
+      (fun s ->
+        match decode_floats ~what:"float-pair" s with
+        | [| a; b |] -> (a, b)
+        | vs ->
+          failwith
+            (Printf.sprintf "float-pair payload: expected 2 values, got %d"
+               (Array.length vs)));
+    observables = (fun (a, b) -> [| a; b |]);
+  }
+
 let float_triple_codec =
   {
     codec_name = "float-triple";

@@ -30,6 +30,11 @@ type 'a codec = {
 val float_codec : float codec
 val float_array_codec : float array codec
 val float_list_codec : float list codec
+val float_pair_codec : (float * float) codec
+(** Two floats per sample — the importance-sampling journal entry
+    (metric, log likelihood-ratio weight), so a resumed rare-event run
+    restores both the observable and its reweighting factor bit-exactly. *)
+
 val float_triple_codec : (float * float * float) codec
 
 val opaque_codec : string -> 'a codec

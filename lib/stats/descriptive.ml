@@ -89,6 +89,101 @@ let mean_ci ?(confidence = 0.95) xs =
   let half = z *. std xs /. sqrt n in
   (mu -. half, mu +. half)
 
+(* --- weighted statistics (importance-sampling support) ----------------- *)
+
+let check_weights xs ~w name =
+  require_samples xs 1 name;
+  if Array.length xs <> Array.length w then
+    invalid_arg
+      (Printf.sprintf "Descriptive.%s: %d samples but %d weights" name
+         (Array.length xs) (Array.length w));
+  let sum = ref 0.0 in
+  Array.iter
+    (fun wi ->
+      if (not (Float.is_finite wi)) || wi < 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Descriptive.%s: weights must be finite and non-negative, got %g"
+             name wi);
+      sum := !sum +. wi)
+    w;
+  if not (!sum > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Descriptive.%s: weight vector sums to zero" name);
+  !sum
+
+let weighted_mean xs ~w =
+  let s1 = check_weights xs ~w "weighted_mean" in
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (w.(i) *. x)) xs;
+  !acc /. s1
+
+let weighted_variance xs ~w =
+  let s1 = check_weights xs ~w "weighted_variance" in
+  let s2 = Array.fold_left (fun acc wi -> acc +. (wi *. wi)) 0.0 w in
+  let ess = s1 *. s1 /. s2 in
+  if not (ess > 1.0) then
+    invalid_arg
+      (Printf.sprintf
+         "Descriptive.weighted_variance: effective sample size %.3g <= 1 — \
+          the weight mass sits on a single sample"
+         ess);
+  let mu = weighted_mean xs ~w in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. mu in
+      acc := !acc +. (w.(i) *. d *. d))
+    xs;
+  !acc /. (s1 -. (s2 /. s1))
+
+let weighted_std xs ~w = sqrt (weighted_variance xs ~w)
+
+let weighted_quantile xs ~w p =
+  let s1 = check_weights xs ~w "weighted_quantile" in
+  if p < 0.0 || p > 1.0 then
+    invalid_arg "Descriptive.weighted_quantile: p in [0,1]";
+  (* Sort (value, weight) pairs by value, dropping zero-weight entries. *)
+  let pairs =
+    Array.of_seq
+      (Seq.filter
+         (fun (_, wi) -> wi > 0.0)
+         (Seq.mapi (fun i x -> (x, w.(i))) (Array.to_seq xs)))
+  in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) pairs;
+  let m = Array.length pairs in
+  if m = 1 then fst pairs.(0)
+  else begin
+    (* Plotting position of sorted sample i: (c_i - w_i/2) / S1 with c_i
+       the cumulative weight through i. *)
+    let positions = Array.make m 0.0 in
+    let cum = ref 0.0 in
+    Array.iteri
+      (fun i (_, wi) ->
+        positions.(i) <- (!cum +. (0.5 *. wi)) /. s1;
+        cum := !cum +. wi)
+      pairs;
+    if p <= positions.(0) then fst pairs.(0)
+    else if p >= positions.(m - 1) then fst pairs.(m - 1)
+    else begin
+      (* Binary search for the bracketing positions, then interpolate. *)
+      let lo = ref 0 and hi = ref (m - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if positions.(mid) <= p then lo := mid else hi := mid
+      done;
+      let x0 = fst pairs.(!lo) and x1 = fst pairs.(!hi) in
+      let p0 = positions.(!lo) and p1 = positions.(!hi) in
+      let frac = if p1 > p0 then (p -. p0) /. (p1 -. p0) else 0.0 in
+      x0 +. (frac *. (x1 -. x0))
+    end
+  end
+
+let effective_sample_size w =
+  let s1 = check_weights w ~w "effective_sample_size" in
+  let s2 = Array.fold_left (fun acc wi -> acc +. (wi *. wi)) 0.0 w in
+  s1 *. s1 /. s2
+
 let covariance xs ys =
   require_samples xs 2 "covariance";
   if Array.length xs <> Array.length ys then

@@ -47,6 +47,40 @@ val mean_ci : ?confidence:float -> float array -> float * float
     honest intervals.  @raise Invalid_argument if fewer than 2 samples or
     [confidence] outside (0,1). *)
 
+val weighted_mean : float array -> w:float array -> float
+(** [weighted_mean xs ~w] is sum(w x) / sum(w) for non-negative weights.
+    Zero-weight samples are ignored entirely (an importance-sampling run
+    may legitimately carry weight-0 entries).  @raise Invalid_argument on
+    empty input, a length mismatch, a negative/non-finite weight, or an
+    all-zero weight vector. *)
+
+val weighted_variance : float array -> w:float array -> float
+(** Reliability-weighted unbiased sample variance:
+    sum(w (x - mu)^2) / (S1 - S2/S1) with S1 = sum(w), S2 = sum(w^2) —
+    the estimator that reduces to the (n-1)-denominator variance for unit
+    weights.  @raise Invalid_argument under the {!weighted_mean}
+    conditions, or when the effective sample size S1^2/S2 is <= 1 (a
+    single sample carrying all the weight has no spread information). *)
+
+val weighted_std : float array -> w:float array -> float
+
+val weighted_quantile : float array -> w:float array -> float -> float
+(** [weighted_quantile xs ~w p] for p in [0, 1]: linear interpolation on
+    the weighted plotting positions ((c_i - w_i/2) / S1, with c_i the
+    cumulative weight through sample i of the value-sorted data) — the
+    weighted generalization of the type-7 rule that {!quantile} reduces
+    to under unit weights up to position convention.  Clamps to the
+    extreme values outside the covered position range.
+    @raise Invalid_argument under the {!weighted_mean} conditions or for
+    p outside [0, 1]. *)
+
+val effective_sample_size : float array -> float
+(** Kish effective sample size of a weight vector: (sum w)^2 / sum(w^2).
+    Equals n for uniform weights and degrades toward 1 as the weight mass
+    concentrates — the standard health metric for an importance-sampling
+    run.  Zero-weight entries count for nothing.  @raise Invalid_argument
+    on empty input, negative/non-finite weights, or all-zero weights. *)
+
 val covariance : float array -> float array -> float
 (** Unbiased sample covariance of paired samples. *)
 

@@ -79,6 +79,47 @@ let kde ?bandwidth ?(points = 101) xs =
       (x, !acc /. (n *. h)))
     grid
 
+let wilson_interval ?(confidence = 0.95) ~k n =
+  if n <= 0 then invalid_arg "Histogram.wilson_interval: n must be positive";
+  if k < 0 || k > n then
+    invalid_arg
+      (Printf.sprintf "Histogram.wilson_interval: k=%d outside [0, %d]" k n);
+  if not (confidence > 0.0 && confidence < 1.0) then
+    invalid_arg
+      (Printf.sprintf "Histogram.wilson_interval: confidence %g outside (0,1)"
+         confidence);
+  let z = Vstat_util.Special.normal_quantile (0.5 +. (confidence /. 2.0)) in
+  let nf = Float.of_int n in
+  let p = Float.of_int k /. nf in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. nf) in
+  let center = (p +. (z2 /. (2.0 *. nf))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+  in
+  (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+
+type tail_estimate = {
+  t_prob : float;
+  t_count : int;
+  t_n : int;
+  t_lo : float;
+  t_hi : float;
+}
+
+let exceedance ?confidence ?(tail = `Upper) xs threshold =
+  let n = Array.length xs in
+  if n = 0 then
+    invalid_arg "Histogram.exceedance: empty sample — nothing to count";
+  let k = ref 0 in
+  (match tail with
+  | `Upper -> Array.iter (fun x -> if x > threshold then incr k) xs
+  | `Lower -> Array.iter (fun x -> if x < threshold then incr k) xs);
+  let k = !k in
+  let lo, hi = wilson_interval ?confidence ~k n in
+  { t_prob = Float.of_int k /. Float.of_int n; t_count = k; t_n = n;
+    t_lo = lo; t_hi = hi }
+
 let sparkline ?(width = 60) ys =
   if Array.length ys = 0 then ""
   else begin

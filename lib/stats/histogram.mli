@@ -25,3 +25,27 @@ val kde : ?bandwidth:float -> ?points:int -> float array -> (float * float) arra
 
 val sparkline : ?width:int -> float array -> string
 (** Unicode mini-plot of a density/series, for terminal output. *)
+
+val wilson_interval : ?confidence:float -> k:int -> int -> float * float
+(** Wilson score interval for a binomial proportion [k]/[n] — the interval
+    of choice for tail probabilities, where the normal (Wald) interval
+    collapses to a point at k = 0 and routinely escapes [0, 1].
+    [confidence] defaults to 0.95.  @raise Invalid_argument when [n <= 0],
+    [k] outside [0, n], or [confidence] outside (0, 1). *)
+
+type tail_estimate = {
+  t_prob : float;          (** empirical exceedance k/n *)
+  t_count : int;           (** samples beyond the threshold *)
+  t_n : int;               (** total samples *)
+  t_lo : float;            (** Wilson interval lower bound *)
+  t_hi : float;            (** Wilson interval upper bound *)
+}
+
+val exceedance :
+  ?confidence:float -> ?tail:[ `Upper | `Lower ] -> float array -> float ->
+  tail_estimate
+(** [exceedance xs t] estimates P(X > t) ([`Upper], the default) or
+    P(X < t) ([`Lower]) with its Wilson interval — the plain-MC baseline
+    every rare-event estimator is validated against.  Strict inequalities
+    on both sides, so a sample exactly at the threshold is never counted
+    as failing.  @raise Invalid_argument on empty input. *)

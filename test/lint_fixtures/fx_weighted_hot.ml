@@ -1,0 +1,33 @@
+(* Hot-path fixtures for the rare-event weighted-accumulator fold: the
+   per-sample estimator loop ([@vstat.hot], see Vstat_rare.Importance)
+   must not allocate per sample. *)
+let[@vstat.hot] bad_weights_map log_weights = List.map exp log_weights
+
+let[@vstat.hot] bad_weighted_pairs ms ws = List.combine ms ws
+
+let[@vstat.hot] bad_weight_trace w = Format.printf "w=%f@." w
+
+let[@vstat.hot] bad_fold_closure (ws : float array) =
+  Array.iter (fun w -> ignore (exp w)) ws
+
+(* Negative: the estimator's real shape — a serial index loop over the
+   preallocated per-sample arrays feeding mutable accumulator state. *)
+let[@vstat.hot] ok_weighted_fold (metrics : float array)
+    (log_weights : float array) =
+  let s1 = ref 0.0 in
+  let hit_mass = ref 0.0 in
+  let i = ref 0 in
+  while !i < Array.length metrics do
+    let w = exp log_weights.(!i) in
+    s1 := !s1 +. w;
+    if metrics.(!i) < 0.0 then hit_mass := !hit_mass +. w;
+    incr i
+  done;
+  !hit_mass /. !s1
+
+(* Negative: the same combinator is fine in cold reporting code. *)
+let ok_cold_weights log_weights = List.map exp log_weights
+
+(* Negative: a sanctioned diagnostic print inside the hot body. *)
+let[@vstat.hot] ok_suppressed_trace w =
+  (Format.printf "w=%f@." w [@vstat.allow "hot-path"])

@@ -168,6 +168,32 @@ let test_fig9 () =
   Alcotest.(check bool) "butterfly exported" true
     (Array.length t.butterfly_read.curve1 > 0)
 
+let test_sram_yield () =
+  (* Wiring smoke at a coarse sweep and tiny counts — statistical quality
+     and bit-identity live in test_rare and rare_smoke.  The elevated
+     threshold (60 mV at vdd 0.8) keeps the event common enough that all
+     three estimators see hits with ~50 samples each. *)
+  let lazy p = pipeline in
+  let t =
+    E.Exp_sram_yield.run ~n:60 ~seed:61 ~points:21 ~threshold:0.060
+      ~pilot_n:36 p
+  in
+  let sane (lo, hi) p_hat =
+    0.0 <= lo && lo <= hi && hi <= 1.0 && lo <= p_hat && p_hat <= hi
+  in
+  Alcotest.(check bool) "plain interval sane" true
+    (sane (t.plain.ci_lo, t.plain.ci_hi) t.plain.p_hat);
+  Alcotest.(check bool) "is interval sane" true
+    (sane (t.is.ci_lo, t.is.ci_hi) t.is.p_hat);
+  Alcotest.(check bool) "blockade interval sane" true
+    (sane (t.blockade.ci_lo, t.blockade.ci_hi) t.blockade.p_hat);
+  Alcotest.(check bool) "defensive weights bounded by 3" true
+    (t.is.max_weight <= 3.0 +. 1e-12);
+  Alcotest.(check bool) "blockade simulates a subset" true
+    (t.blockade.n_simulated <= t.blockade.n);
+  Alcotest.(check bool) "estimators agree with golden" true
+    (t.is_agrees && t.blockade_agrees)
+
 let test_vdd_transfer () =
   let lazy p = pipeline in
   let t = E.Exp_vdd_transfer.run ~vdds:[ 0.9; 0.55 ] ~n:400 p in
@@ -260,6 +286,7 @@ let () =
           Alcotest.test_case "fig8" `Slow test_fig8;
           Alcotest.test_case "fig9" `Slow test_fig9;
           Alcotest.test_case "table4" `Slow test_table4;
+          Alcotest.test_case "sram yield" `Slow test_sram_yield;
           Alcotest.test_case "vdd transfer" `Slow test_vdd_transfer;
           Alcotest.test_case "inter-die" `Slow test_inter_die;
           Alcotest.test_case "ssta" `Slow test_ssta;

@@ -50,6 +50,10 @@ let expected_golden =
     "lint_fixtures/fx_hot.ml:7 hot-path";
     "lint_fixtures/fx_hot.ml:9 hot-path";
     "lint_fixtures/fx_hot.ml:12 hot-path";
+    "lint_fixtures/fx_weighted_hot.ml:4 hot-path";
+    "lint_fixtures/fx_weighted_hot.ml:6 hot-path";
+    "lint_fixtures/fx_weighted_hot.ml:8 hot-path";
+    "lint_fixtures/fx_weighted_hot.ml:11 hot-path";
     "lint_fixtures/lib/circuit/fx_exn.ml:5 exn-discipline";
     "lint_fixtures/lib/circuit/fx_exn.ml:7 exn-discipline";
     "lint_fixtures/lib/circuit/fx_exn.ml:9 exn-discipline";
@@ -59,7 +63,7 @@ let expected_golden =
 let test_golden () =
   let cfg = L.Engine.default_config () in
   let files, diags = L.Engine.run cfg [ fixture_root ] in
-  Alcotest.(check int) "fixture files scanned" 8 files;
+  Alcotest.(check int) "fixture files scanned" 9 files;
   let parse_errors, rest =
     List.partition (fun d -> d.L.Diagnostic.rule = "parse-error") diags
   in

@@ -68,6 +68,61 @@ let test_empty_rejected () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+(* --- weighted descriptive (importance-sampling accumulators) --- *)
+
+let test_weighted_matches_unweighted () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  let w = Array.make (Array.length xs) 3.5 in
+  check_float ~eps:1e-12 "uniform weights = mean" (D.mean xs)
+    (D.weighted_mean xs ~w);
+  (* Reliability-weighted variance reduces to the unbiased sample
+     variance under uniform weights. *)
+  check_float ~eps:1e-12 "uniform weights = unbiased variance"
+    (D.variance xs) (D.weighted_variance xs ~w);
+  check_float ~eps:1e-12 "uniform weights = median" (D.median xs)
+    (D.weighted_quantile xs ~w 0.5)
+
+let test_weighted_mean_replication () =
+  (* Integer weights behave like sample replication. *)
+  let xs = [| 1.0; 10.0 |] and w = [| 3.0; 1.0 |] in
+  check_float ~eps:1e-12 "3:1 replication" ((3.0 +. 10.0) /. 4.0)
+    (D.weighted_mean xs ~w);
+  (* Scale invariance: weights are relative masses. *)
+  let w10 = Array.map (fun wi -> 10.0 *. wi) w in
+  check_float ~eps:1e-12 "weight scale invariant (mean)"
+    (D.weighted_mean xs ~w) (D.weighted_mean xs ~w:w10);
+  check_float ~eps:1e-12 "weight scale invariant (variance)"
+    (D.weighted_variance xs ~w)
+    (D.weighted_variance xs ~w:w10)
+
+let test_weighted_zero_weight_ignored () =
+  let xs = [| 1.0; 2.0; 1000.0 |] and w = [| 1.0; 1.0; 0.0 |] in
+  check_float ~eps:1e-12 "zero-weight sample invisible" 1.5
+    (D.weighted_mean xs ~w);
+  check_float ~eps:1e-12 "quantile ignores it too" 2.0
+    (D.weighted_quantile xs ~w 1.0)
+
+let test_weighted_rejects_bad_weights () =
+  let xs = [| 1.0; 2.0 |] in
+  (match D.weighted_mean xs ~w:[| 1.0 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument (length mismatch)"
+  | exception Invalid_argument _ -> ());
+  (match D.weighted_mean xs ~w:[| 1.0; -0.5 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument (negative weight)"
+  | exception Invalid_argument _ -> ());
+  match D.weighted_mean xs ~w:[| 0.0; 0.0 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument (all-zero weights)"
+  | exception Invalid_argument _ -> ()
+
+let test_effective_sample_size () =
+  check_float ~eps:1e-9 "uniform weights: ess = n" 4.0
+    (D.effective_sample_size [| 2.0; 2.0; 2.0; 2.0 |]);
+  check_float ~eps:1e-9 "one dominant weight: ess -> 1" 1.0
+    (D.effective_sample_size [| 1e12; 1e-12; 1e-12 |]);
+  let ess = D.effective_sample_size [| 4.0; 1.0; 1.0; 1.0; 1.0 |] in
+  Alcotest.(check bool) "skewed weights: 1 < ess < n" true
+    (ess > 1.0 && ess < 5.0)
+
 (* --- Histogram --- *)
 
 let test_histogram_counts () =
@@ -114,6 +169,32 @@ let test_kde_peak_near_mean () =
 let test_sparkline_length () =
   let s = H.sparkline ~width:10 (Array.init 100 Float.of_int) in
   Alcotest.(check bool) "non-empty" true (String.length s > 0)
+
+let test_wilson_interval () =
+  (* k = 0 must still give an informative interval: lo = 0, hi > 0. *)
+  let lo0, hi0 = H.wilson_interval ~k:0 100 in
+  check_float ~eps:1e-12 "k=0 lower" 0.0 lo0;
+  Alcotest.(check bool) "k=0 upper positive" true (hi0 > 0.0 && hi0 < 0.1);
+  let lo, hi = H.wilson_interval ~k:50 100 in
+  Alcotest.(check bool) "contains p-hat" true (lo < 0.5 && 0.5 < hi);
+  Alcotest.(check bool) "inside [0,1]" true (lo >= 0.0 && hi <= 1.0);
+  let lo99, hi99 = H.wilson_interval ~confidence:0.99 ~k:50 100 in
+  Alcotest.(check bool) "higher confidence widens" true
+    (lo99 < lo && hi99 > hi);
+  match H.wilson_interval ~k:5 4 with
+  | _ -> Alcotest.fail "expected Invalid_argument (k > n)"
+  | exception Invalid_argument _ -> ()
+
+let test_exceedance_tails () =
+  let xs = Array.init 100 (fun i -> Float.of_int i) in
+  let up = H.exceedance xs 89.5 in
+  Alcotest.(check int) "upper count" 10 up.H.t_count;
+  check_float ~eps:1e-12 "upper prob" 0.1 up.H.t_prob;
+  Alcotest.(check bool) "wilson brackets p-hat" true
+    (up.H.t_lo < 0.1 && 0.1 < up.H.t_hi);
+  let low = H.exceedance ~tail:`Lower xs 10.0 in
+  (* Strict inequality: the sample exactly at the threshold is safe. *)
+  Alcotest.(check int) "lower count strict" 10 low.H.t_count
 
 (* --- Qq --- *)
 
@@ -338,6 +419,16 @@ let () =
           Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
           Alcotest.test_case "variance needs two" `Quick test_variance_needs_two;
           Alcotest.test_case "mean CI" `Quick test_mean_ci;
+          Alcotest.test_case "weighted = unweighted on uniform w" `Quick
+            test_weighted_matches_unweighted;
+          Alcotest.test_case "weighted replication" `Quick
+            test_weighted_mean_replication;
+          Alcotest.test_case "zero weights ignored" `Quick
+            test_weighted_zero_weight_ignored;
+          Alcotest.test_case "weighted bad inputs" `Quick
+            test_weighted_rejects_bad_weights;
+          Alcotest.test_case "effective sample size" `Quick
+            test_effective_sample_size;
           QCheck_alcotest.to_alcotest prop_quantile_bounds;
           QCheck_alcotest.to_alcotest prop_std_shift_invariant;
         ] );
@@ -349,6 +440,8 @@ let () =
           Alcotest.test_case "kde peak" `Quick test_kde_peak_near_mean;
           Alcotest.test_case "sparkline" `Quick test_sparkline_length;
           Alcotest.test_case "constant sample" `Quick test_histogram_constant_sample;
+          Alcotest.test_case "wilson interval" `Quick test_wilson_interval;
+          Alcotest.test_case "exceedance tails" `Quick test_exceedance_tails;
         ] );
       ( "qq",
         [

@@ -243,6 +243,27 @@ let prop_quantile_monotone =
     (fun (p, dp) ->
       Special.normal_quantile (p +. dp) > Special.normal_quantile p)
 
+(* The inverse-CDF contract the rare-event machinery leans on (Wilson
+   intervals, sigma-shift design points): cdf o quantile = id well into
+   the tails — exercised down to p = 1e-9, i.e. past 5 sigma — and
+   quantile o cdf = id over the central +-5-sigma range.  The Acklam-style
+   rational approximation is good to ~1e-5 relative at the deepest tail
+   probed, so that is the bound asserted. *)
+let prop_quantile_cdf_roundtrip =
+  QCheck.Test.make ~name:"normal_cdf (normal_quantile p) = p" ~count:500
+    QCheck.(float_range (-9.0) (log10 0.5))
+    (fun log10_p ->
+      let p = 10.0 ** log10_p in
+      let p' = Special.normal_cdf (Special.normal_quantile p) in
+      Float.abs (p' -. p) <= 5e-5 *. p +. 1e-15)
+
+let prop_cdf_quantile_roundtrip =
+  QCheck.Test.make ~name:"normal_quantile (normal_cdf x) = x" ~count:500
+    QCheck.(float_range (-5.0) 5.0)
+    (fun x ->
+      let x' = Special.normal_quantile (Special.normal_cdf x) in
+      Float.abs (x' -. x) <= 1e-5 *. (1.0 +. Float.abs x))
+
 let () =
   Alcotest.run "vstat_util"
     [
@@ -271,6 +292,8 @@ let () =
           Alcotest.test_case "log_gamma factorials" `Quick test_log_gamma_factorials;
           Alcotest.test_case "chi2 quantiles" `Quick test_chi2_quantile_known;
           QCheck_alcotest.to_alcotest prop_quantile_monotone;
+          QCheck_alcotest.to_alcotest prop_quantile_cdf_roundtrip;
+          QCheck_alcotest.to_alcotest prop_cdf_quantile_roundtrip;
         ] );
       ( "floatx",
         [
