@@ -19,44 +19,52 @@ let sample ?(stages = 8) ?(wp_nm = 600.0) ?(wn_nm = 300.0) (tech : Celltech.t) =
     driver = Gates.sample_inverter tech ~wp_nm ~wn_nm;
   }
 
-let measure ?window ?(steps = 600) s =
-  let n = Array.length s.stages in
-  let window =
-    match window with
-    | Some w -> w
-    | None ->
-      Inverter.default_window ~vdd:s.vdd *. Float.of_int (Int.max 1 (n / 3))
-  in
+(* Build the chain netlist once for a given stage count and stimulus.
+   [devices i] supplies the inverter pair for position [i] (0 = driver,
+   then stages in order); returns the compiled engine and the probe
+   nodes. *)
+let build ?backend ~vdd ~stages ~window (devices : int -> Gates.inverter_devices)
+    =
   let net = N.create () in
   let gnd = N.ground net in
   let nvdd = N.node net "vdd" in
   let nin = N.node net "in" in
-  N.vsource net "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc s.vdd);
+  N.vsource net "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc vdd);
   N.vsource net "vin" ~plus:nin ~minus:gnd
-    ~wave:(W.pwl [| (0.06 *. window, 0.0); (0.06 *. window *. 1.3, s.vdd) |]);
+    ~wave:(W.pwl [| (0.06 *. window, 0.0); (0.06 *. window *. 1.3, vdd) |]);
   let first = N.node net "s0" in
-  Gates.add_inverter net ~name:"xdrv" ~devices:s.driver ~input:nin
+  Gates.add_inverter net ~name:"xdrv" ~devices:(devices 0) ~input:nin
     ~output:first ~vdd_node:nvdd ~gnd;
   let last = ref first in
-  Array.iteri
-    (fun i devices ->
-      let out = N.node net (Printf.sprintf "s%d" (i + 1)) in
-      Gates.add_inverter net
-        ~name:(Printf.sprintf "x%d" i)
-        ~devices ~input:!last ~output:out ~vdd_node:nvdd ~gnd;
-      last := out)
-    s.stages;
+  for i = 0 to stages - 1 do
+    let out = N.node net (Printf.sprintf "s%d" (i + 1)) in
+    Gates.add_inverter net
+      ~name:(Printf.sprintf "x%d" i)
+      ~devices:(devices (i + 1))
+      ~input:!last ~output:out ~vdd_node:nvdd ~gnd;
+    last := out
+  done;
   (* A final gate load keeps the last stage realistic. *)
   N.capacitor net "cl" ~a:!last ~b:gnd ~farads:1e-15;
-  let eng = E.compile net in
-  let trace = E.transient eng ~tstop:window ~dt:(window /. Float.of_int steps) in
+  let eng =
+    match backend with
+    | None -> E.compile net
+    | Some b -> E.compile ~backend:b net
+  in
+  (eng, first, !last)
+
+let default_window ~vdd ~stages =
+  Inverter.default_window ~vdd *. Float.of_int (Int.max 1 (stages / 3))
+
+(* Extract the 50%-to-50% path delay from a finished transient. *)
+let delay_of_trace ~vdd ~stages eng trace ~first ~last =
   let times = trace.E.times in
   let w_first = E.node_wave eng trace first in
-  let w_last = E.node_wave eng trace !last in
-  let v50 = s.vdd /. 2.0 in
+  let w_last = E.node_wave eng trace last in
+  let v50 = vdd /. 2.0 in
   (* Driver inverts the input rise, so the first stage's input falls; the
      final output polarity depends on chain parity. *)
-  let output_rising = n mod 2 = 1 in
+  let output_rising = stages mod 2 = 1 in
   match
     M.propagation_delay ~times ~input:w_first ~output:w_last ~v50
       ~input_rising:false ~output_rising
@@ -65,3 +73,85 @@ let measure ?window ?(steps = 600) s =
   | None ->
     Vstat_circuit.Diag.fail ~analysis:"measure:chain" Measure_no_crossing
       "edge did not propagate (window too short)"
+
+let measure ?window ?(steps = 600) s =
+  let n = Array.length s.stages in
+  let window =
+    match window with
+    | Some w -> w
+    | None -> default_window ~vdd:s.vdd ~stages:n
+  in
+  let devices i = if i = 0 then s.driver else s.stages.(i - 1) in
+  let eng, first, last = build ~vdd:s.vdd ~stages:n ~window devices in
+  let trace = E.transient eng ~tstop:window ~dt:(window /. Float.of_int steps) in
+  delay_of_trace ~vdd:s.vdd ~stages:n eng trace ~first ~last
+
+(* Batched evaluation: one compiled engine whose transistors are
+   Device_model proxies, retargeted per sample.  The topology (and so the
+   sparse symbolic analysis) is shared by construction; only numeric model
+   state changes between samples. *)
+type prepared = {
+  p_vdd : float;
+  p_stages : int;
+  p_window : float;
+  p_engine : E.t;
+  p_first : N.node;
+  p_last : N.node;
+  p_proxies : (Vstat_device.Device_model.proxy
+              * Vstat_device.Device_model.proxy)
+      array;  (* (pmos, nmos) at position i; 0 = driver *)
+}
+
+let prepare ?(stages = 8) ?(wp_nm = 600.0) ?(wn_nm = 300.0) ?window ?backend
+    (tech : Celltech.t) =
+  if stages < 1 then
+    invalid_arg "Chain.prepare: stages >= 1" [@vstat.allow "exn-discipline"];
+  let window =
+    match window with
+    | Some w -> w
+    | None -> default_window ~vdd:tech.vdd ~stages
+  in
+  let template = Gates.sample_inverter tech ~wp_nm ~wn_nm in
+  let proxies =
+    Array.init (stages + 1) (fun _ ->
+        ( Vstat_device.Device_model.proxy template.Gates.pmos,
+          Vstat_device.Device_model.proxy template.Gates.nmos ))
+  in
+  let devices i =
+    let pp, pn = proxies.(i) in
+    {
+      Gates.pmos = Vstat_device.Device_model.proxy_device pp;
+      nmos = Vstat_device.Device_model.proxy_device pn;
+    }
+  in
+  let eng, first, last = build ?backend ~vdd:tech.vdd ~stages ~window devices in
+  {
+    p_vdd = tech.vdd;
+    p_stages = stages;
+    p_window = window;
+    p_engine = eng;
+    p_first = first;
+    p_last = last;
+    p_proxies = proxies;
+  }
+
+let prepared_backend p = E.resolved_backend p.p_engine
+
+let measure_prepared ?(steps = 600) p s =
+  if Array.length s.stages <> p.p_stages then
+    invalid_arg "Chain.measure_prepared: stage count differs from prepare"
+    [@vstat.allow "exn-discipline"];
+  if not (Float.equal s.vdd p.p_vdd) then
+    invalid_arg "Chain.measure_prepared: sample vdd differs from prepare"
+    [@vstat.allow "exn-discipline"];
+  for i = 0 to p.p_stages do
+    let devs = if i = 0 then s.driver else s.stages.(i - 1) in
+    let pp, pn = p.p_proxies.(i) in
+    Vstat_device.Device_model.retarget pp devs.Gates.pmos;
+    Vstat_device.Device_model.retarget pn devs.Gates.nmos
+  done;
+  let window = p.p_window in
+  let eng = p.p_engine in
+  let trace = E.transient eng ~tstop:window ~dt:(window /. Float.of_int steps) in
+  delay_of_trace ~vdd:p.p_vdd ~stages:p.p_stages eng trace ~first:p.p_first
+    ~last:p.p_last

@@ -141,6 +141,18 @@ let global_counters () =
 
 let reset_global_counters () = Array.iter (fun a -> Atomic.set a 0) totals
 
+(* Which linear-solver path a compiled engine uses.  [Auto] picks sparse
+   once the system is big enough that the O(n^2)-per-factorization dense
+   path loses; tiny systems stay dense both for speed and so existing
+   small-circuit results are bit-identical to previous releases. *)
+type backend = Auto | Dense | Sparse
+
+let sparse_threshold = 32
+
+type solver_state =
+  | S_dense
+  | S_sparse of Vstat_linalg.Sparse.numeric
+
 type t = {
   elems : Netlist.element array;
   nn : int;                          (* node-voltage unknowns *)
@@ -152,10 +164,21 @@ type t = {
   flushed : int array;               (* portion already pushed to [totals] *)
   (* Reusable per-instance workspace: one allocation at compile time, zero
      allocations per Newton iteration afterwards. *)
-  jac : Vstat_linalg.Matrix.t;
+  solver : solver_state;
+  jac : Vstat_linalg.Matrix.t;       (* dense factor workspace (1x1 dummy
+                                        on the sparse path) *)
+  pivots : int array;                (* dense pivot storage *)
+  vals : float array;
+      (* Jacobian stamp buffer: the dense matrix buffer or the sparse value
+         array — assembly writes through [slots] either way. *)
+  slots : int array array;
+      (* Per-element flat stamp indices into [vals], resolved once here at
+         compile time (-1 = ground, dropped).  Layouts: R/C 4 (aa ab ba bb);
+         vsource 4 (p,br m,br br,p br,m); MOSFET 16 (terminal block rows x
+         cols in g d s b order); isource 0. *)
+  diag_slots : int array;            (* node diagonals, for the gmin floor *)
   res : float array;
   rhs : float array;                 (* negated residual, then the update *)
-  pivots : int array;
   xws : float array;                 (* Newton iterate *)
   mutable q_work : float array;      (* charges at the current candidate *)
   mutable i_work : float array;      (* charge currents at the candidate *)
@@ -171,7 +194,7 @@ type t = {
   mutable work_cap : int;
 }
 
-let compile netlist =
+let compile ?(backend = Auto) netlist =
   let elems = Array.of_list (Netlist.elements netlist) in
   let nn = Netlist.node_count netlist in
   let charge_offset = Array.make (Array.length elems) (-1) in
@@ -194,6 +217,73 @@ let compile netlist =
     elems;
   let n = Int.max (nn + !nv) 1 in
   let nq = Int.max !n_charges 1 in
+  (* Per-element Jacobian coordinate blocks in stamp order; -1 components
+     mark the dropped ground row/column. *)
+  let ni h = Netlist.node_index h - 1 in
+  let coords = Array.make (Array.length elems) [||] in
+  let branch = ref 0 in
+  for k = 0 to Array.length elems - 1 do
+    coords.(k) <-
+      (match elems.(k) with
+      | Netlist.Resistor { a; b; _ } | Netlist.Capacitor { a; b; _ } ->
+        let ia = ni a and ib = ni b in
+        [| (ia, ia); (ia, ib); (ib, ia); (ib, ib) |]
+      | Netlist.Vsource { plus; minus; _ } ->
+        let ip = ni plus and im = ni minus in
+        let bc = nn + !branch in
+        incr branch;
+        [| (ip, bc); (im, bc); (bc, ip); (bc, im) |]
+      | Netlist.Isource _ -> [||]
+      | Netlist.Mosfet { d; g; s; b; _ } ->
+        let trm = [| ni g; ni d; ni s; ni b |] in
+        Array.init 16 (fun p -> (trm.(p / 4), trm.(p mod 4))))
+  done;
+  let use_sparse =
+    match backend with
+    | Dense -> false
+    | Sparse -> true
+    | Auto -> n >= sparse_threshold
+  in
+  let solver, jac, pivots, vals, slots, diag_slots =
+    if use_sparse then begin
+      (* The shared pattern: every stamped coordinate plus the gmin node
+         diagonals.  [analyze_cached] memoizes per topology, so compiling
+         one engine per MC sample performs the symbolic work once. *)
+      let entries = ref [] in
+      for i = 0 to nn - 1 do
+        entries := (i, i) :: !entries
+      done;
+      Array.iter
+        (Array.iter (fun (r, c) ->
+             if r >= 0 && c >= 0 then entries := (r, c) :: !entries))
+        coords;
+      let sym =
+        Vstat_linalg.Sparse.analyze_cached ~n
+          ~entries:(Array.of_list !entries)
+      in
+      let num = Vstat_linalg.Sparse.create_numeric sym in
+      let slot (r, c) =
+        if r >= 0 && c >= 0 then Vstat_linalg.Sparse.slot sym ~row:r ~col:c
+        else -1
+      in
+      ( S_sparse num,
+        Vstat_linalg.Matrix.create ~rows:1 ~cols:1,
+        Array.make 1 0,
+        Vstat_linalg.Sparse.values num,
+        Array.map (Array.map slot) coords,
+        Array.init nn (fun i -> Vstat_linalg.Sparse.slot sym ~row:i ~col:i) )
+    end
+    else begin
+      let jac = Vstat_linalg.Matrix.create ~rows:n ~cols:n in
+      let slot (r, c) = if r >= 0 && c >= 0 then (r * n) + c else -1 in
+      ( S_dense,
+        jac,
+        Array.make n 0,
+        Vstat_linalg.Matrix.buffer jac,
+        Array.map (Array.map slot) coords,
+        Array.init nn (fun i -> (i * n) + i) )
+    end
+  in
   {
     elems;
     nn;
@@ -203,10 +293,14 @@ let compile netlist =
     n_charges = !n_charges;
     cnt = Array.make n_counters 0;
     flushed = Array.make n_counters 0;
-    jac = Vstat_linalg.Matrix.create ~rows:n ~cols:n;
+    solver;
+    jac;
+    pivots;
+    vals;
+    slots;
+    diag_slots;
     res = Array.make n 0.0;
     rhs = Array.make n 0.0;
-    pivots = Array.make n 0;
     xws = Array.make n 0.0;
     q_work = Array.make nq 0.0;
     i_work = Array.make nq 0.0;
@@ -215,6 +309,9 @@ let compile netlist =
     work_used = 0;
     work_cap = default_options.work_cap;
   }
+
+let resolved_backend t =
+  match t.solver with S_dense -> Dense | S_sparse _ -> Sparse
 
 let unknowns t = t.nn + t.nv
 
@@ -253,36 +350,25 @@ let[@inline always] nodev x n =
      would be allocated on every assembly;
    - after inlining no out-of-line call with a float argument may remain:
      classic (non-flambda) ocamlopt boxes such arguments, so the Jacobian
-     is stamped through [Matrix.buffer] rather than [Matrix.add_to].
-   Index convention: [i]/[j] are raw [Netlist.node_index] values, 1-based
-   with 0 = ground (dropped); [row]/[col] are absolute matrix positions
-   (vsource branch rows/columns). *)
+     is stamped through flat slot indices into [t.vals] rather than
+     [Matrix.add_to].
+   Index convention: residual indices [i] are raw [Netlist.node_index]
+   values, 1-based with 0 = ground (dropped); Jacobian positions are the
+   compile-time slot indices from [t.slots] (-1 = ground, dropped), which
+   address the dense matrix buffer and the sparse value array uniformly. *)
 let[@inline always] res_addi res i v =
   if i > 0 then res.(i - 1) <- res.(i - 1) +. v
 
-let[@inline always] jac_addi jd ~stride i j v =
-  if i > 0 && j > 0 then begin
-    let k = ((i - 1) * stride) + (j - 1) in
-    jd.(k) <- jd.(k) +. v
-  end
-
-let[@inline always] jac_row_nodei jd ~stride row j v =
-  if j > 0 then begin
-    let k = (row * stride) + (j - 1) in
-    jd.(k) <- jd.(k) +. v
-  end
-
-let[@inline always] jac_node_coli jd ~stride i col v =
-  if i > 0 then begin
-    let k = ((i - 1) * stride) + col in
-    jd.(k) <- jd.(k) +. v
-  end
+let[@inline always] vadd vals s v =
+  if s >= 0 then vals.(s) <- vals.(s) +. v
 
 (* One charge row of the analytic MOSFET stamp: companion current from the
    backward-Euler / trapezoidal charge difference plus the [factor]-scaled
-   transcapacitance row.  Toplevel + forced inline for the reasons above. *)
-let[@inline always] stamp_charge_row jd res ~stride ~factor ~trap ~q_out
-    ~i_out ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b c row_idx =
+   transcapacitance row.  [sl] is the element's 16-slot terminal block; row
+   [c]'s four column slots sit at [4*c ..], matching the [dq] layout.
+   Toplevel + forced inline for the reasons above. *)
+let[@inline always] stamp_charge_row vals res ~sl ~factor ~trap ~q_out
+    ~i_out ~q_prev ~i_prev ~off ~dq c row_idx =
   let q = q_out.(off + c) in
   let i =
     (factor *. (q -. q_prev.(off + c)))
@@ -291,16 +377,13 @@ let[@inline always] stamp_charge_row jd res ~stride ~factor ~trap ~q_out
   i_out.(off + c) <- i;
   res_addi res row_idx i;
   let o = 4 * c in
-  jac_addi jd ~stride row_idx ni_g (factor *. dq.(o));
-  jac_addi jd ~stride row_idx ni_d (factor *. dq.(o + 1));
-  jac_addi jd ~stride row_idx ni_s (factor *. dq.(o + 2));
-  jac_addi jd ~stride row_idx ni_b (factor *. dq.(o + 3))
+  vadd vals sl.(o) (factor *. dq.(o));
+  vadd vals sl.(o + 1) (factor *. dq.(o + 1));
+  vadd vals sl.(o + 2) (factor *. dq.(o + 2));
+  vadd vals sl.(o + 3) (factor *. dq.(o + 3))
 
-(* Node-handle variants for the cold finite-difference fallback. *)
+(* Node-handle variant for the cold finite-difference fallback. *)
 let res_add res n v = res_addi res (Netlist.node_index n) v
-
-let jac_add_node jd ~stride n ncol v =
-  jac_addi jd ~stride (Netlist.node_index n) (Netlist.node_index ncol) v
 
 (* Assemble Jacobian and residual at candidate [x] into the instance
    workspace (t.jac, t.res); also writes the present element charges into
@@ -316,17 +399,17 @@ let jac_add_node jd ~stride n ncol v =
    test/test_lint.ml. *)
 let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
   let nn = t.nn in
-  let jac = t.jac and res = t.res in
-  let jd = Vstat_linalg.Matrix.buffer jac in
-  let stride = Vstat_linalg.Matrix.cols jac in
+  let vals = t.vals and res = t.res in
+  let slots = t.slots in
   let q_out = t.q_work and i_out = t.i_work in
   let time = t.now.(0) in
   bump t c_assembly 1;
-  Vstat_linalg.Matrix.fill jac 0.0;
+  Array.fill vals 0 (Array.length vals) 0.0;
   Array.fill res 0 (Array.length res) 0.0;
+  let diag = t.diag_slots in
   for i = 0 to nn - 1 do
-    let k = (i * stride) + i in
-    jd.(k) <- jd.(k) +. gmin;
+    let s = diag.(i) in
+    vals.(s) <- vals.(s) +. gmin;
     res.(i) <- res.(i) +. (gmin *. x.(i))
   done;
   let elems = t.elems in
@@ -335,14 +418,15 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
     match elems.(k) with
     | Netlist.Resistor { a; b; ohms; _ } ->
       let ia = Netlist.node_index a and ib = Netlist.node_index b in
+      let sl = slots.(k) in
       let g = 1.0 /. ohms in
       let i = g *. (nodev x a -. nodev x b) in
       res_addi res ia i;
       res_addi res ib (-.i);
-      jac_addi jd ~stride ia ia g;
-      jac_addi jd ~stride ia ib (-.g);
-      jac_addi jd ~stride ib ia (-.g);
-      jac_addi jd ~stride ib ib g
+      vadd vals sl.(0) g;
+      vadd vals sl.(1) (-.g);
+      vadd vals sl.(2) (-.g);
+      vadd vals sl.(3) g
     | Netlist.Capacitor { a; b; farads; _ } ->
       let ia = Netlist.node_index a and ib = Netlist.node_index b in
       let q = farads *. (nodev x a -. nodev x b) in
@@ -358,39 +442,39 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
         in
         i_out.(off) <- i;
         let geq = factor *. farads in
+        let sl = slots.(k) in
         res_addi res ia i;
         res_addi res ib (-.i);
-        jac_addi jd ~stride ia ia geq;
-        jac_addi jd ~stride ia ib (-.geq);
-        jac_addi jd ~stride ib ia (-.geq);
-        jac_addi jd ~stride ib ib geq)
+        vadd vals sl.(0) geq;
+        vadd vals sl.(1) (-.geq);
+        vadd vals sl.(2) (-.geq);
+        vadd vals sl.(3) geq)
     | Netlist.Vsource { plus; minus; wave; _ } ->
       let ip = Netlist.node_index plus and im = Netlist.node_index minus in
       let col = nn + !branch in
       let row = nn + !branch in
       incr branch;
+      let sl = slots.(k) in
       let ibr = x.(col) in
       res_addi res ip ibr;
       res_addi res im (-.ibr);
-      jac_node_coli jd ~stride ip col 1.0;
-      jac_node_coli jd ~stride im col (-1.0);
+      vadd vals sl.(0) 1.0;
+      vadd vals sl.(1) (-1.0);
       res.(row) <-
         nodev x plus -. nodev x minus -. (sscale *. Waveform.value wave time);
-      jac_row_nodei jd ~stride row ip 1.0;
-      jac_row_nodei jd ~stride row im (-1.0)
+      vadd vals sl.(2) 1.0;
+      vadd vals sl.(3) (-1.0)
     | Netlist.Isource { from_; to_; wave; _ } ->
       let ifr = Netlist.node_index from_ and ito = Netlist.node_index to_ in
       let i = sscale *. Waveform.value wave time in
       res_addi res ifr i;
       res_addi res ito (-.i)
     | Netlist.Mosfet { d; g; s; b; dev; _ } ->
-      let ni_g = Netlist.node_index g
-      and ni_d = Netlist.node_index d
-      and ni_s = Netlist.node_index s
-      and ni_b = Netlist.node_index b in
+      let ni_d = Netlist.node_index d and ni_s = Netlist.node_index s in
       let vg = nodev x g and vd = nodev x d and vs = nodev x s
       and vb = nodev x b in
       let off = t.charge_offset.(k) in
+      let sl = slots.(k) in
       (match dev.Vstat_device.Device_model.eval_derivs with
       | Some eval_derivs ->
         (* Analytic path: one model call yields values, conductances and
@@ -401,17 +485,18 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
         let db = t.dbuf in
         let did = db.Vstat_device.Device_model.did
         and dq = db.Vstat_device.Device_model.dq in
-        (* Channel current (columns in terminal order g, d, s, b). *)
+        (* Channel current: slot-block rows d (1) and s (2), columns in
+           terminal order g, d, s, b. *)
         res_addi res ni_d db.v_id;
         res_addi res ni_s (-.db.v_id);
-        jac_addi jd ~stride ni_d ni_g did.(0);
-        jac_addi jd ~stride ni_d ni_d did.(1);
-        jac_addi jd ~stride ni_d ni_s did.(2);
-        jac_addi jd ~stride ni_d ni_b did.(3);
-        jac_addi jd ~stride ni_s ni_g (-.did.(0));
-        jac_addi jd ~stride ni_s ni_d (-.did.(1));
-        jac_addi jd ~stride ni_s ni_s (-.did.(2));
-        jac_addi jd ~stride ni_s ni_b (-.did.(3));
+        vadd vals sl.(4) did.(0);
+        vadd vals sl.(5) did.(1);
+        vadd vals sl.(6) did.(2);
+        vadd vals sl.(7) did.(3);
+        vadd vals sl.(8) (-.did.(0));
+        vadd vals sl.(9) (-.did.(1));
+        vadd vals sl.(10) (-.did.(2));
+        vadd vals sl.(11) (-.did.(3));
         (* Terminal charges. *)
         q_out.(off) <- db.v_qg;
         q_out.(off + 1) <- db.v_qd;
@@ -424,14 +509,14 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
           done
         | Tran { h; trap } ->
           let factor = (if trap then 2.0 else 1.0) /. h in
-          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
-            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 0 ni_g;
-          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
-            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 1 ni_d;
-          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
-            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 2 ni_s;
-          stamp_charge_row jd res ~stride ~factor ~trap ~q_out ~i_out
-            ~q_prev ~i_prev ~off ~dq ~ni_g ~ni_d ~ni_s ~ni_b 3 ni_b)
+          stamp_charge_row vals res ~sl ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq 0 (Netlist.node_index g);
+          stamp_charge_row vals res ~sl ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq 1 ni_d;
+          stamp_charge_row vals res ~sl ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq 2 ni_s;
+          stamp_charge_row vals res ~sl ~factor ~trap ~q_out ~i_out
+            ~q_prev ~i_prev ~off ~dq 3 (Netlist.node_index b))
       | None ->
         (* Finite-difference fallback: 5 evals per linearization.  A cold
            compatibility path for models without analytic derivatives — it
@@ -452,7 +537,7 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
            |]
          in
          let terminals = [| g; d; s; b |] in
-         (* Channel current. *)
+         (* Channel current: slot-block rows d (1) and s (2). *)
          res_add res d base.id;
          res_add res s (-.base.id);
          Array.iteri
@@ -460,8 +545,8 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
              let did =
                (p.Vstat_device.Device_model.id -. base.id) /. fd_dv
              in
-             jac_add_node jd ~stride d terminals.(j) did;
-             jac_add_node jd ~stride s terminals.(j) (-.did))
+             vadd vals sl.(4 + j) did;
+             vadd vals sl.(8 + j) (-.did))
            perturbed;
          (* Terminal charges. *)
          let q_of (st : Vstat_device.Device_model.terminal_state) = function
@@ -491,8 +576,7 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
              Array.iteri
                (fun j p ->
                  let dq = (q_of p c -. q) /. fd_dv in
-                 jac_add_node jd ~stride terminals.(c) terminals.(j)
-                   (factor *. dq))
+                 vadd vals sl.((4 * c) + j) (factor *. dq))
                perturbed
            done)
         [@vstat.allow "hot-path"])
@@ -502,7 +586,7 @@ let[@vstat.hot] assemble t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale =
 type newton_outcome =
   | N_converged
   | N_max_iter of { iter : int; dmax : float }
-  | N_singular of { iter : int }
+  | N_singular of { iter : int; column : int; scale : float }
   | N_nonfinite of { iter : int }
   | N_work_cap
 
@@ -543,12 +627,21 @@ let[@vstat.hot] newton t ~mode ~x ~q_prev ~i_prev ~gmin ~sscale ~max_iter
         rhs.(i) <- -.t.res.(i)
       done;
       bump t c_lu 1;
-      match Vstat_linalg.Lu.factor_in_place t.jac ~pivots:t.pivots with
-      | exception Vstat_linalg.Lu.Singular _ ->
-        outcome := N_singular { iter = !iter };
+      match
+        (match t.solver with
+        | S_dense ->
+          ignore
+            (Vstat_linalg.Lu.factor_in_place t.jac ~pivots:t.pivots : int)
+        | S_sparse num -> Vstat_linalg.Sparse.factor num)
+      with
+      | exception Vstat_linalg.Lu.Singular { column; scale } ->
+        outcome := N_singular { iter = !iter; column; scale };
         running := false
-      | _sign ->
-        Vstat_linalg.Lu.solve_in_place ~lu:t.jac ~pivots:t.pivots rhs;
+      | () ->
+        (match t.solver with
+        | S_dense ->
+          Vstat_linalg.Lu.solve_in_place ~lu:t.jac ~pivots:t.pivots rhs
+        | S_sparse num -> Vstat_linalg.Sparse.solve_in_place num rhs);
         let finite = ref true in
         for i = 0 to n - 1 do
           (* [v -. v] is 0 for finite v and NaN for NaN/infinity — the
@@ -675,13 +768,20 @@ let dc_core ?guess ~opts ~time t =
       match fails with
       | (stage, N_max_iter { iter; dmax }) :: _ ->
         (Some stage, Some iter, Some dmax)
-      | (stage, (N_singular { iter } | N_nonfinite { iter })) :: _ ->
+      | (stage, (N_singular { iter; _ } | N_nonfinite { iter })) :: _ ->
         (Some stage, Some iter, None)
       | _ -> (None, None, None)
     in
+    let detail =
+      match fails with
+      | (_, N_singular { column; scale; _ }) :: _ ->
+        Printf.sprintf "; singular pivot at unknown %d (scale %g)" column
+          scale
+      | _ -> ""
+    in
     Diag.fail ~time ?newton_iter ?stage ?dmax ~counters:(counter_snapshot t)
-      ~analysis:"dc" kind "all continuation strategies failed (%d stages)"
-      (List.length fails)
+      ~analysis:"dc" kind "all continuation strategies failed (%d stages)%s"
+      (List.length fails) detail
   end
 
 let dc ?options ?guess ?(time = 0.0) t =
@@ -872,14 +972,21 @@ let transient_raw ?options ?trap ?dt_min_factor t ~tstop ~dt =
         let newton_iter, dmax =
           match !last_reject with
           | Some (N_max_iter { iter; dmax }) -> (Some iter, Some dmax)
-          | Some (N_singular { iter } | N_nonfinite { iter }) ->
+          | Some (N_singular { iter; _ } | N_nonfinite { iter }) ->
             (Some iter, None)
           | _ -> (None, None)
+        in
+        let detail =
+          match !last_reject with
+          | Some (N_singular { column; scale; _ }) ->
+            Printf.sprintf "; singular pivot at unknown %d (scale %g)"
+              column scale
+          | _ -> ""
         in
         Diag.fail ~time:!time ?newton_iter ?dmax
           ~stage:(Printf.sprintf "h=%.3e dt_min=%.3e" !h dt_min)
           ~counters:(counter_snapshot t) ~analysis:"transient" kind
-          "step rejected below dt_min"
+          "step rejected below dt_min%s" detail
       end
   done;
   flush_counters t;
@@ -920,13 +1027,27 @@ let residual_norm t op =
   done;
   !acc
 
+(* Gather the assembled Jacobian (whatever the backend) into a fresh dense
+   matrix.  Cold: used by linearize and by dense-vs-sparse cross-checks. *)
+let dense_of_assembled t =
+  let n = unknowns t in
+  let m = Vstat_linalg.Matrix.create ~rows:n ~cols:n in
+  (match t.solver with
+  | S_dense ->
+    let d = Vstat_linalg.Matrix.buffer m in
+    Array.blit t.vals 0 d 0 (n * n)
+  | S_sparse num ->
+    Vstat_linalg.Sparse.iter_entries num ~f:(fun ~row ~col v ->
+        Vstat_linalg.Matrix.set m row col v));
+  m
+
 let linearize t op =
   let n = unknowns t in
   Array.blit op.x 0 t.xws 0 n;
   t.now.(0) <- op.time;
   assemble t ~mode:Dc ~x:t.xws ~q_prev:t.q_work ~i_prev:t.i_work ~gmin:1e-12
     ~sscale:1.0;
-  let jac_dc = Vstat_linalg.Matrix.copy t.jac in
+  let jac_dc = dense_of_assembled t in
   (* With h = 1 and the charge state equal to the operating-point charges,
      the transient Jacobian is exactly G + C. *)
   let q0 = Array.copy t.q_work and i0 = Array.copy t.i_work in
@@ -934,7 +1055,7 @@ let linearize t op =
     ~mode:(Tran { h = 1.0; trap = false })
     ~x:t.xws ~q_prev:q0 ~i_prev:i0 ~gmin:1e-12 ~sscale:1.0;
   flush_counters t;
-  (jac_dc, Vstat_linalg.Matrix.sub t.jac jac_dc)
+  (jac_dc, Vstat_linalg.Matrix.sub (dense_of_assembled t) jac_dc)
 
 let counters t = counters_of_array t.cnt
 

@@ -9,18 +9,37 @@
     otherwise.  Convergence aids are a gmin floor, gmin stepping and source
     stepping.
 
-    Each compiled engine owns a reusable workspace (Jacobian, residual,
-    update vector, LU pivot storage, charge-state scratch and a device
-    derivative buffer), so the Newton inner loop performs no allocation;
-    the LU factorization and triangular solves run in place on the
-    workspace via {!Vstat_linalg.Lu.factor_in_place}. *)
+    Each compiled engine owns a reusable workspace (Jacobian values,
+    residual, update vector, factor storage, charge-state scratch and a
+    device derivative buffer), so the Newton inner loop performs no
+    allocation; factorization and triangular solves run in place on the
+    workspace.
+
+    Two linear-solver backends share one stamping interface: a dense
+    in-place LU ({!Vstat_linalg.Lu}) and a sparse KLU-style solver
+    ({!Vstat_linalg.Sparse}) whose symbolic analysis is computed once per
+    circuit topology and shared across engines (and Monte Carlo samples)
+    through a process-wide cache.  At [compile] time every element's stamp
+    coordinates are resolved to flat slot indices into the backend's value
+    buffer, so the assembly loop is identical for both backends.  Both use
+    the same scale-relative pivot test, and sparse pivot order is static
+    (topology only), so results are independent of sample order and worker
+    count. *)
 
 type t
 (** Compiled system (frozen netlist + index maps + workspaces).  An engine
     instance is not thread-safe: its workspace is reused across solves, so
     share nothing — compile one engine per domain. *)
 
-val compile : Netlist.t -> t
+type backend =
+  | Auto    (** sparse for [unknowns >= 32], dense below (default) *)
+  | Dense   (** force the dense LU path *)
+  | Sparse  (** force the sparse path (any size) *)
+
+val compile : ?backend:backend -> Netlist.t -> t
+
+val resolved_backend : t -> backend
+(** The backend actually chosen ([Dense] or [Sparse], never [Auto]). *)
 
 val unknowns : t -> int
 (** Size of the MNA solution vector. *)

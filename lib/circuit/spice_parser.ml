@@ -17,36 +17,61 @@ let fail line fmt =
 
 (* --- scalar values with engineering suffixes --- *)
 
+(* Berkeley-SPICE scale-factor semantics: the scalar is the longest numeric
+   prefix; the trailing alphabetic part is examined case-insensitively for
+   a scale factor, with the multi-letter factors MEG and MIL matched before
+   single letters (so "3MEG" and "10MEGohm" cannot be shadowed into milli
+   by the trailing/leading [m]), and any remaining unit letters ("pF",
+   "kOhm", "V") are ignored.  An alphabetic tail with no recognized factor
+   is a bare unit and scales by 1, as in SPICE. *)
 let parse_value s =
   let s = String.lowercase_ascii (String.trim s) in
-  if s = "" then failwith "empty value";
-  let suffixes =
-    [ ("meg", 1e6); ("f", 1e-15); ("p", 1e-12); ("n", 1e-9); ("u", 1e-6);
-      ("m", 1e-3); ("k", 1e3); ("g", 1e9); ("t", 1e12) ]
+  let n = String.length s in
+  if n = 0 then raise (Parse_error { line = 0; message = "empty value" });
+  let malformed () =
+    raise
+      (Parse_error
+         { line = 0; message = Printf.sprintf "malformed value %S" s })
   in
-  let rec try_suffixes = function
-    | [] -> (s, 1.0)
-    | (suffix, scale) :: rest ->
-      let ls = String.length suffix and ln = String.length s in
-      if ln > ls && String.sub s (ln - ls) ls = suffix then
-        (String.sub s 0 (ln - ls), scale)
-      else try_suffixes rest
+  (* Longest numeric prefix (cold path: decks are parsed once). *)
+  let num_len = ref 0 in
+  for k = 1 to n do
+    if Option.is_some (float_of_string_opt (String.sub s 0 k)) then
+      num_len := k
+  done;
+  if !num_len = 0 then malformed ();
+  let v = float_of_string (String.sub s 0 !num_len) in
+  let rest = String.sub s !num_len (n - !num_len) in
+  if not (String.for_all (fun c -> c >= 'a' && c <= 'z') rest) then
+    malformed ();
+  let starts p =
+    String.length rest >= String.length p
+    && String.sub rest 0 (String.length p) = p
   in
-  let body, scale = try_suffixes suffixes in
-  match float_of_string_opt body with
-  | Some v -> v *. scale
-  | None -> failwith (Printf.sprintf "malformed value %S" s)
-(* Internal failures are wrapped into the typed [Parse_error] (with a deck
-   line number) by [value] below — the bare [failwith]s never escape. *)
-[@@vstat.allow "exn-discipline"]
+  let scale =
+    if rest = "" then 1.0
+    else if starts "meg" then 1e6
+    else if starts "mil" then 25.4e-6
+    else
+      match rest.[0] with
+      | 't' -> 1e12
+      | 'g' -> 1e9
+      | 'k' -> 1e3
+      | 'm' -> 1e-3
+      | 'u' -> 1e-6
+      | 'n' -> 1e-9
+      | 'p' -> 1e-12
+      | 'f' -> 1e-15
+      | _ -> 1.0 (* bare unit letters, e.g. "10v" *)
+  in
+  v *. scale
 
-(* Like [parse_value] but failures surface as [Parse_error] carrying the
-   offending line number, so every malformed scalar in a deck reports
-   uniformly instead of leaking a bare [Failure]. *)
+(* Like [parse_value] but failures carry the offending deck line number,
+   so every malformed scalar in a deck reports uniformly. *)
 let value ~line s =
   match parse_value s with
   | v -> v
-  | exception Failure m -> fail line "%s" m
+  | exception Parse_error { message; _ } -> fail line "%s" message
 
 (* --- logical lines: strip comments, join continuations --- *)
 

@@ -53,5 +53,11 @@ val parse_file : string -> deck
     @raise Sys_error on I/O failure, {!Parse_error} on syntax errors. *)
 
 val parse_value : string -> float
-(** Engineering-notation scalar ("2.5k", "10p", "3meg", "1e-9"); exposed for
-    tests. @raise Failure on malformed numbers. *)
+(** Engineering-notation scalar with Berkeley-SPICE scale-factor
+    semantics, exposed for tests.  The number is the longest numeric
+    prefix; the trailing alphabetic part is matched case-insensitively
+    against the scale factors [T G MEG K MIL M U N P F] (MEG and MIL
+    before single-letter M, so ["3MEG"] is 3e6, not 3e-3) and any
+    remaining unit letters are ignored: ["10pF"] is 10e-12, ["1kOhm"]
+    is 1e3, ["10V"] is 10.
+    @raise Parse_error (with [line = 0]) on malformed numbers. *)

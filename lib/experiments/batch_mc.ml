@@ -1,0 +1,104 @@
+module E = Vstat_circuit.Engine
+module Chain = Vstat_cells.Chain
+module Gates = Vstat_cells.Gates
+module Vs = Vstat_core.Vs_statistical
+module Rng = Vstat_util.Rng
+module Runtime = Vstat_runtime.Runtime
+
+type result = {
+  delays : float array;
+  by_index : float option array;
+  backend : E.backend;
+  batched : bool;
+  stats : Runtime.stats;
+}
+
+(* SoA layout: per sample, [stages + 1] inverter positions (0 = driver), 2
+   devices per position (pmos then nmos), 5 shift floats per device in
+   Vs_statistical.shifts field order. *)
+let shift_slots = 5
+
+let put (buf : float array) o (s : Vs.shifts) =
+  buf.(o) <- s.dvt0;
+  buf.(o + 1) <- s.dl_nm;
+  buf.(o + 2) <- s.dw_nm;
+  buf.(o + 3) <- s.dmu;
+  buf.(o + 4) <- s.dcinv
+
+let get (buf : float array) o : Vs.shifts =
+  {
+    dvt0 = buf.(o);
+    dl_nm = buf.(o + 1);
+    dw_nm = buf.(o + 2);
+    dmu = buf.(o + 3);
+    dcinv = buf.(o + 4);
+  }
+
+let wp_nm = 600.0
+let wn_nm = 300.0
+
+let chain_tpd ?jobs ?(backend = E.Auto) ?(batched = true) ?(stages = 8)
+    ?(steps = 600) ~n ~seed ~vdd (p : Vstat_core.Pipeline.t) =
+  let l_nm = Vstat_device.Cards.l_nominal_nm in
+  let positions = stages + 1 in
+  let per_sample = positions * 2 * shift_slots in
+  (* Serial prefill from counter-indexed substreams: the whole batch's
+     variation draws, jobs-invariant by construction. *)
+  let buf = Array.make (Int.max 1 (n * per_sample)) 0.0 in
+  for i = 0 to n - 1 do
+    let rng = Rng.substream ~seed ~index:i in
+    for pos = 0 to positions - 1 do
+      let o = (i * per_sample) + (pos * 2 * shift_slots) in
+      put buf o (Vs.draw_shifts p.vs_pmos rng ~w_nm:wp_nm ~l_nm);
+      put buf (o + shift_slots) (Vs.draw_shifts p.vs_nmos rng ~w_nm:wn_nm ~l_nm)
+    done
+  done;
+  let device_of (vs : Vs.t) shifts ~w_nm =
+    Vstat_device.Vs_model.device ~name:vs.label ~polarity:vs.polarity
+      (Vs.apply_shifts (vs.nominal ~w_nm ~l_nm) shifts)
+  in
+  let inverter_of i pos =
+    let o = (i * per_sample) + (pos * 2 * shift_slots) in
+    {
+      Gates.pmos = device_of p.vs_pmos (get buf o) ~w_nm:wp_nm;
+      nmos = device_of p.vs_nmos (get buf (o + shift_slots)) ~w_nm:wn_nm;
+    }
+  in
+  let sample_of i : Chain.sample =
+    {
+      vdd;
+      stages = Array.init stages (fun s -> inverter_of i (s + 1));
+      driver = inverter_of i 0;
+    }
+  in
+  let tech = Vstat_core.Techs.nominal_vs p ~vdd in
+  (* One prepared engine per worker domain: engines are not thread-safe,
+     and a fresh domain-local compile per worker still shares the sparse
+     symbolic analysis through the process-wide pattern cache. *)
+  let dls : Chain.prepared option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+  in
+  let prepared () =
+    match Domain.DLS.get dls with
+    | Some prep -> prep
+    | None ->
+      let prep = Chain.prepare ~stages ~wp_nm ~wn_nm ~backend tech in
+      Domain.DLS.set dls (Some prep);
+      prep
+  in
+  let resolved = Chain.prepared_backend (prepared ()) in
+  let f i =
+    let s = sample_of i in
+    if batched then Chain.measure_prepared ~steps (prepared ()) s
+    else Chain.measure ~steps s
+  in
+  let r = Runtime.map_samples ?jobs ~n ~f () in
+  Runtime.check_budget ~label:"Batch_mc.chain_tpd" ~max_failure_frac:0.2 r;
+  {
+    delays = Runtime.values r;
+    by_index =
+      Array.map (function Ok d -> Some d | Error _ -> None) r.Runtime.cells;
+    backend = resolved;
+    batched;
+    stats = r.Runtime.stats;
+  }

@@ -1,0 +1,50 @@
+(** Batched Monte Carlo over a precompiled circuit.
+
+    The classic per-sample loop ({!Exp_ssta}, {!Mc_compare}) rebuilds and
+    recompiles the netlist for every sample.  This module restructures the
+    hot path the other way around:
+
+    - all per-device variation draws for the whole batch are prefilled
+      {e serially} into one flat structure-of-arrays buffer, sample [i]
+      drawing from [Rng.substream ~seed ~index:i] — so the parameter set is
+      a pure function of [(seed, i)] and results are bit-identical under
+      any [jobs] count;
+    - each worker domain compiles the circuit {e once} over retargetable
+      device proxies ({!Vstat_cells.Chain.prepare}) and then evaluates its
+      samples by swapping parameters in, reusing the engine workspaces and
+      the process-wide sparse symbolic analysis.
+
+    The unbatched reference path ([batched:false]) evaluates the very same
+    parameter buffer through per-sample netlist compilation, so the two
+    modes are value-comparable sample by sample. *)
+
+type result = {
+  delays : float array;
+      (** successful path delays (s), sample-index order *)
+  by_index : float option array;
+      (** length [n], indexed by sample: [None] = that sample failed.
+          Use this to compare runs sample-by-sample (different backends
+          may drop different samples, so [delays] alone can misalign). *)
+  backend : Vstat_circuit.Engine.backend;
+      (** resolved backend actually used ([Dense] or [Sparse]) *)
+  batched : bool;
+  stats : Vstat_runtime.Runtime.stats;
+}
+
+val chain_tpd :
+  ?jobs:int ->
+  ?backend:Vstat_circuit.Engine.backend ->
+  ?batched:bool ->
+  ?stages:int ->
+  ?steps:int ->
+  n:int ->
+  seed:int ->
+  vdd:float ->
+  Vstat_core.Pipeline.t ->
+  result
+(** Path-delay Monte Carlo over an inverter chain (defaults: [batched],
+    [backend:Auto], 8 stages, 600 transient steps).  Sample [i]'s mismatch
+    shifts depend only on [(seed, i)]; for fixed parameters the returned
+    delays are bit-identical across [jobs] and across [batched] modes up to
+    solver-backend choice.  Failures (non-propagating corners) are dropped
+    under a 20 % budget, as in {!Exp_ssta}. *)

@@ -51,7 +51,7 @@ let mul_vec m v =
       done;
       !acc)
 
-exception Singular of int
+exception Singular of { column : int; scale : float }
 
 let solve a0 b =
   let n = a0.rows in
@@ -71,7 +71,15 @@ let solve a0 b =
         pivot_row := i
       end
     done;
-    if !pivot_mag < 1e-280 then raise (Singular k);
+    (* Scale-relative singularity test, mirroring Lu.factor_in_place: the
+       column scale includes the already-eliminated rows above k. *)
+    let col_scale = ref !pivot_mag in
+    for i = 0 to k - 1 do
+      let m = Complex.norm a.data.(idx i k) in
+      if m > !col_scale then col_scale := m
+    done;
+    if not (!pivot_mag > 1e-14 *. !col_scale) then
+      raise (Singular { column = k; scale = !col_scale });
     if !pivot_row <> k then begin
       for j = 0 to n - 1 do
         let tmp = a.data.(idx k j) in

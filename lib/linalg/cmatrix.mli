@@ -20,7 +20,7 @@ val set : t -> int -> int -> Complex.t -> unit
 
 val mul_vec : t -> Complex.t array -> Complex.t array
 
-exception Singular of int
+exception Singular of { column : int; scale : float }
 
 val solve : t -> Complex.t array -> Complex.t array
 (** LU with partial pivoting (by modulus).  O(n^3).

@@ -4,7 +4,16 @@ type t = {
   sign : float;        (* permutation parity, for the determinant *)
 }
 
-exception Singular of int
+exception Singular of { column : int; scale : float }
+
+(* Singularity is judged *relative to the column's magnitude*: a pivot is
+   acceptable when it is within [singular_rtol] of the largest entry seen in
+   its column (both the already-eliminated U part and the pivot-search
+   range).  An absolute threshold misclassifies well-conditioned but badly
+   scaled systems — MNA matrices mix siemens-scale conductances with charge
+   rows scaled by 1/h — while letting genuinely rank-deficient columns with
+   not-tiny leftovers slip through. *)
+let singular_rtol = 1e-14
 
 (* Hot-path notes (enforced by the [@vstat.hot] lint rule and the
    zero-allocation gate in test/test_lint.ml):
@@ -32,7 +41,17 @@ let[@vstat.hot] factor_in_place a ~pivots =
         pivot_row := i
       end
     done;
-    if !pivot_val < 1e-280 then raise (Singular k);
+    (* Column scale = search max plus the U entries above the pivot row
+       (rows already eliminated still witness the column's magnitude). *)
+    let col_scale = ref !pivot_val in
+    for i = 0 to k - 1 do
+      let v = Float.abs d.((i * n) + k) in
+      if v > !col_scale then col_scale := v
+    done;
+    (* scale >= pivot by construction, so the relative test also covers the
+       all-zero column (0 > 0 is false) and NaN poisoning. *)
+    if not (!pivot_val > singular_rtol *. !col_scale) then
+      raise (Singular { column = k; scale = !col_scale });
     pivots.(k) <- !pivot_row;
     if !pivot_row <> k then begin
       let p = !pivot_row in
@@ -56,6 +75,11 @@ let[@vstat.hot] factor_in_place a ~pivots =
 
 let[@vstat.hot] solve_in_place ~lu ~pivots b =
   let n = Matrix.rows lu in
+  (* Shape guards (cold, once per solve): a non-square "factor" smuggled
+     through the raw API would read out of bounds on the flat buffer. *)
+  if Matrix.cols lu <> n then invalid_arg "Lu.solve_in_place: square factor";
+  if Array.length pivots <> n then
+    invalid_arg "Lu.solve_in_place: pivot array length";
   if Array.length b <> n then invalid_arg "Lu.solve_in_place: rhs length";
   let d = Matrix.buffer lu in
   (* Replay the row exchanges recorded during factorization. *)
@@ -91,6 +115,7 @@ let factor a =
 
 let solve_factored { lu; pivots; _ } b =
   let n = Matrix.rows lu in
+  if Matrix.cols lu <> n then invalid_arg "Lu.solve_factored: square factor";
   if Array.length b <> n then invalid_arg "Lu.solve_factored: rhs length";
   let x = Array.copy b in
   solve_in_place ~lu ~pivots x;

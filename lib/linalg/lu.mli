@@ -4,9 +4,14 @@
 type t
 (** A factorization of a square matrix. *)
 
-exception Singular of int
-(** Raised (with the offending pivot column) when a pivot underflows the
-    singularity threshold. *)
+exception Singular of { column : int; scale : float }
+(** Raised when the best available pivot in [column] is negligible
+    *relative to* that column's magnitude [scale] (the largest absolute
+    entry seen in the column, eliminated part included).  The test is
+    scale-invariant: uniformly tiny but well-conditioned systems factor
+    fine, while rank-deficient columns are caught even when their residual
+    entries are far above any absolute threshold.  [scale] is surfaced so
+    diagnostics can report how degenerate the column actually was. *)
 
 val factor : Matrix.t -> t
 (** Factor a square matrix.  O(n^3).

@@ -166,6 +166,16 @@ let hot_banned_list_fns =
     "sort_uniq"; "merge"; "combine"; "split";
   ]
 
+(* Array functions that allocate a fresh array (or list/seq) per call.
+   Deliberately NOT banned: fill/blit/length/get/set/unsafe_*/iter/iteri,
+   which the preallocated sparse/dense assembly loops rely on. *)
+let hot_banned_array_fns =
+  [
+    "make"; "create_float"; "init"; "copy"; "append"; "sub"; "concat";
+    "of_list"; "to_list"; "of_seq"; "to_seq"; "to_seqi"; "map"; "mapi";
+    "map2"; "split"; "combine"; "make_matrix";
+  ]
+
 (* --- per-expression rule checks ---------------------------------------- *)
 
 let check_ident st loc path =
@@ -216,6 +226,13 @@ let check_ident st loc path =
         (Printf.sprintf
            "List.%s in a [@vstat.hot] body allocates per call; use the \
             preallocated workspace / an index loop"
+           fn)
+    | [ "Array"; fn ] when List.mem fn hot_banned_array_fns ->
+      emit st ~rule:Rules.hot_path ~loc
+        (Printf.sprintf
+           "Array.%s in a [@vstat.hot] body allocates a fresh array per \
+            call; reuse a preallocated workspace (Array.fill/blit and \
+            index loops stay allocation-free)"
            fn)
     | [ ("@" | "^") ] ->
       emit st ~rule:Rules.hot_path ~loc

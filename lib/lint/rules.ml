@@ -73,7 +73,9 @@ let all =
       id = hot_path;
       summary =
         "inside [@vstat.hot] bindings: no List.map/fold/filter-family \
-         combinators, no Printf/Format, no nested closure definitions";
+         combinators, no allocating Array functions \
+         (make/init/copy/append/map/...; fill/blit/iter stay legal), no \
+         Printf/Format, no nested closure definitions";
       invariant =
         "zero minor-heap allocation per Newton iteration in the engine \
          inner loop (pinned dynamically by the Gc.minor_words gate in \

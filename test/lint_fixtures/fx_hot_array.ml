@@ -1,0 +1,22 @@
+(* Positive and negative fixtures for the allocating-Array hot-path rule. *)
+
+let[@vstat.hot] bad_make n = Array.make n 0.0
+
+let[@vstat.hot] bad_copy (a : float array) = Array.copy a
+
+let[@vstat.hot] bad_map (a : int array) = Array.map succ a
+
+let[@vstat.hot] bad_sub (a : float array) = Array.sub a 0 1
+
+(* Negatives: fill/blit/length reuse existing storage, so the sparse and
+   dense assembly loops keep them. *)
+let[@vstat.hot] ok_fill (a : float array) = Array.fill a 0 (Array.length a) 0.0
+
+let[@vstat.hot] ok_blit src dst = Array.blit src 0 dst 0 (Array.length src)
+
+(* Negative: the same allocator is fine outside a hot body. *)
+let ok_cold_make n = Array.make n 0.0
+
+(* Negative: inline suppression inside a hot body. *)
+let[@vstat.hot] ok_suppressed_scratch n =
+  (Array.make n 0.0 [@vstat.allow "hot-path"])

@@ -723,6 +723,125 @@ let prop_rc_ladder_stable =
       let final = (E.node_wave eng trace !prev).(Array.length trace.E.times - 1) in
       Float.abs (final -. 1.0) < 0.01)
 
+(* --- Dense vs sparse backend cross-check --- *)
+
+(* An RC ladder with MOS loads, sized past the Auto threshold: every
+   element kind (vsource, resistor, capacitor, mosfet) stamps into the
+   sparse pattern, and the dense backend is the oracle. *)
+let build_big_ladder ~sections =
+  let c = N.create () in
+  let gnd = N.ground c in
+  let nvdd = N.node c "vdd" in
+  let src = N.node c "src" in
+  N.vsource c "vvdd" ~plus:nvdd ~minus:gnd ~wave:(W.Dc vdd);
+  N.vsource c "vin" ~plus:src ~minus:gnd
+    ~wave:(W.pwl [| (0.1e-9, 0.0); (0.2e-9, vdd) |]);
+  let prev = ref src in
+  let probes = ref [ src ] in
+  for i = 1 to sections do
+    let n = N.node c (Printf.sprintf "n%d" i) in
+    N.resistor c (Printf.sprintf "r%d" i) ~a:!prev ~b:n
+      ~ohms:(1000.0 +. (37.0 *. Float.of_int i));
+    N.capacitor c (Printf.sprintf "c%d" i) ~a:n ~b:gnd ~farads:2e-15;
+    if i mod 4 = 0 then begin
+      (* Inverter loading the ladder every 4th section. *)
+      let out = N.node c (Printf.sprintf "o%d" i) in
+      N.mosfet c (Printf.sprintf "mp%d" i) ~d:out ~g:n ~s:nvdd ~b:nvdd
+        ~dev:(Cards.bsim_device ~polarity:Dm.Pmos ~w_nm:600.0 ~l_nm:40.0);
+      N.mosfet c (Printf.sprintf "mn%d" i) ~d:out ~g:n ~s:gnd ~b:gnd
+        ~dev:(Cards.bsim_device ~polarity:Dm.Nmos ~w_nm:300.0 ~l_nm:40.0);
+      N.capacitor c (Printf.sprintf "co%d" i) ~a:out ~b:gnd ~farads:1e-15;
+      probes := out :: !probes
+    end;
+    probes := n :: !probes;
+    prev := n
+  done;
+  (c, !probes)
+
+let rel_diff a b =
+  Float.abs (a -. b) /. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let test_backend_resolution () =
+  let small, _ = (build_inverter (), ()) in
+  let c_small, _, _ = small in
+  Alcotest.(check bool) "small auto = dense" true
+    (E.resolved_backend (E.compile c_small) = E.Dense);
+  let big, _ = build_big_ladder ~sections:30 in
+  Alcotest.(check bool) "big auto = sparse" true
+    (E.resolved_backend (E.compile big) = E.Sparse);
+  Alcotest.(check bool) "forced dense" true
+    (E.resolved_backend (E.compile ~backend:E.Dense big) = E.Dense);
+  Alcotest.(check bool) "forced sparse on small" true
+    (E.resolved_backend (E.compile ~backend:E.Sparse c_small) = E.Sparse)
+
+let test_backend_cross_check () =
+  let net_d, probes = build_big_ladder ~sections:30 in
+  let net_s, _ = build_big_ladder ~sections:30 in
+  let ed = E.compile ~backend:E.Dense net_d in
+  let es = E.compile ~backend:E.Sparse net_s in
+  Alcotest.(check bool) "at least 40 unknowns" true (E.unknowns ed >= 40);
+  (* DC operating point. *)
+  let opd = E.dc ed and ops = E.dc es in
+  List.iter
+    (fun n ->
+      let vd = E.voltage ed opd n and vs = E.voltage es ops n in
+      if rel_diff vd vs > 1e-9 then
+        Alcotest.failf "dc %g vs %g: dense/sparse disagree" vd vs)
+    probes;
+  (* Transient: compare the full final state. *)
+  let td = E.transient ed ~tstop:2e-9 ~dt:0.02e-9 in
+  let ts = E.transient es ~tstop:2e-9 ~dt:0.02e-9 in
+  Alcotest.(check int) "same accepted steps" (Array.length td.E.times)
+    (Array.length ts.E.times);
+  let xd = td.E.states.(Array.length td.E.states - 1) in
+  let xs = ts.E.states.(Array.length ts.E.states - 1) in
+  Array.iteri
+    (fun i vd ->
+      if rel_diff vd xs.(i) > 1e-9 then
+        Alcotest.failf "tran unknown %d: %g vs %g" i vd xs.(i))
+    xd;
+  (* The two backends see the same assembled matrix: linearize at the
+     operating point and compare G entrywise. *)
+  let gd, _ = E.linearize ed opd in
+  let gs, _ = E.linearize es ops in
+  let n = E.unknowns ed in
+  for r = 0 to n - 1 do
+    for cidx = 0 to n - 1 do
+      let a = Vstat_linalg.Matrix.get gd r cidx
+      and b = Vstat_linalg.Matrix.get gs r cidx in
+      if rel_diff a b > 1e-9 then
+        Alcotest.failf "G(%d,%d): %g vs %g" r cidx a b
+    done
+  done
+
+let test_sparse_singular_diag_payload () =
+  (* The floating-node circuit with the gmin floor off is numerically
+     singular; the sparse backend must classify it identically to the
+     dense one and surface the failing pivot in the message. *)
+  let c = N.create () in
+  let gnd = N.ground c in
+  let n1 = N.node c "n1" in
+  let float_n = N.node c "float" in
+  N.vsource c "v" ~plus:n1 ~minus:gnd ~wave:(W.Dc 1.0);
+  N.capacitor c "c" ~a:n1 ~b:float_n ~farads:1e-15;
+  let eng = E.compile ~backend:E.Sparse c in
+  let options = { E.default_options with E.gmin_floor = 0.0 } in
+  match E.dc ~options eng with
+  | _ -> Alcotest.fail "expected Solver_error"
+  | exception Vstat_circuit.Diag.Solver_error d ->
+    Alcotest.(check bool) "typed kind" true
+      (match d.kind with
+      | Vstat_circuit.Diag.Singular_jacobian -> true
+      | _ -> false);
+    Alcotest.(check bool) "message names the pivot" true
+      (let msg = d.message in
+       let sub = "singular pivot" in
+       let rec scan i =
+         i + String.length sub <= String.length msg
+         && (String.sub msg i (String.length sub) = sub || scan (i + 1))
+       in
+       scan 0)
+
 let () =
   Alcotest.run "vstat_circuit"
     [
@@ -815,6 +934,14 @@ let () =
           Alcotest.test_case "escalate laws" `Quick test_escalate_laws;
           Alcotest.test_case "netlist validation" `Quick test_netlist_validation;
           Alcotest.test_case "empty pwl" `Quick test_pwl_empty_rejected;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "auto resolution" `Quick test_backend_resolution;
+          Alcotest.test_case "dense vs sparse cross-check" `Quick
+            test_backend_cross_check;
+          Alcotest.test_case "singular payload" `Quick
+            test_sparse_singular_diag_payload;
         ] );
       ( "measure",
         [

@@ -124,6 +124,175 @@ let test_lu_in_place_validates () =
   | _ -> Alcotest.fail "expected Invalid_argument for non-square"
   | exception Invalid_argument _ -> ()
 
+(* Regression (shape-guard bugfix): a non-square "factor" smuggled through
+   the raw API must be rejected, not read out of bounds. *)
+let test_lu_solve_in_place_shape_guard () =
+  let lu = M.create ~rows:2 ~cols:3 in
+  (match Lu.solve_in_place ~lu ~pivots:(Array.make 2 0) [| 1.0; 2.0 |] with
+  | () -> Alcotest.fail "expected Invalid_argument for non-square factor"
+  | exception Invalid_argument _ -> ());
+  let lu = M.identity 2 in
+  (match Lu.solve_in_place ~lu ~pivots:(Array.make 3 0) [| 1.0; 2.0 |] with
+  | () -> Alcotest.fail "expected Invalid_argument for bad pivot length"
+  | exception Invalid_argument _ -> ());
+  match Lu.solve_in_place ~lu ~pivots:(Array.make 2 0) [| 1.0; 2.0; 3.0 |] with
+  | () -> Alcotest.fail "expected Invalid_argument for bad rhs length"
+  | exception Invalid_argument _ -> ()
+
+(* Regression (pivot-threshold bugfix): a uniformly tiny but perfectly
+   conditioned system used to be misclassified singular by the absolute
+   1e-280 threshold; the scale-relative test factors it fine. *)
+let test_lu_tiny_scale_solvable () =
+  let a = M.of_rows [| [| 1e-290; 0.0 |]; [| 0.0; 2e-290 |] |] in
+  let x = Lu.solve a [| 1e-290; 4e-290 |] in
+  check_float ~eps:1e-12 "x0" 1.0 x.(0);
+  check_float ~eps:1e-12 "x1" 2.0 x.(1)
+
+(* The flip side: residuals of near-total cancellation far above any
+   absolute threshold must now be *caught*, with the column scale
+   surfaced in the payload. *)
+let test_lu_relative_rank_deficiency_caught () =
+  let a = M.of_rows [| [| 1.0; 1.0 |]; [| 1.0; 1.0 +. 1e-15 |] |] in
+  match Lu.factor a with
+  | _ -> Alcotest.fail "expected Singular for eps-level rank deficiency"
+  | exception Lu.Singular { column; scale } ->
+    Alcotest.(check int) "column" 1 column;
+    check_float ~eps:1e-9 "scale is the column magnitude" 1.0 scale
+
+(* --- Sparse --- *)
+
+module Sp = Vstat_linalg.Sparse
+
+(* Assemble-and-solve helper over (row, col, value) triplets with
+   duplicate-accumulation, mirroring how the engine stamps. *)
+let sparse_solve n triplets b =
+  let pattern = Array.map (fun (r, c, _) -> (r, c)) triplets in
+  let sym = Sp.analyze ~n ~entries:pattern in
+  let num = Sp.create_numeric sym in
+  let vals = Sp.values num in
+  Array.iter
+    (fun (r, c, v) ->
+      let s = Sp.slot sym ~row:r ~col:c in
+      vals.(s) <- vals.(s) +. v)
+    triplets;
+  Sp.factor num;
+  let x = Array.copy b in
+  Sp.solve_in_place num x;
+  x
+
+let dense_of_triplets n triplets =
+  let a = M.create ~rows:n ~cols:n in
+  Array.iter (fun (r, c, v) -> M.add_to a r c v) triplets;
+  a
+
+let test_sparse_solve_known () =
+  let t = [| (0, 0, 2.0); (0, 1, 1.0); (1, 0, 1.0); (1, 1, 3.0) |] in
+  let x = sparse_solve 2 t [| 5.0; 10.0 |] in
+  check_float ~eps:1e-12 "x0" 1.0 x.(0);
+  check_float ~eps:1e-12 "x1" 3.0 x.(1)
+
+(* MNA vsource shape: the branch row has a structurally zero diagonal, so
+   the maximum transversal must kick in.
+     [ g  1 ] [v]   [0]        v = 2, i = -g v
+     [ 1  0 ] [i] = [2]  *)
+let test_sparse_zero_diagonal () =
+  let g = 1e-3 in
+  let t = [| (0, 0, g); (0, 1, 1.0); (1, 0, 1.0) |] in
+  let x = sparse_solve 2 t [| 0.0; 2.0 |] in
+  check_float ~eps:1e-12 "node voltage" 2.0 x.(0);
+  check_float ~eps:1e-15 "branch current" (-.g *. 2.0) x.(1)
+
+let test_sparse_structurally_singular () =
+  (* Column 1 has no entries: no transversal exists. *)
+  match Sp.analyze ~n:2 ~entries:[| (0, 0); (1, 0) |] with
+  | _ -> Alcotest.fail "expected Numeric_error"
+  | exception Vstat_linalg.Linalg_error.Numeric_error _ -> ()
+
+(* Numerically singular values on a healthy pattern must raise the same
+   scale-carrying Singular the dense path uses. *)
+let test_sparse_numeric_singular () =
+  let t = [| (0, 0, 1.0); (0, 1, 1.0); (1, 0, 1.0); (1, 1, 1.0) |] in
+  match sparse_solve 2 t [| 1.0; 1.0 |] with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception Lu.Singular { scale; _ } ->
+    Alcotest.(check bool) "scale positive" true (scale > 0.0)
+
+(* The symbolic phase runs once per topology; refactorization is purely
+   numeric.  Counter-based so a regression reintroducing per-solve
+   analysis fails loudly. *)
+let test_sparse_pattern_reuse () =
+  let pattern = [| (0, 0); (0, 1); (1, 0); (1, 1) |] in
+  let a0 = Sp.symbolic_analyses () in
+  let sym = Sp.analyze ~n:2 ~entries:pattern in
+  let num = Sp.create_numeric sym in
+  let f0 = Sp.numeric_factorizations () in
+  for i = 1 to 100 do
+    Sp.clear num;
+    let vals = Sp.values num in
+    let d = Float.of_int i in
+    vals.(Sp.slot sym ~row:0 ~col:0) <- 2.0 +. d;
+    vals.(Sp.slot sym ~row:0 ~col:1) <- 1.0;
+    vals.(Sp.slot sym ~row:1 ~col:0) <- 1.0;
+    vals.(Sp.slot sym ~row:1 ~col:1) <- 3.0 +. d;
+    Sp.factor num;
+    let x = [| 5.0; 10.0 |] in
+    Sp.solve_in_place num x;
+    let a = dense_of_triplets 2
+        [| (0, 0, 2.0 +. d); (0, 1, 1.0); (1, 0, 1.0); (1, 1, 3.0 +. d) |]
+    in
+    let r = Vec.sub (M.mul_vec a x) [| 5.0; 10.0 |] in
+    if Vec.norm_inf r > 1e-9 then
+      Alcotest.failf "refactorization %d: residual %g" i (Vec.norm_inf r)
+  done;
+  Alcotest.(check int) "symbolic analyses" 1 (Sp.symbolic_analyses () - a0);
+  Alcotest.(check int) "numeric factorizations" 100
+    (Sp.numeric_factorizations () - f0)
+
+let test_sparse_cache_shares_symbolic () =
+  let entries = [| (0, 0); (1, 1); (0, 1); (1, 0) |] in
+  let s1 = Sp.analyze_cached ~n:2 ~entries in
+  (* Same pattern presented in a different order and with duplicates. *)
+  let s2 = Sp.analyze_cached ~n:2 ~entries:[| (1, 0); (0, 0); (0, 1); (1, 1); (0, 0) |] in
+  Alcotest.(check bool) "physically shared" true (s1 == s2)
+
+(* Random MNA-shaped systems: a grounded resistive chain with random extra
+   conductances plus a voltage source branch (zero-diagonal row), solved
+   sparse and cross-checked against the dense LU oracle. *)
+let random_mna_system =
+  QCheck.make
+    ~print:(fun (nodes, _, _, _) -> Printf.sprintf "nodes=%d" nodes)
+    QCheck.Gen.(
+      int_range 2 15 >>= fun nodes ->
+      list_repeat (nodes - 1) (float_range 0.1 10.0) >>= fun gchain ->
+      list_repeat nodes (float_range 0.1 10.0) >>= fun gground ->
+      list_repeat (nodes + 1) (float_range (-5.0) 5.0) >>= fun rhs ->
+      return (nodes, gchain, gground, rhs))
+
+let prop_sparse_matches_dense =
+  QCheck.Test.make ~name:"sparse LU matches dense LU on MNA-shaped systems"
+    ~count:200 random_mna_system
+    (fun (nodes, gchain, gground, rhs) ->
+      let n = nodes + 1 in
+      let triplets = ref [] in
+      let add r c v = triplets := (r, c, v) :: !triplets in
+      List.iteri
+        (fun i g ->
+          add i i g;
+          add (i + 1) (i + 1) g;
+          add i (i + 1) (-.g);
+          add (i + 1) i (-.g))
+        gchain;
+      List.iteri (fun i g -> add i i g) gground;
+      (* Voltage source from node 0 to ground: branch row nodes+0. *)
+      add nodes 0 1.0;
+      add 0 nodes 1.0;
+      let triplets = Array.of_list (List.rev !triplets) in
+      let b = Array.of_list rhs in
+      let x_sparse = sparse_solve n triplets b in
+      let x_dense = Lu.solve (dense_of_triplets n triplets) b in
+      let scale = Float.max 1.0 (Vec.norm_inf x_dense) in
+      Vec.norm_inf (Vec.sub x_sparse x_dense) /. scale < 1e-12)
+
 (* --- Qr --- *)
 
 let test_qr_least_squares_exact () =
@@ -349,8 +518,29 @@ let () =
           Alcotest.test_case "in-place solve" `Quick test_lu_in_place_matches_solve;
           Alcotest.test_case "in-place pivoting" `Quick test_lu_in_place_pivoting;
           Alcotest.test_case "in-place validation" `Quick test_lu_in_place_validates;
+          Alcotest.test_case "solve_in_place shape guard" `Quick
+            test_lu_solve_in_place_shape_guard;
+          Alcotest.test_case "tiny-scale solvable" `Quick
+            test_lu_tiny_scale_solvable;
+          Alcotest.test_case "relative rank deficiency" `Quick
+            test_lu_relative_rank_deficiency_caught;
           QCheck_alcotest.to_alcotest prop_lu_solves_dd;
           QCheck_alcotest.to_alcotest prop_lu_in_place_matches_factor;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "solve known" `Quick test_sparse_solve_known;
+          Alcotest.test_case "zero diagonal (vsource row)" `Quick
+            test_sparse_zero_diagonal;
+          Alcotest.test_case "structurally singular" `Quick
+            test_sparse_structurally_singular;
+          Alcotest.test_case "numerically singular" `Quick
+            test_sparse_numeric_singular;
+          Alcotest.test_case "pattern reuse (100 refactorizations)" `Quick
+            test_sparse_pattern_reuse;
+          Alcotest.test_case "symbolic cache shares analyses" `Quick
+            test_sparse_cache_shares_symbolic;
+          QCheck_alcotest.to_alcotest prop_sparse_matches_dense;
         ] );
       ( "qr",
         [

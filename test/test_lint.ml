@@ -50,6 +50,10 @@ let expected_golden =
     "lint_fixtures/fx_hot.ml:7 hot-path";
     "lint_fixtures/fx_hot.ml:9 hot-path";
     "lint_fixtures/fx_hot.ml:12 hot-path";
+    "lint_fixtures/fx_hot_array.ml:3 hot-path";
+    "lint_fixtures/fx_hot_array.ml:5 hot-path";
+    "lint_fixtures/fx_hot_array.ml:7 hot-path";
+    "lint_fixtures/fx_hot_array.ml:9 hot-path";
     "lint_fixtures/fx_weighted_hot.ml:4 hot-path";
     "lint_fixtures/fx_weighted_hot.ml:6 hot-path";
     "lint_fixtures/fx_weighted_hot.ml:8 hot-path";
@@ -63,7 +67,7 @@ let expected_golden =
 let test_golden () =
   let cfg = L.Engine.default_config () in
   let files, diags = L.Engine.run cfg [ fixture_root ] in
-  Alcotest.(check int) "fixture files scanned" 9 files;
+  Alcotest.(check int) "fixture files scanned" 10 files;
   let parse_errors, rest =
     List.partition (fun d -> d.L.Diagnostic.rule = "parse-error") diags
   in
@@ -155,6 +159,54 @@ let test_zero_alloc_transient () =
   Alcotest.(check (float 0.0))
     "minor words for 100 extra transient steps" 0.0 (second -. first)
 
+(* The sparse counterpart: one KLU-style numeric iteration
+   (clear / stamp by precomputed slots / factor / solve) must allocate
+   nothing, same methodology as the transient gate above — the 100 extra
+   iterations of the second run must cost exactly zero extra minor words.
+   The pattern is a periodic tridiagonal (wrap-around couplings force real
+   fill-in, so the factor loop runs through fill slots too). *)
+let test_zero_alloc_sparse () =
+  let module S = Vstat_linalg.Sparse in
+  let n = 12 in
+  let entries =
+    Array.init (3 * n) (fun k ->
+        let i = k / 3 in
+        match k mod 3 with
+        | 0 -> (i, i)
+        | 1 -> (i, (i + 1) mod n)
+        | _ -> ((i + 1) mod n, i))
+  in
+  let sym = S.analyze ~n ~entries in
+  let num = S.create_numeric sym in
+  let diag = Array.init n (fun i -> S.slot sym ~row:i ~col:i) in
+  let upper = Array.init n (fun i -> S.slot sym ~row:i ~col:((i + 1) mod n)) in
+  let lower = Array.init n (fun i -> S.slot sym ~row:((i + 1) mod n) ~col:i) in
+  let rhs = Array.make n 0.0 in
+  let vals = S.values num in
+  let run iters =
+    for _ = 1 to iters do
+      S.clear num;
+      for i = 0 to n - 1 do
+        vals.(diag.(i)) <- 4.0;
+        vals.(upper.(i)) <- -1.0;
+        vals.(lower.(i)) <- -1.0
+      done;
+      S.factor num;
+      Array.fill rhs 0 n 1.0;
+      S.solve_in_place num rhs
+    done
+  in
+  run 50;
+  let m0 = Gc.minor_words () in
+  run 100;
+  let m1 = Gc.minor_words () in
+  run 200;
+  let m2 = Gc.minor_words () in
+  let first = m1 -. m0 and second = m2 -. m1 in
+  Alcotest.(check (float 0.0))
+    "minor words for 100 extra sparse factor/solve iterations" 0.0
+    (second -. first)
+
 let () =
   Alcotest.run "lint"
     [
@@ -171,5 +223,7 @@ let () =
         [
           Alcotest.test_case "transient inner loop allocates zero" `Quick
             test_zero_alloc_transient;
+          Alcotest.test_case "sparse factor/solve loop allocates zero" `Quick
+            test_zero_alloc_sparse;
         ] );
     ]

@@ -20,12 +20,37 @@ let test_parse_value () =
   check_float ~eps:1e-15 "milli" 5e-3 (P.parse_value "5m");
   check_float ~eps:1e-18 "nano" 7e-9 (P.parse_value "7n");
   check_float ~eps:1e-12 "micro" 9e-6 (P.parse_value "9u");
-  check_float "giga" 1e9 (P.parse_value "1g")
+  check_float "giga" 1e9 (P.parse_value "1g");
+  check_float "tera" 4e12 (P.parse_value "4t")
+
+(* The full SPICE scale-factor contract: MEG/MIL matched before the
+   single-letter factors (so "3MEG" cannot be shadowed into milli), case
+   insensitivity, and trailing unit letters ignored. *)
+let test_parse_value_suffix_table () =
+  check_float "MEG upper" 3e6 (P.parse_value "3MEG");
+  check_float "Meg mixed" 3e6 (P.parse_value "3Meg");
+  check_float ~eps:1e-12 "megohm unit" 2e6 (P.parse_value "2megohm");
+  check_float ~eps:1e-9 "mil" 25.4e-6 (P.parse_value "1mil");
+  check_float ~eps:1e-24 "pF unit" 10e-12 (P.parse_value "10pF");
+  check_float ~eps:1e-12 "kOhm unit" 1e3 (P.parse_value "1kOhm");
+  check_float ~eps:1e-15 "mV unit" 5e-3 (P.parse_value "5mV");
+  check_float ~eps:1e-18 "ns unit" 2e-9 (P.parse_value "2ns");
+  check_float "bare unit V" 10.0 (P.parse_value "10V");
+  check_float "bare unit Hz" 60.0 (P.parse_value "60Hz");
+  check_float "K upper" 1e3 (P.parse_value "1K");
+  check_float ~eps:1e-27 "F upper femto" 2e-15 (P.parse_value "2F");
+  check_float "whitespace" 5.0 (P.parse_value "  5  ")
 
 let test_parse_value_malformed () =
-  match P.parse_value "abc" with
-  | _ -> Alcotest.fail "expected Failure"
-  | exception Failure _ -> ()
+  let expect_error s =
+    match P.parse_value s with
+    | v -> Alcotest.fail (Printf.sprintf "expected Parse_error for %S, got %g" s v)
+    | exception P.Parse_error { line = 0; _ } -> ()
+  in
+  expect_error "abc";
+  expect_error "";
+  expect_error "1.2.3";
+  expect_error "4k2"
 
 (* --- deck structure --- *)
 
@@ -228,6 +253,8 @@ let () =
       ( "values",
         [
           Alcotest.test_case "engineering suffixes" `Quick test_parse_value;
+          Alcotest.test_case "suffix table + units" `Quick
+            test_parse_value_suffix_table;
           Alcotest.test_case "malformed" `Quick test_parse_value_malformed;
         ] );
       ( "decks",
