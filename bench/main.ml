@@ -552,6 +552,160 @@ let sparse_bench out_path =
     exit 1
   end
 
+(* --- service load generator -------------------------------------------- *)
+
+(* `dune exec bench/main.exe -- --service [OUT.json]`: drive an in-process
+   vstatd (reusing the bench pipeline, so startup is free) with a ramp of
+   closed-loop clients, each submitting uniquely-seeded idsat jobs with a
+   per-request deadline.  The headline is graceful degradation: accepted
+   requests keep a bounded p99 end-to-end latency at every offered load,
+   while overload is shed with typed rejections (queue-full / over-
+   deadline) instead of growing the queue without bound.  Submit
+   round-trip latency (the admission decision) is recorded separately —
+   it must stay flat even when the worker is saturated. *)
+let service_bench out_path =
+  let module SP = Vstat_service.Protocol in
+  let module SS = Vstat_service.Service in
+  let module SC = Vstat_service.Client in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "vstat_bench_service"
+  in
+  (* Seeds are deterministic, so stale journals from a previous bench run
+     would turn every job into a cache hit and flatten the latencies. *)
+  (if Sys.file_exists dir then
+     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir));
+  Vstat_util.Atomic_io.ensure_dir dir;
+  let socket_path = Filename.concat dir "vstatd.sock" in
+  let cfg =
+    {
+      SS.socket_path;
+      state_dir = dir;
+      queue_max = 8;
+      jobs = 1;
+      pipeline_seed = 42;
+      mc_per_geometry = 600;
+      (* must match the bench pipeline above *)
+      inject = None;
+    }
+  in
+  let t = SS.create ~pipeline cfg in
+  let server = Domain.spawn (fun () -> SS.serve t) in
+  let iters = 10 in
+  let deadline_s = 2.0 in
+  let spec seed = { SP.kind = SP.Idsat; n = 16; seed; vdd; retry = 2 } in
+  (* One closed-loop client: submit, await if accepted, tally typed
+     rejections.  Returns its private counters; nothing is shared across
+     domains. *)
+  let client ~step ~rank () =
+    let e2e = ref [] and sub = ref [] in
+    let accepted = ref 0
+    and q_full = ref 0
+    and over_dl = ref 0
+    and partial = ref 0 in
+    for i = 0 to iters - 1 do
+      let seed = 1_000_000 + (step * 10_000) + (rank * 100) + i in
+      let t0 = Unix.gettimeofday () in
+      match SC.submit ~socket_path ~spec:(spec seed) ~deadline_s () with
+      | Ok (SP.Accepted { id; _ }) -> (
+        sub := (Unix.gettimeofday () -. t0) :: !sub;
+        match SC.await ~socket_path ~id () with
+        | Ok s ->
+          e2e := (Unix.gettimeofday () -. t0) :: !e2e;
+          incr accepted;
+          if s.SP.partial then incr partial
+        | Error m ->
+          Fmt.epr "service bench: await %s: %s@." id m;
+          exit 1)
+      | Ok (SP.Rejected { reason }) -> (
+        sub := (Unix.gettimeofday () -. t0) :: !sub;
+        match reason with
+        | SP.Queue_full _ ->
+          incr q_full;
+          Unix.sleepf 0.05
+        | SP.Over_deadline _ ->
+          incr over_dl;
+          Unix.sleepf 0.05
+        | SP.Bad_request { detail } ->
+          Fmt.epr "service bench: bad request: %s@." detail;
+          exit 1)
+      | Ok _ ->
+        Fmt.epr "service bench: unexpected submit response@.";
+        exit 1
+      | Error m ->
+        Fmt.epr "service bench: submit: %s@." m;
+        exit 1
+    done;
+    (!e2e, !sub, !accepted, !q_full, !over_dl, !partial)
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then Float.nan
+    else sorted.(Int.min (n - 1) (int_of_float (p *. Float.of_int n)))
+  in
+  let steps = [ 1; 2; 4; 8; 16 ] in
+  let rows =
+    List.mapi
+      (fun step clients ->
+        let results =
+          List.init clients (fun rank ->
+              Domain.spawn (client ~step ~rank))
+          |> List.map Domain.join
+        in
+        let e2e = List.concat_map (fun (l, _, _, _, _, _) -> l) results in
+        let sub = List.concat_map (fun (_, l, _, _, _, _) -> l) results in
+        let sum f = List.fold_left (fun a r -> a + f r) 0 results in
+        let accepted = sum (fun (_, _, a, _, _, _) -> a) in
+        let q_full = sum (fun (_, _, _, q, _, _) -> q) in
+        let over_dl = sum (fun (_, _, _, _, o, _) -> o) in
+        let partial = sum (fun (_, _, _, _, _, p) -> p) in
+        let sorted l =
+          let a = Array.of_list l in
+          Array.sort Float.compare a;
+          a
+        in
+        let e2e = sorted e2e and sub = sorted sub in
+        let ms x = 1e3 *. x in
+        let row =
+          Printf.sprintf
+            "    { \"clients\": %d, \"submitted\": %d, \"accepted\": %d,\n\
+            \      \"shed_queue_full\": %d, \"shed_over_deadline\": %d,\n\
+            \      \"partial\": %d,\n\
+            \      \"e2e_ms\": { \"p50\": %.1f, \"p95\": %.1f, \"p99\": \
+             %.1f },\n\
+            \      \"submit_ms\": { \"p50\": %.2f, \"p99\": %.2f } }"
+            clients (clients * iters) accepted q_full over_dl partial
+            (ms (percentile e2e 0.50))
+            (ms (percentile e2e 0.95))
+            (ms (percentile e2e 0.99))
+            (ms (percentile sub 0.50))
+            (ms (percentile sub 0.99))
+        in
+        Fmt.pr
+          "service: %2d clients: %3d submitted, %3d accepted, %d+%d shed, %d \
+           partial, e2e p50/p99 %.0f/%.0f ms, submit p99 %.2f ms@."
+          clients (clients * iters) accepted q_full over_dl partial
+          (ms (percentile e2e 0.50))
+          (ms (percentile e2e 0.99))
+          (ms (percentile sub 0.99));
+        row)
+      steps
+  in
+  (match SC.request ~socket_path SP.Shutdown with
+  | Ok SP.Shutting_down -> ()
+  | Ok _ | Error _ -> Fmt.epr "service bench: shutdown did not ack@.");
+  Domain.join server;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"workload\": \"idsat n=16 closed-loop ramp, queue_max 8, deadline \
+       %.1f s\",\n\
+      \  \"steps\": [\n%s\n  ]\n}\n"
+      deadline_s
+      (String.concat ",\n" rows)
+  in
+  Out_channel.with_open_text out_path (fun oc -> output_string oc json);
+  Fmt.pr "-> %s@." out_path
+
 let run_benchmarks () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -609,4 +763,7 @@ let () =
   | _ :: "--sparse" :: rest ->
     let out = match rest with [ p ] -> p | _ -> "BENCH_sparse.json" in
     sparse_bench out
+  | _ :: "--service" :: rest ->
+    let out = match rest with [ p ] -> p | _ -> "BENCH_service.json" in
+    service_bench out
   | _ -> run_benchmarks ()

@@ -201,15 +201,18 @@ let apply_controls c =
   | None -> ());
   Vstat_experiments.Mc_compare.set_default_signals graceful_signals
 
+(* Validated numeric convs everywhere: a negative -n or zero --bpv-samples
+   used to raise Invalid_argument deep inside the runtime (exit 125); bad
+   flag values must be a usage error (exit 2) instead. *)
 let samples_t default =
   Arg.(
-    value & opt int default
+    value & opt nonneg_int default
     & info [ "n"; "samples" ] ~docv:"N"
         ~doc:"Monte Carlo samples per model (paper-scale values are larger).")
 
 let geometry_mc_t =
   Arg.(
-    value & opt int 2000
+    value & opt positive_int 2000
     & info [ "bpv-samples" ] ~docv:"N"
         ~doc:"Golden MC samples per geometry used for BPV observation.")
 
@@ -396,6 +399,140 @@ let sram_yield_cmd =
       $ samples_t 4000 $ rare_t $ sigma_shift_t $ pilot_n_t $ threshold_t
       $ vdd_t)
 
+let submit_cmd =
+  let module P = Vstat_service.Protocol in
+  let socket_t =
+    Arg.(
+      value
+      & opt string (Filename.concat "vstatd-state" "vstatd.sock")
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket the vstatd daemon listens on.")
+  in
+  let kind_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("inv", `Inv);
+               ("snm-read", `SnmRead);
+               ("snm-hold", `SnmHold);
+               ("idsat", `Idsat);
+             ])
+          `Inv
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Job kind: $(b,inv) (FO-N inverter delay), $(b,snm-read) / \
+             $(b,snm-hold) (6T SRAM static noise margin), $(b,idsat) \
+             (NMOS on-current draw).")
+  in
+  let fanout_t =
+    Arg.(
+      value & opt positive_int 3
+      & info [ "fanout" ] ~docv:"N" ~doc:"Inverter fanout (kind inv).")
+  in
+  let submit_n_t =
+    Arg.(
+      value & opt positive_int 200
+      & info [ "n"; "samples" ] ~docv:"N" ~doc:"Monte Carlo samples.")
+  in
+  let vdd_t =
+    Arg.(
+      value & opt positive_float 1.0
+      & info [ "vdd" ] ~docv:"VOLT" ~doc:"Supply voltage.")
+  in
+  let submit_deadline_t =
+    Arg.(
+      value
+      & opt (some positive_float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Per-request deadline, anchored at submission. The daemon sheds \
+             the request up front if its backlog estimate already exceeds \
+             the budget, and otherwise returns a partial result (fewer \
+             samples, honestly wider confidence interval) when the budget \
+             expires mid-run.")
+  in
+  let no_wait_t =
+    Arg.(
+      value & flag
+      & info [ "no-wait" ]
+          ~doc:"Print the job id after admission and exit without polling.")
+  in
+  let timeout_t =
+    Arg.(
+      value & opt positive_float 600.0
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:"Give up polling for the result after $(docv) seconds.")
+  in
+  let run verbose socket kind fanout n seed retry vdd deadline no_wait timeout
+      =
+    setup_logs verbose;
+    let kind =
+      match kind with
+      | `Inv -> P.Inverter_tpd { fanout }
+      | `SnmRead -> P.Sram_snm { read = true }
+      | `SnmHold -> P.Sram_snm { read = false }
+      | `Idsat -> P.Idsat
+    in
+    let spec = { P.kind; n; seed; vdd; retry } in
+    let deadline_s = Option.value deadline ~default:0.0 in
+    let reason_line = function
+      | P.Queue_full { queued; queue_max } ->
+        Printf.sprintf "queue full (%d/%d jobs)" queued queue_max
+      | P.Over_deadline { estimated_wait_s; deadline_s } ->
+        Printf.sprintf
+          "over deadline (estimated backlog %.2fs > budget %.2fs)"
+          estimated_wait_s deadline_s
+      | P.Bad_request { detail } -> "bad request: " ^ detail
+    in
+    match
+      Vstat_service.Client.submit ~seed ~socket_path:socket ~spec ~deadline_s
+        ()
+    with
+    | Error msg ->
+      Format.eprintf "vstat submit: %s@." msg;
+      exit 1
+    | Ok (P.Rejected { reason }) ->
+      Format.eprintf "vstat submit: rejected: %s@." (reason_line reason);
+      exit 3
+    | Ok (P.Accepted { id; cached }) ->
+      Format.printf "job %s%s@." id (if cached then " (cached)" else "");
+      if not no_wait then begin
+        match
+          Vstat_service.Client.await ~seed ~timeout_s:timeout
+            ~socket_path:socket ~id ()
+        with
+        | Error msg ->
+          Format.eprintf "vstat submit: %s@." msg;
+          exit 1
+        | Ok s ->
+          Format.printf
+            "%s: %s%s  n=%d/%d  failed=%d  retried=%d  wall=%.3fs@."
+            s.P.id s.P.cause
+            (if s.P.cached then " (cached)" else "")
+            s.P.completed s.P.n s.P.failed s.P.retried s.P.wall_s;
+          Format.printf "mean=%.6g  std=%.6g  95%%-CI=[%.6g, %.6g]@." s.P.mean
+            s.P.std s.P.ci_lo s.P.ci_hi;
+          if s.P.partial then
+            Format.printf
+              "(partial: %d of %d samples — interval honestly widened)@."
+              s.P.completed s.P.n
+      end;
+      std_formatter_flush ()
+    | Ok _ ->
+      Format.eprintf "vstat submit: unexpected daemon response@.";
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a Monte Carlo job to a running vstatd daemon and wait for \
+          the (possibly cached or deadline-degraded) result")
+    Term.(
+      const run $ verbose_t $ socket_t $ kind_t $ fanout_t $ submit_n_t
+      $ seed_t $ retry_t $ vdd_t $ submit_deadline_t $ no_wait_t $ timeout_t)
+
 let export_cmd =
   let dir_t =
     Arg.(
@@ -419,6 +556,7 @@ let export_cmd =
 let cmds =
   [
     export_cmd;
+    submit_cmd;
     sram_yield_cmd;
     run_cmd "fig1" "VS-vs-golden I-V fit (Fig. 1)" ~default_n:0 fig1;
     run_cmd "fig2" "Per-geometry vs stacked BPV (Fig. 2)" ~default_n:0 fig2;

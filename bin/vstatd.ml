@@ -1,0 +1,148 @@
+(* vstatd — the variation-analysis daemon.
+
+   Thin CLI shell over Vstat_service.Service: parse and validate flags
+   (bad values are usage errors, exit 2), build the service, wire SIGTERM
+   and SIGINT to graceful shutdown (the in-flight job drains at a sample
+   boundary and flushes its journal), and block in the accept loop. *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+open Cmdliner
+
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> Ok j
+    | Some _ -> Error (`Msg "must be a positive integer (>= 1)")
+    | None ->
+      Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable progress logging.")
+
+let state_dir_t =
+  Arg.(
+    value & opt string "vstatd-state"
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Journal cache directory. Completed runs persist here under \
+           their content address; a restarted daemon re-serves them \
+           bit-identically and resumes interrupted ones.")
+
+let socket_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain listen socket (default: $(b,vstatd.sock) inside \
+           --state-dir).")
+
+let queue_max_t =
+  Arg.(
+    value & opt positive_int 32
+    & info [ "queue-max" ] ~docv:"N"
+        ~doc:
+          "Admission bound: submissions beyond $(docv) queued jobs are shed \
+           with a typed queue-full rejection instead of queueing without \
+           bound.")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "j"; "jobs" ] ~docv:"JOBS"
+        ~doc:
+          "Worker domains per Monte Carlo job. Results are bit-identical \
+           for any value.")
+
+let pipeline_seed_t =
+  Arg.(
+    value & opt int 42
+    & info [ "pipeline-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed of the statistical-VS extraction pipeline built at \
+           startup. Part of every job's cache identity.")
+
+let bpv_samples_t =
+  Arg.(
+    value & opt positive_int 300
+    & info [ "bpv-samples" ] ~docv:"N"
+        ~doc:
+          "Golden MC samples per geometry for the startup extraction \
+           (larger = slower startup, tighter alphas). Part of every job's \
+           cache identity.")
+
+let inject_t =
+  let inject_conv =
+    let parse s =
+      match Vstat_device.Fault_inject.Service.parse_spec s with
+      | Ok cfg -> Ok cfg
+      | Error m -> Error (`Msg m)
+    in
+    let print ppf cfg =
+      Format.pp_print_string ppf
+        (Vstat_device.Fault_inject.Service.spec_to_string cfg)
+    in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt (some inject_conv) None
+    & info [ "inject" ] ~docv:"RATE[:KIND[:SEC]]"
+        ~doc:
+          "Service-layer chaos: deterministically stall ($(b,stall)) or \
+           abort ($(b,abort)) worker samples at the given rate ($(b,mix) = \
+           half each). Aborts ride the retry ladder; neither changes any \
+           sample value, so results stay bit-identical.")
+
+let run verbose state_dir socket queue_max jobs pipeline_seed bpv_samples
+    inject =
+  setup_logs verbose;
+  let config =
+    {
+      Vstat_service.Service.socket_path =
+        (match socket with
+        | Some p -> p
+        | None -> Filename.concat state_dir "vstatd.sock");
+      state_dir;
+      queue_max;
+      jobs = Option.value jobs ~default:1;
+      pipeline_seed;
+      mc_per_geometry = bpv_samples;
+      inject;
+    }
+  in
+  (* A client that vanishes mid-response must not kill the daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t = Vstat_service.Service.create config in
+  let graceful _ = Vstat_service.Service.stop t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+  Vstat_service.Service.serve t
+
+let () =
+  let info =
+    Cmd.info "vstatd" ~version:"1.0.0"
+      ~doc:
+        "Fault-tolerant variation-analysis daemon: bounded admission, \
+         per-request deadlines with graceful degradation, and a crash-safe \
+         journal-backed result cache"
+  in
+  let term =
+    Term.(
+      const run $ verbose_t $ state_dir_t $ socket_t $ queue_max_t $ jobs_t
+      $ pipeline_seed_t $ bpv_samples_t $ inject_t)
+  in
+  match Cmd.eval ~catch:false (Cmd.v info term) with
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Format.eprintf "vstatd: %s(%s): %s@." fn arg (Unix.error_message e);
+    exit 1
+  | exception e ->
+    Format.eprintf "vstatd: internal error: %s@." (Printexc.to_string e);
+    exit 125
+  | code -> exit (if code = Cmd.Exit.cli_error then 2 else code)

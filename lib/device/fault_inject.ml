@@ -141,3 +141,102 @@ let parse_spec ?(seed = 0x1d0a) s =
 
 let spec_to_string cfg =
   Printf.sprintf "%g:%s" cfg.rate (kind_name cfg.kind)
+
+(* --- service-layer faults ---------------------------------------------- *)
+
+module Service = struct
+  type action = Stall of float | Abort
+
+  type config = { rate : float; abort_frac : float; stall_s : float; seed : int }
+
+  let[@vstat.allow "exn-discipline"] validate cfg =
+    if
+      not
+        (Float.is_finite cfg.rate && cfg.rate >= 0.0 && cfg.rate <= 1.0
+        && Float.is_finite cfg.abort_frac
+        && cfg.abort_frac >= 0.0 && cfg.abort_frac <= 1.0
+        && Float.is_finite cfg.stall_s && cfg.stall_s >= 0.0)
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Fault_inject.Service: rate %g / abort_frac %g / stall_s %g out of \
+            range"
+           cfg.rate cfg.abort_frac cfg.stall_s)
+
+  (* Same fmix64 key scheme as the device-level planner, with an extra
+     golden offset so a shared seed never correlates the two fault
+     streams.  Two independent draws: fire?, then stall-vs-abort. *)
+  let plan cfg ~key =
+    validate cfg;
+    if cfg.rate <= 0.0 then None
+    else begin
+      let h =
+        mix64
+          (Int64.add
+             (Int64.mul (Int64.of_int cfg.seed) golden)
+             (mix64 (Int64.add (Int64.of_int key) golden)))
+      in
+      let u = Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53 in
+      if u >= cfg.rate then None
+      else begin
+        let h2 = mix64 (Int64.logxor h golden) in
+        let v = Int64.to_float (Int64.shift_right_logical h2 11) *. 0x1p-53 in
+        if v < cfg.abort_frac then Some Abort else Some (Stall cfg.stall_s)
+      end
+    end
+
+  let default_stall_s = 0.05
+
+  let parse_spec ?(seed = 0x5e2c) s =
+    let fields = String.split_on_char ':' s in
+    match fields with
+    | [] | [ "" ] -> Error "empty service fault spec"
+    | rate_s :: rest -> (
+      match float_of_string_opt (String.trim rate_s) with
+      | None -> Error (Printf.sprintf "invalid fault rate %S" rate_s)
+      | Some rate when not (rate >= 0.0 && rate <= 1.0) ->
+        Error (Printf.sprintf "fault rate %g out of [0,1]" rate)
+      | Some rate -> (
+        let mk abort_frac stall_s =
+          if not (stall_s >= 0.0) then
+            Error (Printf.sprintf "stall duration %g is negative" stall_s)
+          else Ok { rate; abort_frac; stall_s; seed }
+        in
+        match rest with
+        | [] -> mk 0.5 default_stall_s
+        | [ kind ] | [ kind; "" ] -> (
+          let stall_of k =
+            match float_of_string_opt k with
+            | Some s -> Some s
+            | None -> None
+          in
+          match String.lowercase_ascii (String.trim kind) with
+          | "abort" | "raise" -> mk 1.0 default_stall_s
+          | "stall" -> mk 0.0 default_stall_s
+          | "mix" -> mk 0.5 default_stall_s
+          | k -> (
+            match stall_of k with
+            | Some s -> mk 0.0 s
+            | None ->
+              Error
+                (Printf.sprintf
+                   "unknown service fault kind %S (expected stall|abort)" kind)))
+        | [ kind; stall ] -> (
+          match
+            ( String.lowercase_ascii (String.trim kind),
+              float_of_string_opt (String.trim stall) )
+          with
+          | _, None ->
+            Error (Printf.sprintf "invalid stall duration %S" stall)
+          | "stall", Some s -> mk 0.0 s
+          | "abort", Some s | "raise", Some s -> mk 1.0 s
+          | "mix", Some s -> mk 0.5 s
+          | k, _ ->
+            Error
+              (Printf.sprintf
+                 "unknown service fault kind %S (expected stall|abort|mix)" k))
+        | _ -> Error (Printf.sprintf "malformed service fault spec %S" s)))
+
+  let spec_to_string cfg =
+    Printf.sprintf "%g:mix:%g(abort=%g)" cfg.rate cfg.stall_s cfg.abort_frac
+end

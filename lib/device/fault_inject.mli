@@ -60,3 +60,40 @@ val parse_spec : ?seed:int -> string -> (config, string) result
     kind defaults to [Raise]. *)
 
 val spec_to_string : config -> string
+
+(** Service-layer fault injection: chaos for the {e daemon}, not the
+    device.  A plan here never changes what a sample computes — a [Stall]
+    only delays the worker, and an [Abort] raises {!Injected} {e before}
+    the sample body runs, so the retry ladder re-runs the identical
+    substream and recovers the identical value.  That value-neutrality is
+    what the daemon chaos drill leans on: a fault-injected service must
+    still serve bit-identical results.  Decisions use the same fmix64
+    [(seed, key)] scheme as the device planner (offset so a shared seed
+    does not correlate the streams); derive [key] from
+    [(sample index, attempt)] exactly as device injection does. *)
+module Service : sig
+  type action =
+    | Stall of float  (** worker sleeps this many seconds, then proceeds *)
+    | Abort           (** worker raises {!Injected} before the sample runs *)
+
+  type config = {
+    rate : float;        (** probability a key carries a fault, in [0,1] *)
+    abort_frac : float;  (** of fired faults, fraction that abort (rest stall) *)
+    stall_s : float;     (** stall duration, seconds *)
+    seed : int;
+  }
+
+  val default_stall_s : float
+
+  val plan : config -> key:int -> action option
+  (** Pure function of [(config, key)].
+      @raise Invalid_argument on a hand-built config with out-of-range
+      fields (same contract as the device-level {!val:plan}). *)
+
+  val parse_spec : ?seed:int -> string -> (config, string) result
+  (** CLI syntax [RATE[:KIND[:STALL_S]]] with KIND one of [stall], [abort]
+      (alias [raise]) or [mix] (default: half stalls, half aborts);
+      [RATE:SECONDS] is shorthand for [RATE:stall:SECONDS]. *)
+
+  val spec_to_string : config -> string
+end

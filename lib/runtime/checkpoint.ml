@@ -324,7 +324,9 @@ let run ?jobs ?on_progress ?(retry = Runtime.no_retry) ?deadline ?settings:cfg
     match Journal.read ~path with
     | Error e -> raise (Journal.Rejected e)
     | Ok snap -> (
-      match Journal.check_identity ~expected:identity snap.Journal.identity with
+      match
+        Journal.check_identity ~path ~expected:identity snap.Journal.identity
+      with
       | Error e -> raise (Journal.Rejected e)
       | Ok () ->
         Array.iter
@@ -335,9 +337,12 @@ let run ?jobs ?on_progress ?(retry = Runtime.no_retry) ?deadline ?settings:cfg
                 raise
                   (Journal.Rejected
                      (Journal.Corrupt
-                        (Printf.sprintf
-                           "sample %d payload does not decode as %s: %s"
-                           e.index codec.codec_name (Printexc.to_string exn))))
+                        { path;
+                          detail =
+                            Printf.sprintf
+                              "sample %d payload does not decode as %s: %s"
+                              e.index codec.codec_name
+                              (Printexc.to_string exn) }))
             in
             persisted.(e.index) <-
               Some

@@ -41,26 +41,45 @@ type snapshot = {
   moments : moments array;
 }
 
+(* Every payload names the snapshot file it describes, so a layer serving
+   many journals (the result cache in Vstat_service) can report *which*
+   snapshot is bad without re-threading the path out of band.  Errors
+   produced away from the filesystem (decoding a string in memory) carry
+   {!in_memory}. *)
 type error =
-  | Io of string
-  | Bad_magic
-  | Version_skew of { found : int; expected : int }
-  | Corrupt of string
-  | Mismatch of { field : string; expected : string; found : string }
+  | Io of { path : string; detail : string }
+  | Bad_magic of { path : string }
+  | Version_skew of { path : string; found : int; expected : int }
+  | Corrupt of { path : string; detail : string }
+  | Mismatch of { path : string; field : string; expected : string; found : string }
 
 exception Rejected of error
 
+let in_memory = "<memory>"
+
+let error_path = function
+  | Io { path; _ }
+  | Bad_magic { path }
+  | Version_skew { path; _ }
+  | Corrupt { path; _ }
+  | Mismatch { path; _ } -> path
+
 let error_to_string = function
-  | Io msg -> Printf.sprintf "snapshot IO error: %s" msg
-  | Bad_magic -> "not a vstat checkpoint snapshot (bad magic)"
-  | Version_skew { found; expected } ->
-    Printf.sprintf "snapshot format version %d, this build reads version %d"
-      found expected
-  | Corrupt msg -> Printf.sprintf "corrupt snapshot: %s" msg
-  | Mismatch { field; expected; found } ->
+  | Io { path; detail } ->
+    Printf.sprintf "snapshot %s: IO error: %s" path detail
+  | Bad_magic { path } ->
+    Printf.sprintf "snapshot %s: not a vstat checkpoint snapshot (bad magic)"
+      path
+  | Version_skew { path; found; expected } ->
     Printf.sprintf
-      "snapshot belongs to a different run: %s is %s, expected %s" field
+      "snapshot %s: format version %d, this build reads version %d" path
       found expected
+  | Corrupt { path; detail } ->
+    Printf.sprintf "snapshot %s: corrupt: %s" path detail
+  | Mismatch { path; field; expected; found } ->
+    Printf.sprintf
+      "snapshot %s belongs to a different run: %s is %s, expected %s" path
+      field found expected
 
 let () =
   Printexc.register_printer (function
@@ -156,25 +175,30 @@ let get_raw cur k what =
 
 let get_str cur what = get_raw cur (get_u32 cur (what ^ " length")) what
 
-let decode s =
+let decode ?(path = in_memory) s =
   let len = String.length s in
   let header = String.length magic + 4 in
-  if len < header + 4 then Error (Corrupt "file too short for header")
-  else if String.sub s 0 (String.length magic) <> magic then Error Bad_magic
+  if len < header + 4 then
+    Error (Corrupt { path; detail = "file too short for header" })
+  else if String.sub s 0 (String.length magic) <> magic then
+    Error (Bad_magic { path })
   else begin
     let found =
       Int32.to_int (String.get_int32_le s (String.length magic))
       land 0xFFFFFFFF
     in
-    if found <> version then Error (Version_skew { found; expected = version })
+    if found <> version then
+      Error (Version_skew { path; found; expected = version })
     else begin
       let stored = Int32.to_int (String.get_int32_le s (len - 4)) land 0xFFFFFFFF in
       let computed = Vstat_util.Crc32.digest_sub s ~pos:0 ~len:(len - 4) in
       if stored <> computed then
         Error
           (Corrupt
-             (Printf.sprintf "CRC mismatch (stored %08x, computed %08x)"
-                stored computed))
+             { path;
+               detail =
+                 Printf.sprintf "CRC mismatch (stored %08x, computed %08x)"
+                   stored computed })
       else begin
         let cur = { src = s; limit = len - 4; pos = header } in
         match
@@ -245,7 +269,7 @@ let decode s =
           }
         with
         | snap -> Ok snap
-        | exception Short msg -> Error (Corrupt msg)
+        | exception Short detail -> Error (Corrupt { path; detail })
       end
     end
   end
@@ -256,11 +280,13 @@ let write ~path snap = Vstat_util.Atomic_io.write_file ~path (encode snap)
 
 let read ~path =
   match Vstat_util.Atomic_io.read_file ~path with
-  | Error msg -> Error (Io msg)
-  | Ok s -> decode s
+  | Error detail -> Error (Io { path; detail })
+  | Ok s -> decode ~path s
 
-let check_identity ~expected found =
-  let fail field expected found = Error (Mismatch { field; expected; found }) in
+let check_identity ?(path = in_memory) ~expected found =
+  let fail field expected found =
+    Error (Mismatch { path; field; expected; found })
+  in
   if not (String.equal expected.label found.label) then
     fail "label" expected.label found.label
   else if not (String.equal expected.fingerprint found.fingerprint) then

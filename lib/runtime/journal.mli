@@ -46,17 +46,29 @@ type snapshot = {
   moments : moments array; (** one per observable, index order *)
 }
 
+(** Every error payload names the snapshot file it describes ([path]), so
+    layers that manage many journals — the checkpoint driver, the
+    [Vstat_service] result cache — can report {e which} snapshot is bad.
+    Errors produced away from the filesystem carry {!in_memory}. *)
 type error =
-  | Io of string
-  | Bad_magic
-  | Version_skew of { found : int; expected : int }
-  | Corrupt of string  (** CRC mismatch, truncation, inconsistent fields *)
-  | Mismatch of { field : string; expected : string; found : string }
+  | Io of { path : string; detail : string }
+  | Bad_magic of { path : string }
+  | Version_skew of { path : string; found : int; expected : int }
+  | Corrupt of { path : string; detail : string }
+      (** CRC mismatch, truncation, inconsistent fields *)
+  | Mismatch of { path : string; field : string; expected : string; found : string }
       (** identity disagreement found by {!check_identity} *)
 
 exception Rejected of error
 (** Raised by {!Checkpoint} when a resume is refused; registered with
     [Printexc] for readable reports. *)
+
+val in_memory : string
+(** The [path] recorded when a blob is decoded from memory rather than a
+    file (["<memory>"]). *)
+
+val error_path : error -> string
+(** The snapshot path carried by any {!error}. *)
 
 val error_to_string : error -> string
 
@@ -67,12 +79,16 @@ val encode : snapshot -> string
 (** Serialize (including the CRC footer).  @raise Invalid_argument if an
     entry index falls outside [0, n). *)
 
-val decode : string -> (snapshot, error) result
+val decode : ?path:string -> string -> (snapshot, error) result
+(** [path] (default {!in_memory}) is recorded in any error payload. *)
 
 val write : path:string -> snapshot -> unit
 (** Atomic, durable replacement of [path] ({!Vstat_util.Atomic_io}). *)
 
 val read : path:string -> (snapshot, error) result
 
-val check_identity : expected:identity -> identity -> (unit, error) result
-(** [Error (Mismatch _)] naming the first differing field, if any. *)
+val check_identity :
+  ?path:string -> expected:identity -> identity -> (unit, error) result
+(** [Error (Mismatch _)] naming the first differing field, if any; [path]
+    (default {!in_memory}) names the snapshot the [found] identity was
+    read from. *)

@@ -1,0 +1,95 @@
+(* One-shot protocol client with deterministic, jittered connect retry. *)
+
+module P = Protocol
+module Deadline = Vstat_runtime.Deadline
+
+let default_attempts = 8
+let backoff_base_s = 0.05
+
+(* Jitter keyed by (seed, attempt) through Rng.substream: reproducible
+   under the determinism lint, yet decorrelated across attempts — and
+   across clients, when each passes its own seed. *)
+let backoff_s ~seed ~attempt =
+  let rng = Vstat_util.Rng.substream ~seed ~index:attempt in
+  backoff_base_s
+  *. Float.of_int (1 lsl Int.min attempt 6)
+  *. (0.5 +. Vstat_util.Rng.float rng)
+
+let connect ?(attempts = default_attempts) ?(seed = 0x7a11) ~socket_path () =
+  let rec go attempt =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () -> Ok fd
+    | exception
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN) as e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempt + 1 >= attempts then
+        Error
+          (Printf.sprintf "cannot connect to %s after %d attempts: %s"
+             socket_path attempts (Unix.error_message e))
+      else begin
+        Unix.sleepf (backoff_s ~seed ~attempt);
+        go (attempt + 1)
+      end
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket_path
+           (Unix.error_message e))
+  in
+  go 0
+
+let request ?attempts ?seed ~socket_path req =
+  match connect ?attempts ?seed ~socket_path () with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0;
+        match P.write_frame fd (P.encode_request req) with
+        | Error e -> Error (P.error_to_string e)
+        | Ok () -> (
+          match P.read_frame fd with
+          | Error e -> Error (P.error_to_string e)
+          | Ok payload -> (
+            match P.decode_response payload with
+            | Error e -> Error (P.error_to_string e)
+            | Ok resp -> Ok resp)))
+
+let submit ?attempts ?seed ~socket_path ~spec ~deadline_s () =
+  request ?attempts ?seed ~socket_path (P.Submit { spec; deadline_s })
+
+let await ?attempts ?seed ?(poll_s = 0.1) ?(timeout_s = 600.0) ~socket_path
+    ~id () =
+  let t0 = Deadline.now_ns () in
+  let elapsed () = Int64.to_float (Int64.sub (Deadline.now_ns ()) t0) *. 1e-9 in
+  let rec poll () =
+    if elapsed () > timeout_s then
+      Error (Printf.sprintf "job %s: no result after %.0fs" id timeout_s)
+    else begin
+      match request ?attempts ?seed ~socket_path (P.Status { id }) with
+      | Error _ as e -> e
+      | Ok (P.Job_status { state = P.Done; _ }) -> (
+        match request ?attempts ?seed ~socket_path (P.Result { id }) with
+        | Error _ as e -> e
+        | Ok (P.Job_result summary) -> Ok summary
+        | Ok other ->
+          Error
+            (Printf.sprintf "job %s: unexpected result response %s" id
+               (match other with
+               | P.Unknown_id _ -> "unknown-id"
+               | P.Shutting_down -> "shutting-down"
+               | _ -> "wrong-kind")))
+      | Ok (P.Job_status _) ->
+        Unix.sleepf poll_s;
+        poll ()
+      | Ok (P.Unknown_id _) ->
+        Error (Printf.sprintf "job %s: unknown to the daemon" id)
+      | Ok P.Shutting_down -> Error "daemon is shutting down"
+      | Ok _ -> Error (Printf.sprintf "job %s: unexpected status response" id)
+    end
+  in
+  poll ()

@@ -1,0 +1,45 @@
+(** Client side of the [vstatd] protocol.
+
+    Connections are one-shot (one request frame, one response frame), so
+    the only stateful part is connect retry: a daemon that is still
+    building its pipeline, or briefly gone during a restart, is retried
+    with jittered exponential backoff.  The jitter comes from
+    {!Vstat_util.Rng.substream} keyed by the attempt number — fully
+    deterministic for a given [seed], per the repository's determinism
+    contract (no OS randomness, no wall-clock reads). *)
+
+val default_attempts : int
+
+val request :
+  ?attempts:int ->
+  ?seed:int ->
+  socket_path:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** One round-trip.  Connect failures ([ENOENT], [ECONNREFUSED]) are
+    retried up to [attempts] times (default {!default_attempts}) with
+    backoff [50ms * 2^k * (0.5 + U[0,1))]; protocol and socket errors
+    after a successful connect are returned as [Error] immediately. *)
+
+val await :
+  ?attempts:int ->
+  ?seed:int ->
+  ?poll_s:float ->
+  ?timeout_s:float ->
+  socket_path:string ->
+  id:string ->
+  unit ->
+  (Protocol.summary, string) result
+(** Poll [Status] until the job reports [Done] (default every 0.1 s, up
+    to 600 s), then fetch and return its result.  [Error] on unknown id,
+    timeout, or transport failure. *)
+
+val submit :
+  ?attempts:int ->
+  ?seed:int ->
+  socket_path:string ->
+  spec:Protocol.spec ->
+  deadline_s:float ->
+  unit ->
+  (Protocol.response, string) result
+(** [request] on a [Submit] message. *)

@@ -1,0 +1,142 @@
+(** Wire protocol of the [vstatd] variation-analysis service.
+
+    Frames are length-prefixed: a 4-byte little-endian payload length
+    followed by the payload, capped at {!max_frame} bytes so a hostile or
+    confused peer cannot make the daemon allocate unboundedly.  Payloads
+    are versioned binary messages in the same little-endian style as
+    {!Vstat_runtime.Journal}.
+
+    The codec never raises on malformed input: every decoder returns a
+    typed {!error} for truncated frames, oversized frames, unknown tags,
+    trailing bytes and out-of-range fields.  Encoding a value produced by
+    this module always round-trips ([decode (encode m) = Ok m]). *)
+
+(** {1 Job specifications} *)
+
+type job_kind =
+  | Inverter_tpd of { fanout : int }
+      (** FO-[fanout] inverter propagation delay, statistical VS tech *)
+  | Sram_snm of { read : bool }
+      (** 6T SRAM static noise margin, READ ([true]) or HOLD mode *)
+  | Idsat
+      (** NMOS on-current draw — the cheap load-generator job *)
+
+type spec = {
+  kind : job_kind;
+  n : int;       (** Monte Carlo samples, >= 1 *)
+  seed : int;    (** RNG seed; part of the job identity *)
+  vdd : float;   (** supply voltage, V *)
+  retry : int;   (** retry-ladder depth per sample, >= 1 *)
+}
+
+val spec_canonical : pipeline:string -> spec -> string
+(** Canonical run-identity string: every field that changes sample values
+    (job parameters, seed, and the daemon's [pipeline] signature) rendered
+    with [%.17g] floats.  This is both the {!Vstat_runtime.Checkpoint}
+    fingerprint and the input to {!job_id} — two requests with equal
+    canonical strings are the same job and may share cached results.
+    Per-request deadlines are deliberately excluded: a deadline changes
+    how many samples complete, never what any sample computes. *)
+
+val spec_of_canonical : string -> (spec, string) result
+(** Parse a {!spec_canonical} string back (the daemon recovers interrupted
+    jobs from journal fingerprints at startup).  The [pipeline] field is
+    validated by the caller against its own pipeline signature. *)
+
+val canonical_pipeline : string -> string option
+(** The [pipeline] signature recorded in a canonical string, if any. *)
+
+val job_id : string -> string
+(** 16-hex-digit content address of a canonical spec string (two CRC-32
+    lanes).  Collisions are caught downstream by the journal's
+    full-fingerprint identity check. *)
+
+(** {1 Messages} *)
+
+type request =
+  | Submit of { spec : spec; deadline_s : float }
+      (** [deadline_s <= 0.] means no deadline *)
+  | Status of { id : string }
+  | Result of { id : string }
+  | Health
+  | Shutdown  (** orderly daemon shutdown (tests, CI) *)
+
+type reject_reason =
+  | Queue_full of { queued : int; queue_max : int }
+  | Over_deadline of { estimated_wait_s : float; deadline_s : float }
+  | Bad_request of { detail : string }
+
+type job_state =
+  | Queued of { position : int }  (** 0 = next to run *)
+  | Running
+  | Done
+
+type summary = {
+  id : string;
+  n : int;             (** samples requested *)
+  completed : int;     (** samples evaluated (= [n] unless degraded) *)
+  failed : int;        (** samples dead after the retry ladder *)
+  mean : float;
+  std : float;
+  ci_lo : float;       (** 95 % CI on the mean — honestly wider when partial *)
+  ci_hi : float;
+  partial : bool;      (** degraded: deadline or shutdown stopped the run *)
+  cause : string;      (** ["finished"] | ["deadline"] | ["shutdown"] *)
+  cached : bool;       (** served from the journal result cache *)
+  wall_s : float;      (** compute wall time (0 for pure cache hits) *)
+  retried : int;       (** samples that needed more than one attempt *)
+  values : float array;(** completed sample values, index order — the
+                           bit-identity contract is checked on these *)
+}
+
+type response =
+  | Accepted of { id : string; cached : bool }
+  | Rejected of { reason : reject_reason }
+  | Job_status of { id : string; state : job_state }
+  | Job_result of summary
+  | Unknown_id of { id : string }
+  | Health_report of {
+      uptime_s : float;
+      queued : int;
+      running : int;
+      finished : int;
+      rejected : int;
+      cache_hits : int;
+      served : int;
+    }
+  | Shutting_down
+
+(** {1 Codec} *)
+
+type error =
+  | Truncated of { what : string }
+      (** payload ended mid-field while reading [what] *)
+  | Oversized of { len : int; max : int }
+      (** frame length prefix exceeds {!max_frame} *)
+  | Bad_version of { found : int; expected : int }
+  | Bad_tag of { what : string; tag : int }
+  | Trailing of { extra : int }
+      (** well-formed message followed by [extra] junk bytes *)
+  | Bad_value of { what : string; detail : string }
+  | Io of { detail : string }
+      (** socket-level failure while reading or writing a frame *)
+
+val error_to_string : error -> string
+
+val version : int
+val max_frame : int
+
+val encode_request : request -> string
+val decode_request : string -> (request, error) result
+val encode_response : response -> string
+val decode_response : string -> (response, error) result
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> (unit, error) result
+(** Length-prefix and send one payload.  [Error Oversized] if the payload
+    exceeds {!max_frame}; socket errors come back as [Error (Io _)]. *)
+
+val read_frame : Unix.file_descr -> (string, error) result
+(** Read one length-prefixed payload.  Typed errors for EOF mid-frame,
+    oversized prefixes and socket failures; never raises. *)

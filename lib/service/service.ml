@@ -1,0 +1,565 @@
+(* The vstatd daemon core: admission control, a single-worker execution
+   domain, and a journal-backed result cache.
+
+   Concurrency picture: the accept loop (whichever domain calls [serve])
+   and the worker domain share [state] under one mutex; the worker holds
+   it only to pop/publish, never while computing.  Shutdown is a single
+   atomic flag: signal handlers call [stop], the accept loop polls it
+   between selects, and the worker's Checkpoint deadline polls it at
+   sample boundaries — so an in-flight job drains gracefully and flushes
+   its journal instead of being torn. *)
+
+module P = Protocol
+module C = Vstat_runtime.Checkpoint
+module Runtime = Vstat_runtime.Runtime
+module Deadline = Vstat_runtime.Deadline
+module Journal = Vstat_runtime.Journal
+module FS = Vstat_device.Fault_inject.Service
+
+let log_src = Logs.Src.create "vstat.service" ~doc:"vstatd daemon core"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  socket_path : string;
+  state_dir : string;
+  queue_max : int;
+  jobs : int;
+  pipeline_seed : int;
+  mc_per_geometry : int;
+  inject : FS.config option;
+}
+
+let default_config =
+  {
+    socket_path = Filename.concat "vstatd-state" "vstatd.sock";
+    state_dir = "vstatd-state";
+    queue_max = 32;
+    jobs = 1;
+    pipeline_seed = 42;
+    mc_per_geometry = 300;
+    inject = None;
+  }
+
+let pipeline_signature cfg =
+  Printf.sprintf "%d:%d" cfg.pipeline_seed cfg.mc_per_geometry
+
+(* Admission-time spec validation: everything here is a [Bad_request],
+   shed before any resource is committed. *)
+let validate _cfg (spec : P.spec) =
+  if spec.n < 1 then Error "sample count must be >= 1"
+  else if spec.n > 100_000 then
+    Error "sample count above 100000 (result frame would exceed max_frame)"
+  else if spec.retry < 1 || spec.retry > 16 then
+    Error "retry depth outside [1, 16]"
+  else if not (Float.is_finite spec.vdd && spec.vdd >= 0.3 && spec.vdd <= 1.5)
+  then Error "vdd outside [0.3, 1.5] V"
+  else
+    match spec.kind with
+    | P.Inverter_tpd { fanout } when fanout < 1 || fanout > 16 ->
+      Error "fanout outside [1, 16]"
+    | P.Inverter_tpd _ | P.Sram_snm _ | P.Idsat -> Ok ()
+
+type job = {
+  id : string;
+  spec : P.spec;
+  canonical : string;
+  submitted_ns : int64;
+  deadline_s : float;  (* <= 0: none *)
+}
+
+type entry = Queued of job | Running of job | Finished of P.summary
+
+type t = {
+  config : config;
+  pipeline : Vstat_core.Pipeline.t;
+  listen_fd : Unix.file_descr;
+  mu : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  queue : string Queue.t;
+  stopping : bool Atomic.t;
+  started_ns : int64;
+  mutable queued_samples : int;
+  mutable running_count : int;   (* 0 or 1 *)
+  mutable finished_count : int;
+  mutable rejected_count : int;
+  mutable cache_hit_count : int;
+  mutable served_count : int;
+  mutable ewma_sample_s : float; (* smoothed seconds per evaluated sample *)
+  mutable worker : unit Domain.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let elapsed_s since_ns =
+  Int64.to_float (Int64.sub (Deadline.now_ns ()) since_ns) *. 1e-9
+
+(* --- job execution ----------------------------------------------------- *)
+
+(* Same key scheme as the device-level chaos harness: injective in
+   (index, attempt) below 64 attempts, so every retry re-rolls the fault
+   decision while staying a pure function of the sample index. *)
+let inject_key ~index ~attempt = (index * 64) + attempt
+
+let measure t (spec : P.spec) rng =
+  let tech = Vstat_core.Techs.stochastic_vs t.pipeline ~rng ~vdd:spec.vdd in
+  match spec.kind with
+  | P.Idsat ->
+    Vstat_device.Metrics.idsat
+      (tech.Vstat_cells.Celltech.nmos ~w_nm:200.0)
+      ~vdd:spec.vdd
+  | P.Inverter_tpd { fanout } ->
+    let s =
+      Vstat_cells.Inverter.sample tech ~wp_nm:600.0 ~wn_nm:300.0 ~fanout
+    in
+    (Vstat_cells.Inverter.measure s).Vstat_cells.Inverter.tpd
+  | P.Sram_snm { read } ->
+    Vstat_cells.Sram6t.snm
+      (Vstat_cells.Sram6t.sample tech)
+      ~mode:(if read then Vstat_cells.Sram6t.Read else Vstat_cells.Sram6t.Hold)
+
+let sample_fn t (spec : P.spec) ~attempt ~index rng =
+  (* Service-layer chaos first, before the sample body: a Stall only
+     delays this worker, an Abort raises into the retry ladder.  Either
+     way the value eventually computed from [rng] is unchanged. *)
+  (match t.config.inject with
+  | None -> ()
+  | Some cfg -> (
+    match FS.plan cfg ~key:(inject_key ~index ~attempt) with
+    | None -> ()
+    | Some (FS.Stall s) -> Unix.sleepf s
+    | Some FS.Abort ->
+      raise
+        (Vstat_device.Fault_inject.Injected
+           (Printf.sprintf "injected service abort (sample %d attempt %d)"
+              index attempt))));
+  measure t spec rng
+
+let cause_string t = function
+  | C.Finished -> "finished"
+  | C.Deadline_reached ->
+    if Atomic.get t.stopping then "shutdown" else "deadline"
+  | C.Signalled _ -> "shutdown"
+
+let summary_of_outcome t job (o : float C.outcome) =
+  let values = C.values o in
+  let len = Array.length values in
+  let mean = if len > 0 then Vstat_stats.Descriptive.mean values else Float.nan in
+  let std = if len > 1 then Vstat_stats.Descriptive.std values else Float.nan in
+  let ci_lo, ci_hi =
+    if len > 1 then Vstat_stats.Descriptive.mean_ci values
+    else (Float.nan, Float.nan)
+  in
+  let newly_evaluated = o.C.completed - o.C.restored in
+  {
+    P.id = job.id;
+    n = job.spec.P.n;
+    completed = o.C.completed;
+    failed = List.length (C.failures o);
+    mean;
+    std;
+    ci_lo;
+    ci_hi;
+    partial = not (C.is_complete o);
+    cause = cause_string t o.C.cause;
+    cached = newly_evaluated = 0 && o.C.restored > 0;
+    wall_s = o.C.stats.Runtime.wall_s;
+    retried = o.C.stats.Runtime.retried_samples;
+    values;
+  }
+
+let error_summary job detail =
+  {
+    P.id = job.id;
+    n = job.spec.P.n;
+    completed = 0;
+    failed = job.spec.P.n;
+    mean = Float.nan;
+    std = Float.nan;
+    ci_lo = Float.nan;
+    ci_hi = Float.nan;
+    partial = true;
+    cause = "error: " ^ detail;
+    cached = false;
+    wall_s = 0.0;
+    retried = 0;
+    values = [||];
+  }
+
+let run_job t job =
+  let settings = C.settings ~every:8 ~resume:true t.config.state_dir in
+  let stop_flag () = Atomic.get t.stopping in
+  let deadline =
+    if job.deadline_s > 0.0 then begin
+      (* The deadline is anchored at submission: queue wait eats budget. *)
+      let remaining = job.deadline_s -. elapsed_s job.submitted_ns in
+      Deadline.combine
+        (Deadline.watchdog ~seconds:(Float.max remaining 1e-3))
+        stop_flag
+    end
+    else stop_flag
+  in
+  let retry = Runtime.retry job.spec.P.retry in
+  let jobs = if t.config.jobs > 0 then Some t.config.jobs else None in
+  let o =
+    C.run ?jobs ~retry ~deadline ~settings ~fingerprint:job.canonical
+      ~codec:C.float_codec ~label:job.id
+      ~rng:(Vstat_util.Rng.create ~seed:job.spec.P.seed)
+      ~n:job.spec.P.n
+      ~f:(fun ~attempt ~index rng -> sample_fn t job.spec ~attempt ~index rng)
+      ()
+  in
+  summary_of_outcome t job o
+
+let execute t job =
+  match run_job t job with
+  | summary -> summary
+  | exception Journal.Rejected e ->
+    (* The cached snapshot under this content address does not belong to
+       this job (CRC collision or stale file): quarantine it — the typed
+       error names the path — and recompute from scratch. *)
+    let path = Journal.error_path e in
+    Log.warn (fun m ->
+        m "job %s: quarantining snapshot: %s" job.id (Journal.error_to_string e));
+    (try Sys.rename path (path ^ ".bad") with Sys_error _ -> ());
+    (match run_job t job with
+    | summary -> summary
+    | exception exn -> error_summary job (Printexc.to_string exn))
+  | exception exn -> error_summary job (Printexc.to_string exn)
+
+let rec worker_loop t =
+  if Atomic.get t.stopping then ()
+  else begin
+    let next =
+      locked t (fun () ->
+          match Queue.take_opt t.queue with
+          | None -> None
+          | Some id -> (
+            match Hashtbl.find_opt t.table id with
+            | Some (Queued job) ->
+              Hashtbl.replace t.table id (Running job);
+              t.queued_samples <- t.queued_samples - job.spec.P.n;
+              t.running_count <- 1;
+              Some job
+            | _ -> None))
+    in
+    match next with
+    | None ->
+      (* No timed condition wait in OCaml; a short poll keeps the worker
+         simple and signal-safe.  20 ms of added queue latency is noise
+         next to any real Monte Carlo job. *)
+      Unix.sleepf 0.02;
+      worker_loop t
+    | Some job ->
+      let summary = execute t job in
+      let evaluated = summary.P.completed in
+      locked t (fun () ->
+          Hashtbl.replace t.table job.id (Finished summary);
+          t.running_count <- 0;
+          t.finished_count <- t.finished_count + 1;
+          let newly = evaluated - if summary.P.cached then evaluated else 0 in
+          if newly > 0 && summary.P.wall_s > 0.0 then begin
+            let per = summary.P.wall_s /. Float.of_int newly in
+            t.ewma_sample_s <-
+              (if t.ewma_sample_s <= 0.0 then per
+               else (0.7 *. t.ewma_sample_s) +. (0.3 *. per))
+          end);
+      Log.info (fun m ->
+          m "job %s: %s (%d/%d samples, %.3fs)" job.id summary.P.cause
+            summary.P.completed summary.P.n summary.P.wall_s);
+      worker_loop t
+  end
+
+(* --- admission --------------------------------------------------------- *)
+
+let enqueue_locked t job =
+  Hashtbl.replace t.table job.id (Queued job);
+  Queue.push job.id t.queue;
+  t.queued_samples <- t.queued_samples + job.spec.P.n
+
+let admit t (spec : P.spec) ~deadline_s =
+  match validate t.config spec with
+  | Error detail ->
+    locked t (fun () -> t.rejected_count <- t.rejected_count + 1);
+    P.Rejected { reason = P.Bad_request { detail } }
+  | Ok () ->
+    let canonical =
+      P.spec_canonical ~pipeline:(pipeline_signature t.config) spec
+    in
+    let id = P.job_id canonical in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table id with
+        | Some (Finished _) ->
+          t.cache_hit_count <- t.cache_hit_count + 1;
+          P.Accepted { id; cached = true }
+        | Some (Queued _ | Running _) -> P.Accepted { id; cached = false }
+        | None ->
+          let backlog = t.queued_samples + spec.P.n in
+          let estimated_wait_s = t.ewma_sample_s *. Float.of_int backlog in
+          if deadline_s > 0.0 && estimated_wait_s > deadline_s then begin
+            t.rejected_count <- t.rejected_count + 1;
+            P.Rejected
+              { reason = P.Over_deadline { estimated_wait_s; deadline_s } }
+          end
+          else if Queue.length t.queue >= t.config.queue_max then begin
+            t.rejected_count <- t.rejected_count + 1;
+            P.Rejected
+              {
+                reason =
+                  P.Queue_full
+                    {
+                      queued = Queue.length t.queue;
+                      queue_max = t.config.queue_max;
+                    };
+              }
+          end
+          else begin
+            enqueue_locked t
+              {
+                id;
+                spec;
+                canonical;
+                submitted_ns = Deadline.now_ns ();
+                deadline_s;
+              };
+            P.Accepted { id; cached = false }
+          end)
+
+let queue_position_locked t id =
+  let pos = ref (-1) and k = ref 0 in
+  Queue.iter
+    (fun qid ->
+      if !pos < 0 && String.equal qid id then pos := !k;
+      incr k)
+    t.queue;
+  !pos
+
+let handle t req =
+  match req with
+  | P.Submit { spec; deadline_s } -> admit t spec ~deadline_s
+  | P.Status { id } ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table id with
+        | None -> P.Unknown_id { id }
+        | Some (Queued _) ->
+          let position = Int.max 0 (queue_position_locked t id) in
+          P.Job_status { id; state = P.Queued { position } }
+        | Some (Running _) -> P.Job_status { id; state = P.Running }
+        | Some (Finished _) -> P.Job_status { id; state = P.Done })
+  | P.Result { id } ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table id with
+        | None -> P.Unknown_id { id }
+        | Some (Queued _) ->
+          let position = Int.max 0 (queue_position_locked t id) in
+          P.Job_status { id; state = P.Queued { position } }
+        | Some (Running _) -> P.Job_status { id; state = P.Running }
+        | Some (Finished summary) ->
+          t.served_count <- t.served_count + 1;
+          P.Job_result summary)
+  | P.Health ->
+    locked t (fun () ->
+        P.Health_report
+          {
+            uptime_s = elapsed_s t.started_ns;
+            queued = Queue.length t.queue;
+            running = t.running_count;
+            finished = t.finished_count;
+            rejected = t.rejected_count;
+            cache_hits = t.cache_hit_count;
+            served = t.served_count;
+          })
+  | P.Shutdown ->
+    Atomic.set t.stopping true;
+    P.Shutting_down
+
+(* --- startup recovery -------------------------------------------------- *)
+
+let recover t =
+  let dir = t.config.state_dir in
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort String.compare files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".ckpt" then begin
+        let path = Filename.concat dir f in
+        match Journal.read ~path with
+        | Error e ->
+          (* The typed payload names the offending snapshot; quarantine it
+             so a corrupt cache entry cannot wedge every restart. *)
+          Log.warn (fun m ->
+              m "recovery: quarantining: %s" (Journal.error_to_string e));
+          (try Sys.rename path (path ^ ".bad") with Sys_error _ -> ())
+        | Ok snap -> (
+          (* Checkpoint appends "|codec:<name>" to the caller fingerprint
+             before journaling; strip it to recover the canonical spec. *)
+          let fp =
+            let full = snap.Journal.identity.Journal.fingerprint in
+            match String.rindex_opt full '|' with
+            | Some i
+              when String.length full - i > 7
+                   && String.equal (String.sub full (i + 1) 6) "codec:" ->
+              String.sub full 0 i
+            | _ -> full
+          in
+          match P.canonical_pipeline fp with
+          | Some p when String.equal p (pipeline_signature t.config) -> (
+            match P.spec_of_canonical fp with
+            | Error detail ->
+              Log.warn (fun m ->
+                  m "recovery: %s: unparseable fingerprint (%s); skipped" path
+                    detail)
+            | Ok spec ->
+              let id = P.job_id fp in
+              if String.equal id snap.Journal.identity.Journal.label then begin
+                let done_n = Array.length snap.Journal.entries in
+                Log.info (fun m ->
+                    m "recovery: %s: %d/%d samples; re-enqueued" path done_n
+                      spec.P.n);
+                (* Re-run through the normal path: Checkpoint resume
+                   restores completed samples bit-identically from the
+                   journal, so a finished job costs nothing and a partial
+                   one computes only its missing indices. *)
+                locked t (fun () ->
+                    enqueue_locked t
+                      {
+                        id;
+                        spec;
+                        canonical = fp;
+                        submitted_ns = Deadline.now_ns ();
+                        deadline_s = 0.0;
+                      })
+              end
+              else
+                Log.warn (fun m ->
+                    m "recovery: %s: label %s does not match content id %s; \
+                       skipped"
+                      path snap.Journal.identity.Journal.label id))
+          | _ ->
+            Log.info (fun m ->
+                m "recovery: %s: different pipeline signature; left in place"
+                  path))
+      end)
+    files
+
+(* --- connection handling ----------------------------------------------- *)
+
+let handle_conn t fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 5.0;
+  match P.read_frame fd with
+  | Error e ->
+    (* A half-open or garbled client: answer typed if the socket still
+       writes, then drop. *)
+    ignore
+      (P.write_frame fd
+         (P.encode_response
+            (P.Rejected
+               { reason = P.Bad_request { detail = P.error_to_string e } })))
+  | Ok payload ->
+    let resp =
+      match P.decode_request payload with
+      | Error e ->
+        locked t (fun () -> t.rejected_count <- t.rejected_count + 1);
+        P.Rejected { reason = P.Bad_request { detail = P.error_to_string e } }
+      | Ok req -> handle t req
+    in
+    (match P.write_frame fd (P.encode_response resp) with
+    | Ok () -> ()
+    | Error e ->
+      Log.debug (fun m -> m "response write failed: %s" (P.error_to_string e)))
+
+(* --- lifecycle --------------------------------------------------------- *)
+
+let mkdir_p dir =
+  let rec mk d =
+    if not (Sys.file_exists d) then begin
+      mk (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  if not (String.equal dir "") then mk dir
+
+let create ?pipeline config =
+  if config.queue_max < 1 then
+    invalid_arg "Service.create: queue_max must be >= 1";
+  if config.mc_per_geometry < 10 then
+    invalid_arg "Service.create: mc_per_geometry must be >= 10";
+  mkdir_p config.state_dir;
+  mkdir_p (Filename.dirname config.socket_path);
+  let pipeline =
+    match pipeline with
+    | Some p -> p
+    | None ->
+      Log.info (fun m ->
+          m "building statistical pipeline (seed %d, %d samples/geometry)"
+            config.pipeline_seed config.mc_per_geometry);
+      Vstat_core.Pipeline.build ~seed:config.pipeline_seed
+        ~mc_per_geometry:config.mc_per_geometry ()
+  in
+  if Sys.file_exists config.socket_path then
+    (try Sys.remove config.socket_path with Sys_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen listen_fd 64;
+  let t =
+    {
+      config;
+      pipeline;
+      listen_fd;
+      mu = Mutex.create ();
+      table = Hashtbl.create 64;
+      queue = Queue.create ();
+      stopping = Atomic.make false;
+      started_ns = Deadline.now_ns ();
+      queued_samples = 0;
+      running_count = 0;
+      finished_count = 0;
+      rejected_count = 0;
+      cache_hit_count = 0;
+      served_count = 0;
+      ewma_sample_s = 0.0;
+      worker = None;
+    }
+  in
+  recover t;
+  t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
+  Log.info (fun m -> m "listening on %s" config.socket_path);
+  t
+
+let stop t = Atomic.set t.stopping true
+
+let serve t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ ->
+          (try handle_conn t fd
+           with exn ->
+             Log.warn (fun m ->
+                 m "connection handler raised: %s" (Printexc.to_string exn)));
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          -> ());
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    end
+  in
+  loop ();
+  Log.info (fun m -> m "draining worker");
+  (match t.worker with
+  | Some d ->
+    Domain.join d;
+    t.worker <- None
+  | None -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove t.config.socket_path with Sys_error _ -> ());
+  Log.info (fun m -> m "stopped")

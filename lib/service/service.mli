@@ -1,0 +1,76 @@
+(** The [vstatd] daemon: a Unix-domain-socket variation-analysis service.
+
+    One process, two domains.  The accept domain speaks the one-shot
+    {!Protocol} (connect, one request frame, one response frame, close)
+    and performs {e admission control}; a single worker domain executes
+    queued jobs through {!Vstat_runtime.Checkpoint.run}, so each job
+    inherits the whole robustness stack: retry ladder, deadline watchdog
+    with graceful partial results, and crash-safe journaling.
+
+    Robustness contract:
+
+    - {b Bounded admission.}  A submit is answered [Accepted] or typed
+      [Rejected] ([Bad_request] for invalid specs, [Over_deadline] when
+      the EWMA backlog estimate says the request cannot finish inside its
+      own deadline, [Queue_full] past [queue_max]).  The queue never grows
+      without bound; overload sheds load instead of collapsing.
+    - {b Deadlines degrade, not fail.}  A deadline-limited job returns a
+      partial {!Protocol.summary}: fewer samples, honestly wider
+      confidence interval, [cause = "deadline"].
+    - {b Crash recovery.}  Every job journals under its content address
+      (the canonical spec string is the {!Vstat_runtime.Journal}
+      fingerprint; {!Protocol.job_id} is the file stem).  On restart the
+      daemon rescans its state directory: complete journals are re-served
+      bit-identically as cache hits, partial journals resume from their
+      last flush, and corrupt ones are quarantined with a typed error
+      naming the file.  Because every sample is a pure function of
+      [(spec, index)], a killed-and-restarted daemon returns the same
+      bytes an uninterrupted one would.
+    - {b Chaos.}  {!Vstat_device.Fault_inject.Service} faults (worker
+      stalls, pre-sample aborts) can be armed daemon-wide; they perturb
+      timing and exercise the retry ladder without changing any value. *)
+
+type config = {
+  socket_path : string;
+  state_dir : string;       (** journal cache directory (created if absent) *)
+  queue_max : int;          (** admission bound on queued jobs, >= 1 *)
+  jobs : int;               (** worker-pool width per job; 0 = runtime default *)
+  pipeline_seed : int;      (** statistical-VS extraction seed *)
+  mc_per_geometry : int;    (** extraction MC size (small = fast startup) *)
+  inject : Vstat_device.Fault_inject.Service.config option;
+      (** service-layer chaos: stalls / aborts, value-neutral *)
+}
+
+val default_config : config
+(** [queue_max = 32], [jobs = 1], pipeline seed 42 with 300 samples per
+    geometry, no injection; socket and state dir under ["./vstatd-state"]. *)
+
+val pipeline_signature : config -> string
+(** The [pipe=] component of every canonical spec string this daemon
+    produces: jobs from daemons with different extraction settings never
+    share cache entries. *)
+
+type t
+
+val create : ?pipeline:Vstat_core.Pipeline.t -> config -> t
+(** Build the statistical pipeline (the expensive part), bind the listen
+    socket, recover journals from [state_dir], and start the worker
+    domain.  [pipeline] skips the build for in-process harnesses — the
+    caller must pass one whose seed and extraction size match the config,
+    since {!pipeline_signature} is baked into every cache identity.
+    @raise Unix.Unix_error if the socket cannot be bound or
+    Invalid_argument on a nonsensical config. *)
+
+val serve : t -> unit
+(** Blocking accept loop.  Returns after {!stop} is called (from a signal
+    handler or another domain) or a [Shutdown] request arrives, having
+    joined the worker, closed the socket and unlinked the socket path.
+    The worker drains gracefully: an in-flight job stops at the next
+    sample boundary and flushes its journal, so nothing is lost. *)
+
+val stop : t -> unit
+(** Request shutdown (idempotent, async-signal-safe: sets a flag). *)
+
+val validate : config -> Protocol.spec -> (unit, string) result
+(** The admission validity check, exposed for tests and the CLI: sample
+    count, retry depth, vdd and fanout ranges. *)

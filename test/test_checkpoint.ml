@@ -107,7 +107,7 @@ let test_journal_rejection () =
   (* Wrong magic. *)
   expect_error "bad magic"
     (J.decode ("XXXXXXXX" ^ String.sub s 8 (String.length s - 8)))
-    (function J.Bad_magic -> true | _ -> false);
+    (function J.Bad_magic _ -> true | _ -> false);
   (* Version skew is detected before the CRC is even checked. *)
   let skewed = Bytes.of_string s in
   Bytes.set_int32_le skewed 8 99l;
@@ -115,7 +115,26 @@ let test_journal_rejection () =
     (J.decode (Bytes.to_string skewed))
     (function
       | J.Version_skew { found = 99; _ } -> true
-      | _ -> false)
+      | _ -> false);
+  (* Error payloads name the snapshot they describe: in-memory decodes
+     carry the sentinel, file reads carry the offending path. *)
+  expect_error "in-memory path sentinel"
+    (J.decode (Bytes.to_string corrupt))
+    (fun e -> String.equal (J.error_path e) J.in_memory);
+  let dir = Filename.temp_file "vstat_journal" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let bad_path = Filename.concat dir "torn.ckpt" in
+  Out_channel.with_open_bin bad_path (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string corrupt));
+  expect_error "file path in corrupt payload" (J.read ~path:bad_path) (fun e ->
+      (match e with J.Corrupt _ -> true | _ -> false)
+      && String.equal (J.error_path e) bad_path);
+  expect_error "file path in IO payload"
+    (J.read ~path:(Filename.concat dir "absent.ckpt"))
+    (fun e ->
+      (match e with J.Io _ -> true | _ -> false)
+      && String.equal (J.error_path e) (Filename.concat dir "absent.ckpt"))
 
 let test_identity_mismatch () =
   let a = identity 10 in

@@ -1,0 +1,389 @@
+(* Wire-protocol codec and service-layer fault-injection tests.
+
+   The codec contract under test: encode/decode round-trips every message
+   (checked on encoded bytes, so float payloads compare bit-exactly
+   without any float equality), strict prefixes and trailing junk are
+   rejected with typed errors, and no input — however hostile — makes a
+   decoder raise. *)
+
+module P = Vstat_service.Protocol
+module S = Vstat_service.Service
+module FS = Vstat_device.Fault_inject.Service
+
+(* --- generators -------------------------------------------------------- *)
+
+let gen_kind =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map
+        (fun fanout -> P.Inverter_tpd { fanout })
+        (QCheck.Gen.int_range 1 16);
+      QCheck.Gen.map (fun read -> P.Sram_snm { read }) QCheck.Gen.bool;
+      QCheck.Gen.return P.Idsat;
+    ]
+
+let gen_spec =
+  let open QCheck.Gen in
+  gen_kind >>= fun kind ->
+  int_range 1 100_000 >>= fun n ->
+  int >>= fun seed ->
+  float_range 0.3 1.5 >>= fun vdd ->
+  int_range 1 16 >>= fun retry -> return { P.kind; n; seed; vdd; retry }
+
+let gen_id = QCheck.Gen.string_size ~gen:QCheck.Gen.printable (QCheck.Gen.int_range 0 24)
+
+let gen_request =
+  let open QCheck.Gen in
+  oneof
+    [
+      (gen_spec >>= fun spec ->
+       float_range (-1.0) 60.0 >>= fun deadline_s ->
+       return (P.Submit { spec; deadline_s }));
+      map (fun id -> P.Status { id }) gen_id;
+      map (fun id -> P.Result { id }) gen_id;
+      return P.Health;
+      return P.Shutdown;
+    ]
+
+let gen_float_wild =
+  (* Bit-pattern floats: exercises negatives, subnormals, infinities and
+     NaN payloads through the codec (values travel as raw IEEE bits). *)
+  QCheck.Gen.map Int64.float_of_bits QCheck.Gen.int64
+
+let gen_summary =
+  let open QCheck.Gen in
+  gen_id >>= fun id ->
+  int_range 0 5000 >>= fun n ->
+  int_range 0 5000 >>= fun completed ->
+  int_range 0 100 >>= fun failed ->
+  gen_float_wild >>= fun mean ->
+  gen_float_wild >>= fun std ->
+  gen_float_wild >>= fun ci_lo ->
+  gen_float_wild >>= fun ci_hi ->
+  bool >>= fun partial ->
+  gen_id >>= fun cause ->
+  bool >>= fun cached ->
+  float_range 0.0 100.0 >>= fun wall_s ->
+  int_range 0 100 >>= fun retried ->
+  array_size (int_range 0 40) gen_float_wild >>= fun values ->
+  return
+    {
+      P.id;
+      n;
+      completed;
+      failed;
+      mean;
+      std;
+      ci_lo;
+      ci_hi;
+      partial;
+      cause;
+      cached;
+      wall_s;
+      retried;
+      values;
+    }
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [
+      (gen_id >>= fun id ->
+       bool >>= fun cached -> return (P.Accepted { id; cached }));
+      map
+        (fun reason -> P.Rejected { reason })
+        (oneof
+           [
+             (int_range 0 100 >>= fun queued ->
+              int_range 1 100 >>= fun queue_max ->
+              return (P.Queue_full { queued; queue_max }));
+             (float_range 0.0 1000.0 >>= fun estimated_wait_s ->
+              float_range 0.0 1000.0 >>= fun deadline_s ->
+              return (P.Over_deadline { estimated_wait_s; deadline_s }));
+             map (fun detail -> P.Bad_request { detail }) gen_id;
+           ]);
+      (gen_id >>= fun id ->
+       oneof
+         [
+           map (fun position -> P.Queued { position }) (int_range 0 100);
+           return P.Running;
+           return P.Done;
+         ]
+       >>= fun state -> return (P.Job_status { id; state }));
+      map (fun s -> P.Job_result s) gen_summary;
+      map (fun id -> P.Unknown_id { id }) gen_id;
+      (float_range 0.0 1e6 >>= fun uptime_s ->
+       int_range 0 100 >>= fun queued ->
+       int_range 0 1 >>= fun running ->
+       int_range 0 1000 >>= fun finished ->
+       int_range 0 1000 >>= fun rejected ->
+       int_range 0 1000 >>= fun cache_hits ->
+       int_range 0 1000 >>= fun served ->
+       return
+         (P.Health_report
+            { uptime_s; queued; running; finished; rejected; cache_hits; served }));
+      return P.Shutting_down;
+    ]
+
+(* --- round-trip properties --------------------------------------------- *)
+
+(* Equality through re-encoding: two messages are the same iff their
+   encodings are byte-equal, which compares float fields bit-exactly. *)
+let roundtrips encode decode msg =
+  let enc = encode msg in
+  match decode enc with
+  | Error _ -> false
+  | Ok msg' -> String.equal enc (encode msg')
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request: decode (encode r) = r" ~count:500
+    (QCheck.make gen_request)
+    (roundtrips P.encode_request P.decode_request)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response: decode (encode r) = r" ~count:500
+    (QCheck.make gen_response)
+    (roundtrips P.encode_response P.decode_response)
+
+(* Every strict prefix of a valid payload must be rejected typed — the
+   decoder reads identical bytes until a bounds check fails, so the only
+   acceptable outcomes are Truncated (or Oversized for a cut that lands
+   inside a length field). *)
+let prefix_rejected encode decode msg k01 =
+  let enc = encode msg in
+  let len = String.length enc in
+  if len = 0 then true
+  else begin
+    let cut = Int.min (len - 1) (int_of_float (k01 *. Float.of_int len)) in
+    match decode (String.sub enc 0 cut) with
+    | Error (P.Truncated _ | P.Oversized _) -> true
+    | Error _ | Ok _ -> false
+  end
+
+let prop_request_prefix =
+  QCheck.Test.make ~name:"request: strict prefixes rejected typed" ~count:500
+    QCheck.(make Gen.(pair gen_request (float_range 0.0 1.0)))
+    (fun (r, k) -> prefix_rejected P.encode_request P.decode_request r k)
+
+let prop_response_prefix =
+  QCheck.Test.make ~name:"response: strict prefixes rejected typed" ~count:500
+    QCheck.(make Gen.(pair gen_response (float_range 0.0 1.0)))
+    (fun (r, k) -> prefix_rejected P.encode_response P.decode_response r k)
+
+let prop_trailing =
+  QCheck.Test.make ~name:"trailing junk rejected typed" ~count:300
+    QCheck.(make Gen.(pair gen_request (string_size (Gen.int_range 1 16))))
+    (fun (r, junk) ->
+      match P.decode_request (P.encode_request r ^ junk) with
+      | Error (P.Trailing _) -> true
+      | Error _ | Ok _ -> false)
+
+(* Hostile input: arbitrary bytes never escape as an exception. *)
+let never_raises decode s =
+  match decode s with Ok _ -> true | Error _ -> true | exception _ -> false
+
+let prop_garbage_request =
+  QCheck.Test.make ~name:"request: garbage never raises" ~count:1000
+    QCheck.(string_gen Gen.char)
+    (never_raises P.decode_request)
+
+let prop_garbage_response =
+  QCheck.Test.make ~name:"response: garbage never raises" ~count:1000
+    QCheck.(string_gen Gen.char)
+    (never_raises P.decode_response)
+
+let prop_canonical_roundtrip =
+  QCheck.Test.make ~name:"canonical spec string round-trips" ~count:500
+    (QCheck.make gen_spec)
+    (fun spec ->
+      let canonical = P.spec_canonical ~pipeline:"42:300" spec in
+      match P.spec_of_canonical canonical with
+      | Error _ -> false
+      | Ok spec' ->
+        (* Compare through the binary codec: bit-exact on vdd. *)
+        String.equal
+          (P.encode_request (P.Submit { spec; deadline_s = 0.0 }))
+          (P.encode_request (P.Submit { spec = spec'; deadline_s = 0.0 }))
+        && String.equal (Option.get (P.canonical_pipeline canonical)) "42:300")
+
+(* --- framing ----------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payload = String.init 100_000 (fun i -> Char.chr (i land 0xFF)) in
+      (match P.write_frame a payload with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_frame: %s" (P.error_to_string e));
+      match P.read_frame b with
+      | Ok got -> Alcotest.(check bool) "payload" true (String.equal got payload)
+      | Error e -> Alcotest.failf "read_frame: %s" (P.error_to_string e))
+
+let test_frame_oversized_write () =
+  with_socketpair (fun a _ ->
+      match P.write_frame a (String.make (P.max_frame + 1) 'x') with
+      | Error (P.Oversized _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (P.error_to_string e)
+      | Ok () -> Alcotest.fail "oversized frame accepted")
+
+let test_frame_oversized_read () =
+  with_socketpair (fun a b ->
+      (* A hostile 512 MiB length prefix must be refused before any
+         allocation, not trusted. *)
+      let header = Bytes.create 4 in
+      Bytes.set_int32_le header 0 0x20000000l;
+      let _ = Unix.write a header 0 4 in
+      Unix.close a;
+      match P.read_frame b with
+      | Error (P.Oversized _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (P.error_to_string e)
+      | Ok _ -> Alcotest.fail "oversized prefix accepted")
+
+let test_frame_eof_mid_payload () =
+  with_socketpair (fun a b ->
+      let header = Bytes.create 4 in
+      Bytes.set_int32_le header 0 64l;
+      let _ = Unix.write a header 0 4 in
+      let _ = Unix.write_substring a "short" 0 5 in
+      Unix.close a;
+      match P.read_frame b with
+      | Error (P.Truncated _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (P.error_to_string e)
+      | Ok _ -> Alcotest.fail "torn frame accepted")
+
+let test_bad_version () =
+  let enc = P.encode_request P.Health in
+  let b = Bytes.of_string enc in
+  Bytes.set_int32_le b 0 99l;
+  match P.decode_request (Bytes.to_string b) with
+  | Error (P.Bad_version { found = 99; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (P.error_to_string e)
+  | Ok _ -> Alcotest.fail "version skew accepted"
+
+(* --- service-layer fault injection ------------------------------------- *)
+
+let test_service_plan_deterministic () =
+  let cfg = { FS.rate = 0.3; abort_frac = 0.5; stall_s = 0.01; seed = 7 } in
+  let fired = ref 0 and aborts = ref 0 in
+  for key = 0 to 9_999 do
+    (match FS.plan cfg ~key with
+    | None -> ()
+    | Some a -> (
+      incr fired;
+      (match a with FS.Abort -> incr aborts | FS.Stall _ -> ());
+      (* replay: pure function of (config, key) *)
+      match (FS.plan cfg ~key, a) with
+      | Some (FS.Stall _), FS.Stall _ | Some FS.Abort, FS.Abort -> ()
+      | _ -> Alcotest.fail "plan not deterministic"))
+  done;
+  let frac = Float.of_int !fired /. 10_000.0 in
+  Alcotest.(check bool) "rate respected" true (frac > 0.25 && frac < 0.35);
+  let abort_frac = Float.of_int !aborts /. Float.of_int !fired in
+  Alcotest.(check bool) "abort split" true (abort_frac > 0.4 && abort_frac < 0.6)
+
+let test_service_plan_edges () =
+  let none = { FS.rate = 0.0; abort_frac = 0.5; stall_s = 0.01; seed = 1 } in
+  let all = { FS.rate = 1.0; abort_frac = 1.0; stall_s = 0.01; seed = 1 } in
+  for key = 0 to 99 do
+    (match FS.plan none ~key with
+    | None -> ()
+    | Some _ -> Alcotest.fail "rate 0 fired");
+    match FS.plan all ~key with
+    | Some FS.Abort -> ()
+    | _ -> Alcotest.fail "rate 1 abort_frac 1 did not abort"
+  done;
+  (match FS.plan { none with FS.rate = Float.nan } ~key:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN rate accepted")
+
+let test_service_parse_spec () =
+  let ok s check =
+    match FS.parse_spec s with
+    | Ok cfg -> check cfg
+    | Error m -> Alcotest.failf "parse %S failed: %s" s m
+  in
+  ok "0.1" (fun c ->
+      Alcotest.(check bool) "mix default" true
+        (c.FS.rate > 0.09 && c.FS.rate < 0.11 && c.FS.abort_frac > 0.4));
+  ok "0.2:stall" (fun c ->
+      Alcotest.(check bool) "stall" true (c.FS.abort_frac < 0.01));
+  ok "0.2:abort" (fun c ->
+      Alcotest.(check bool) "abort" true (c.FS.abort_frac > 0.99));
+  ok "0.2:stall:0.5" (fun c ->
+      Alcotest.(check bool) "stall secs" true
+        (c.FS.stall_s > 0.49 && c.FS.stall_s < 0.51));
+  List.iter
+    (fun bad ->
+      match FS.parse_spec bad with
+      | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
+      | Error _ -> ())
+    [ "x"; "1.5"; "-0.1"; "0.1:frob"; "0.1:stall:-1"; "" ]
+
+(* --- admission validation --------------------------------------------- *)
+
+let test_validate () =
+  let cfg = S.default_config in
+  let base =
+    { P.kind = P.Idsat; n = 100; seed = 1; vdd = 1.0; retry = 1 }
+  in
+  (match S.validate cfg base with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "valid spec rejected: %s" m);
+  List.iter
+    (fun (label, spec) ->
+      match S.validate cfg spec with
+      | Ok () -> Alcotest.failf "invalid spec accepted: %s" label
+      | Error _ -> ())
+    [
+      ("n=0", { base with P.n = 0 });
+      ("n huge", { base with P.n = 1_000_000 });
+      ("retry=0", { base with P.retry = 0 });
+      ("retry=99", { base with P.retry = 99 });
+      ("vdd low", { base with P.vdd = 0.1 });
+      ("vdd nan", { base with P.vdd = Float.nan });
+      ("fanout=0", { base with P.kind = P.Inverter_tpd { fanout = 0 } });
+    ]
+
+let () =
+  Alcotest.run "vstat_service"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_request_prefix;
+          QCheck_alcotest.to_alcotest prop_response_prefix;
+          QCheck_alcotest.to_alcotest prop_trailing;
+          QCheck_alcotest.to_alcotest prop_garbage_request;
+          QCheck_alcotest.to_alcotest prop_garbage_response;
+          QCheck_alcotest.to_alcotest prop_canonical_roundtrip;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "oversized write refused" `Quick
+            test_frame_oversized_write;
+          Alcotest.test_case "oversized prefix refused" `Quick
+            test_frame_oversized_read;
+          Alcotest.test_case "EOF mid-payload refused" `Quick
+            test_frame_eof_mid_payload;
+          Alcotest.test_case "version skew refused" `Quick test_bad_version;
+        ] );
+      ( "fault_inject.service",
+        [
+          Alcotest.test_case "plan deterministic, rates respected" `Quick
+            test_service_plan_deterministic;
+          Alcotest.test_case "edge rates and validation" `Quick
+            test_service_plan_edges;
+          Alcotest.test_case "spec parsing" `Quick test_service_parse_spec;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "spec validation" `Quick test_validate ] );
+    ]
