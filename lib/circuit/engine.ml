@@ -840,7 +840,7 @@ type raw_trace = {
    arrays, and keeping it out of this function is what lets the
    zero-allocation gate difference two runs of different lengths and assert
    an exactly-zero per-step cost. *)
-let transient_raw ?options ?trap ?dt_min_factor t ~tstop ~dt =
+let[@vstat.entry] transient_raw ?options ?trap ?dt_min_factor t ~tstop ~dt =
   let opts = match options with Some o -> o | None -> current_options () in
   (* Per-call keyword overrides win over the ambient/explicit option set. *)
   let opts = match trap with Some b -> { opts with trap = b } | None -> opts in
@@ -997,7 +997,7 @@ let transient_raw ?options ?trap ?dt_min_factor t ~tstop ~dt =
     raw_states = !states_buf;
   }
 
-let transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
+let[@vstat.entry] transient ?options ?trap ?dt_min_factor t ~tstop ~dt =
   let raw = transient_raw ?options ?trap ?dt_min_factor t ~tstop ~dt in
   let n = raw.raw_unknowns in
   {

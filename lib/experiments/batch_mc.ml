@@ -37,7 +37,7 @@ let get (buf : float array) o : Vs.shifts =
 let wp_nm = 600.0
 let wn_nm = 300.0
 
-let chain_tpd ?jobs ?(backend = E.Auto) ?(batched = true) ?(stages = 8)
+let[@vstat.entry] chain_tpd ?jobs ?(backend = E.Auto) ?(batched = true) ?(stages = 8)
     ?(steps = 600) ~n ~seed ~vdd (p : Vstat_core.Pipeline.t) =
   let l_nm = Vstat_device.Cards.l_nominal_nm in
   let positions = stages + 1 in

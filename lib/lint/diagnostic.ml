@@ -1,5 +1,10 @@
 (* A single rule violation, pinned to a source position.  The linter's
-   output formats (human and JSON) both render from this record. *)
+   output formats (human and JSON, both rendered by {!Report}) work from
+   this record.  Cross-module findings from the deep pass additionally
+   carry [trace]: the call path from the offending entry point / domain
+   root down to the nondeterministic source or unguarded state access,
+   one rendered step per element (e.g. ["a.ml:12"; "b.ml:40";
+   "Random.float (c.ml:3)"]). *)
 
 type t = {
   rule : string;     (* rule identifier, e.g. "float-compare" *)
@@ -7,9 +12,11 @@ type t = {
   line : int;        (* 1-based *)
   col : int;         (* 0-based, matching compiler convention *)
   message : string;
+  trace : string list;  (* cross-module call path; [] for per-file rules *)
 }
 
-let make ~rule ~file ~line ~col message = { rule; file; line; col; message }
+let make ?(trace = []) ~rule ~file ~line ~col message =
+  { rule; file; line; col; message; trace }
 
 (* Stable report order: file, then position, then rule.  Explicit
    comparators throughout — this module must satisfy its own float/compare
@@ -29,26 +36,7 @@ let compare a b =
   | c -> c
 
 let to_human d =
-  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let to_json d =
-  Printf.sprintf
-    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
-    (json_escape d.rule) (json_escape d.file) d.line d.col
-    (json_escape d.message)
+  let base = Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message in
+  match d.trace with
+  | [] -> base
+  | steps -> base ^ "\n    path: " ^ String.concat " \xe2\x86\x92 " steps

@@ -1,5 +1,11 @@
 (* Rendering of a lint run: human file:line diagnostics for terminals and
-   CI logs, machine-readable JSON for the uploaded CI artifact. *)
+   CI logs, machine-readable JSON for the uploaded CI artifact.
+
+   All JSON string rendering funnels through {!json_string} here — the one
+   escaping routine for rule ids, paths, messages and call-path steps — so
+   a diagnostic message containing quotes, backslashes, newlines or raw
+   control characters can never produce an invalid document.  The unit
+   test in test/test_lint.ml feeds a pathological message through it. *)
 
 type format = Text | Json
 
@@ -8,25 +14,77 @@ let format_of_string = function
   | "json" -> Some Json
   | _ -> None
 
-let text oc ~files_scanned diags =
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let diagnostic_json (d : Diagnostic.t) =
+  let path =
+    match d.Diagnostic.trace with
+    | [] -> ""
+    | steps ->
+      Printf.sprintf {|,"path":[%s]|}
+        (String.concat "," (List.map json_string steps))
+  in
+  Printf.sprintf {|{"rule":%s,"file":%s,"line":%d,"col":%d,"message":%s%s}|}
+    (json_string d.Diagnostic.rule)
+    (json_string d.Diagnostic.file)
+    d.Diagnostic.line d.Diagnostic.col
+    (json_string d.Diagnostic.message)
+    path
+
+(* [deep], when present, is (files re-summarized, summary-cache hits) from
+   the two-phase pass. *)
+
+let text oc ~files_scanned ?deep diags =
   List.iter (fun d -> output_string oc (Diagnostic.to_human d ^ "\n")) diags;
   let n = List.length diags in
+  let cache_note =
+    match deep with
+    | None -> ""
+    | Some (rebuilt, cached) ->
+      Printf.sprintf " (deep: %d re-summarized, %d cached)" rebuilt cached
+  in
   if n = 0 then
-    Printf.fprintf oc "vstat_lint: %d files, clean\n" files_scanned
+    Printf.fprintf oc "vstat_lint: %d files, clean%s\n" files_scanned
+      cache_note
   else
-    Printf.fprintf oc "vstat_lint: %d files, %d violation%s\n" files_scanned n
+    Printf.fprintf oc "vstat_lint: %d files, %d violation%s%s\n" files_scanned
+      n
       (if n = 1 then "" else "s")
+      cache_note
 
-let json oc ~files_scanned diags =
-  let rows = List.map Diagnostic.to_json diags in
+let json oc ~files_scanned ?deep diags =
+  let rows = List.map diagnostic_json diags in
+  let deep_field =
+    match deep with
+    | None -> ""
+    | Some (rebuilt, cached) ->
+      Printf.sprintf {|,"deep":{"resummarized":%d,"cached":%d}|} rebuilt
+        cached
+  in
   Printf.fprintf oc
-    {|{"tool":"vstat_lint","files_scanned":%d,"violations":[%s],"count":%d}|}
+    {|{"tool":"vstat_lint","files_scanned":%d,"violations":[%s],"count":%d%s}|}
     files_scanned
     (String.concat "," rows)
-    (List.length diags);
+    (List.length diags) deep_field;
   output_string oc "\n"
 
-let print fmt oc ~files_scanned diags =
+let print fmt oc ~files_scanned ?deep diags =
   match fmt with
-  | Text -> text oc ~files_scanned diags
-  | Json -> json oc ~files_scanned diags
+  | Text -> text oc ~files_scanned ?deep diags
+  | Json -> json oc ~files_scanned ?deep diags

@@ -14,6 +14,8 @@ let float_compare = "float-compare"
 let exn_discipline = "exn-discipline"
 let hot_path = "hot-path"
 let parse_error = "parse-error"
+let determinism_taint = "determinism-taint"
+let domain_safety = "domain-safety"
 
 let all =
   [
@@ -85,6 +87,31 @@ let all =
       id = parse_error;
       summary = "source file failed to parse (reported as a violation)";
       invariant = "the lint pass must see every file it claims to cover";
+    };
+    {
+      id = determinism_taint;
+      summary =
+        "(--deep) no [@vstat.entry] hot entry point may transitively reach \
+         an unsanctioned Random.* / wall-clock / unsorted-Hashtbl site \
+         through the project call graph; the finding carries the full \
+         cross-module call path";
+      invariant =
+        "jobs:1 == jobs:N bit-identical Monte Carlo, made whole-program: \
+         the per-file determinism rules only see direct uses, so a helper \
+         calling a nondeterministic function two modules away must be \
+         caught by interprocedural taint propagation";
+    };
+    {
+      id = domain_safety;
+      summary =
+        "(--deep) no module-level mutable state (ref / Hashtbl / Buffer / \
+         Queue / Stack / mutable-record binding at structure level) may be \
+         accessed without an Atomic.* / Mutex / Domain.DLS guard from code \
+         reachable from a domain root (a function containing Domain.spawn)";
+      invariant =
+        "the runtime pool and the vstatd worker share module state across \
+         domains; an unguarded access reachable from a spawn site is a \
+         data race waiting for the multi-worker scheduler to widen it";
     };
   ]
 

@@ -109,7 +109,7 @@ let capture ~index ~history exn backtrace =
 (* One sample under the retry ladder.  The ladder runs inline on the worker
    that owns index [i], so the (attempt sequence, result) is a pure function
    of [i] — scheduling and worker count cannot perturb it. *)
-let eval ~policy f i =
+let[@vstat.entry] eval ~policy f i =
   let rec go attempt history =
     match f ~attempt i with
     | v -> (Ok v, attempt + 1)
@@ -132,7 +132,7 @@ let eval ~policy f i =
    sample index, never by work-list position — the determinism contract
    is untouched by subsetting. *)
 
-let run_serial ?on_progress ~should_stop ~policy ~n ~indices ~f () =
+let[@vstat.entry] run_serial ?on_progress ~should_stop ~policy ~n ~indices ~f () =
   let m = Array.length indices in
   let cells = Array.make n None in
   let attempts = Array.make n 0 in
@@ -154,7 +154,7 @@ let run_serial ?on_progress ~should_stop ~policy ~n ~indices ~f () =
   done;
   (cells, attempts, [| !k |])
 
-let run_parallel ?on_progress ~should_stop ~policy ~jobs ~n ~indices ~f () =
+let[@vstat.entry] run_parallel ?on_progress ~should_stop ~policy ~jobs ~n ~indices ~f () =
   let m = Array.length indices in
   let cells = Array.make n None in
   let attempts = Array.make n 0 in

@@ -1,0 +1,10 @@
+(* Deep-pass fixture: the [@@@vstat.allow] file floor silences the
+   domain-safety access below. *)
+
+[@@@vstat.allow "domain-safety"]
+
+let tally = ref 0
+
+let spin () =
+  let d = Domain.spawn (fun () -> incr tally) in
+  Domain.join d

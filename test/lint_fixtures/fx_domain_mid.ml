@@ -1,0 +1,3 @@
+(* Middle link of the domain-safety chain fixture. *)
+
+let touch () = Fx_domain_state.counter_bump ()

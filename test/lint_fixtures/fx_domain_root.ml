@@ -1,0 +1,6 @@
+(* Root of the domain-safety chain fixture: the Domain.spawn makes [run] a
+   domain root, so everything it reaches runs on at least two domains. *)
+
+let run () =
+  let d = Domain.spawn (fun () -> Fx_domain_mid.touch ()) in
+  Domain.join d

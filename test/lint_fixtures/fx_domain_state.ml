@@ -1,0 +1,10 @@
+(* Deep-pass fixture: module-level mutable state for the domain-safety
+   chain.  [counter_bump] touches [hits] unguarded; [guarded_bump] goes
+   through Mutex.protect and must stay silent. *)
+
+let hits = ref 0
+let lock = Mutex.create ()
+
+let counter_bump () = incr hits
+
+let guarded_bump () = Mutex.protect lock (fun () -> incr hits)

@@ -1,0 +1,10 @@
+(* Deep-pass fixture: determinism-taint entry points.  [hot_entry] reaches
+   Random.float through the 3-module chain a -> b -> c and must be the one
+   reported finding; [sanctioned_entry] takes the same path but carries the
+   binding-level allow and must stay silent. *)
+
+let[@vstat.entry] hot_entry x = Fx_taint_b.middle x +. 1.0
+
+let sanctioned_entry x =
+  Fx_taint_b.middle x *. 2.0
+[@@vstat.entry] [@@vstat.allow "determinism-taint"]

@@ -1,0 +1,3 @@
+(* Middle link of the determinism-taint chain fixture. *)
+
+let middle x = Fx_taint_c.leaf x +. 1.0

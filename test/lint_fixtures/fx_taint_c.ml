@@ -1,0 +1,4 @@
+(* Leaf of the determinism-taint chain fixture: a direct Random.* use,
+   which is also a per-file determinism-random finding. *)
+
+let leaf x = Random.float x
