@@ -567,8 +567,16 @@ let service_bench out_path =
   let module SP = Vstat_service.Protocol in
   let module SS = Vstat_service.Service in
   let module SC = Vstat_service.Client in
+  let iters = 10 in
+  let deadline_s = 2.0 in
+  let spec seed = { SP.kind = SP.Idsat; n = 16; seed; vdd; retry = 2 } in
+  (* One ramp per pool width: a wider pool should push the knee of the
+     latency curve to a higher offered load with the same queue bound. *)
+  let pool_widths = [ 1; 4 ] in
+  let ramp workers =
   let dir =
-    Filename.concat (Filename.get_temp_dir_name ()) "vstat_bench_service"
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "vstat_bench_service_w%d" workers)
   in
   (* Seeds are deterministic, so stale journals from a previous bench run
      would turn every job into a cache hit and flatten the latencies. *)
@@ -581,7 +589,11 @@ let service_bench out_path =
       SS.socket_path;
       state_dir = dir;
       queue_max = 8;
+      workers;
       jobs = 1;
+      poison_retries = 3;
+      hang_timeout_s = 30.0;
+      state_max_bytes = 0;
       pipeline_seed = 42;
       mc_per_geometry = 600;
       (* must match the bench pipeline above *)
@@ -590,9 +602,6 @@ let service_bench out_path =
   in
   let t = SS.create ~pipeline cfg in
   let server = Domain.spawn (fun () -> SS.serve t) in
-  let iters = 10 in
-  let deadline_s = 2.0 in
-  let spec seed = { SP.kind = SP.Idsat; n = 16; seed; vdd; retry = 2 } in
   (* One closed-loop client: submit, await if accepted, tally typed
      rejections.  Returns its private counters; nothing is shared across
      domains. *)
@@ -603,9 +612,13 @@ let service_bench out_path =
     and over_dl = ref 0
     and partial = ref 0 in
     for i = 0 to iters - 1 do
-      let seed = 1_000_000 + (step * 10_000) + (rank * 100) + i in
+      let seed =
+        1_000_000 + (workers * 100_000) + (step * 10_000) + (rank * 100) + i
+      in
       let t0 = Unix.gettimeofday () in
-      match SC.submit ~socket_path ~spec:(spec seed) ~deadline_s () with
+      match SC.submit ~client:(Printf.sprintf "bench-%d" rank) ~socket_path
+              ~spec:(spec seed) ~deadline_s ()
+      with
       | Ok (SP.Accepted { id; _ }) -> (
         sub := (Unix.gettimeofday () -. t0) :: !sub;
         match SC.await ~socket_path ~id () with
@@ -613,8 +626,9 @@ let service_bench out_path =
           e2e := (Unix.gettimeofday () -. t0) :: !e2e;
           incr accepted;
           if s.SP.partial then incr partial
-        | Error m ->
-          Fmt.epr "service bench: await %s: %s@." id m;
+        | Error e ->
+          Fmt.epr "service bench: await %s: %s@." id
+            (SC.await_error_to_string e);
           exit 1)
       | Ok (SP.Rejected { reason }) -> (
         sub := (Unix.gettimeofday () -. t0) :: !sub;
@@ -681,9 +695,9 @@ let service_bench out_path =
             (ms (percentile sub 0.99))
         in
         Fmt.pr
-          "service: %2d clients: %3d submitted, %3d accepted, %d+%d shed, %d \
-           partial, e2e p50/p99 %.0f/%.0f ms, submit p99 %.2f ms@."
-          clients (clients * iters) accepted q_full over_dl partial
+          "service: w%d %2d clients: %3d submitted, %3d accepted, %d+%d \
+           shed, %d partial, e2e p50/p99 %.0f/%.0f ms, submit p99 %.2f ms@."
+          workers clients (clients * iters) accepted q_full over_dl partial
           (ms (percentile e2e 0.50))
           (ms (percentile e2e 0.99))
           (ms (percentile sub 0.99));
@@ -694,14 +708,18 @@ let service_bench out_path =
   | Ok SP.Shutting_down -> ()
   | Ok _ | Error _ -> Fmt.epr "service bench: shutdown did not ack@.");
   Domain.join server;
+  Printf.sprintf "    { \"workers\": %d, \"steps\": [\n%s\n    ] }" workers
+    (String.concat ",\n" rows)
+  in
+  let pools = List.map ramp pool_widths in
   let json =
     Printf.sprintf
       "{\n\
       \  \"workload\": \"idsat n=16 closed-loop ramp, queue_max 8, deadline \
        %.1f s\",\n\
-      \  \"steps\": [\n%s\n  ]\n}\n"
+      \  \"pools\": [\n%s\n  ]\n}\n"
       deadline_s
-      (String.concat ",\n" rows)
+      (String.concat ",\n" pools)
   in
   Out_channel.with_open_text out_path (fun oc -> output_string oc json);
   Fmt.pr "-> %s@." out_path

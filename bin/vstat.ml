@@ -459,14 +459,23 @@ let submit_cmd =
       & info [ "no-wait" ]
           ~doc:"Print the job id after admission and exit without polling.")
   in
+  let client_t =
+    Arg.(
+      value & opt string "default"
+      & info [ "client" ] ~docv:"ID"
+          ~doc:
+            "Fairness identity: the daemon serves queued jobs round-robin \
+             across client ids, so a flooding client delays only itself. \
+             Does not affect the job's cache identity.")
+  in
   let timeout_t =
     Arg.(
       value & opt positive_float 600.0
       & info [ "timeout" ] ~docv:"SEC"
           ~doc:"Give up polling for the result after $(docv) seconds.")
   in
-  let run verbose socket kind fanout n seed retry vdd deadline no_wait timeout
-      =
+  let run verbose socket kind fanout n seed retry vdd deadline no_wait
+      client timeout =
     setup_logs verbose;
     let kind =
       match kind with
@@ -487,8 +496,8 @@ let submit_cmd =
       | P.Bad_request { detail } -> "bad request: " ^ detail
     in
     match
-      Vstat_service.Client.submit ~seed ~socket_path:socket ~spec ~deadline_s
-        ()
+      Vstat_service.Client.submit ~seed ~client ~socket_path:socket ~spec
+        ~deadline_s ()
     with
     | Error msg ->
       Format.eprintf "vstat submit: %s@." msg;
@@ -503,8 +512,15 @@ let submit_cmd =
           Vstat_service.Client.await ~seed ~timeout_s:timeout
             ~socket_path:socket ~id ()
         with
-        | Error msg ->
-          Format.eprintf "vstat submit: %s@." msg;
+        | Error (Vstat_service.Client.Await_quarantined _ as e) ->
+          (* Terminal daemon-side verdict, distinct from transport
+             trouble: the job is poisoned, resubmitting will not help. *)
+          Format.eprintf "vstat submit: job %s %s@." id
+            (Vstat_service.Client.await_error_to_string e);
+          exit 4
+        | Error e ->
+          Format.eprintf "vstat submit: %s@."
+            (Vstat_service.Client.await_error_to_string e);
           exit 1
         | Ok s ->
           Format.printf
@@ -531,7 +547,8 @@ let submit_cmd =
           the (possibly cached or deadline-degraded) result")
     Term.(
       const run $ verbose_t $ socket_t $ kind_t $ fanout_t $ submit_n_t
-      $ seed_t $ retry_t $ vdd_t $ submit_deadline_t $ no_wait_t $ timeout_t)
+      $ seed_t $ retry_t $ vdd_t $ submit_deadline_t $ no_wait_t $ client_t
+      $ timeout_t)
 
 let export_cmd =
   let dir_t =

@@ -60,6 +60,53 @@ let jobs_t =
           "Worker domains per Monte Carlo job. Results are bit-identical \
            for any value.")
 
+let workers_t =
+  Arg.(
+    value & opt positive_int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker-pool width: jobs executed concurrently, each on its own \
+           supervised domain. Crashed or hung workers are replaced and \
+           their jobs requeued; results are bit-identical for any value.")
+
+let poison_retries_t =
+  Arg.(
+    value & opt positive_int 3
+    & info [ "poison-retries" ] ~docv:"K"
+        ~doc:
+          "Rounds a job may crash or hang its worker before it is \
+           quarantined with a terminal status instead of being requeued \
+           again.")
+
+let hang_timeout_t =
+  let pos_float =
+    let parse s =
+      match float_of_string_opt s with
+      | Some v when Float.is_finite v && v > 0.0 -> Ok v
+      | Some _ -> Error (`Msg "must be a positive number of seconds")
+      | None ->
+        Error (`Msg (Printf.sprintf "invalid value %S, expected seconds" s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  Arg.(
+    value & opt pos_float 30.0
+    & info [ "hang-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Watchdog floor: a busy worker whose heartbeat is silent this \
+           long is declared hung and replaced (the effective budget also \
+           scales with the observed per-sample time).")
+
+let state_max_bytes_t =
+  Arg.(
+    value & opt int 0
+    & info [ "state-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "LRU byte budget for --state-dir: least-recently-finished \
+           journals are evicted once the directory exceeds $(docv). 0 \
+           (default) disables the bound. Queued and running jobs are \
+           never evicted.")
+
 let pipeline_seed_t =
   Arg.(
     value & opt int 42
@@ -95,13 +142,16 @@ let inject_t =
     & opt (some inject_conv) None
     & info [ "inject" ] ~docv:"RATE[:KIND[:SEC]]"
         ~doc:
-          "Service-layer chaos: deterministically stall ($(b,stall)) or \
-           abort ($(b,abort)) worker samples at the given rate ($(b,mix) = \
-           half each). Aborts ride the retry ladder; neither changes any \
-           sample value, so results stay bit-identical.")
+          "Service-layer chaos: deterministically stall ($(b,stall)), \
+           abort ($(b,abort)), crash ($(b,crash)), or heartbeat-freeze \
+           ($(b,hang)) workers at the given rate ($(b,mix) = stalls and \
+           aborts, $(b,chaos) = equal quarters of all four). Aborts ride \
+           the retry ladder; crashes and hangs exercise the supervisor's \
+           requeue path. None changes any sample value, so results stay \
+           bit-identical.")
 
-let run verbose state_dir socket queue_max jobs pipeline_seed bpv_samples
-    inject =
+let run verbose state_dir socket queue_max workers jobs poison_retries
+    hang_timeout_s state_max_bytes pipeline_seed bpv_samples inject =
   setup_logs verbose;
   let config =
     {
@@ -111,7 +161,11 @@ let run verbose state_dir socket queue_max jobs pipeline_seed bpv_samples
         | None -> Filename.concat state_dir "vstatd.sock");
       state_dir;
       queue_max;
+      workers;
       jobs = Option.value jobs ~default:1;
+      poison_retries;
+      hang_timeout_s;
+      state_max_bytes = Int.max 0 state_max_bytes;
       pipeline_seed;
       mc_per_geometry = bpv_samples;
       inject;
@@ -129,14 +183,17 @@ let () =
   let info =
     Cmd.info "vstatd" ~version:"1.0.0"
       ~doc:
-        "Fault-tolerant variation-analysis daemon: bounded admission, \
-         per-request deadlines with graceful degradation, and a crash-safe \
-         journal-backed result cache"
+        "Fault-tolerant variation-analysis daemon: bounded admission with \
+         client-fair queueing, a supervised worker pool (crash requeue, \
+         hung-job watchdog, poison-job quarantine), per-request deadlines \
+         with graceful degradation, and a crash-safe journal-backed result \
+         cache bounded by an LRU byte budget"
   in
   let term =
     Term.(
-      const run $ verbose_t $ state_dir_t $ socket_t $ queue_max_t $ jobs_t
-      $ pipeline_seed_t $ bpv_samples_t $ inject_t)
+      const run $ verbose_t $ state_dir_t $ socket_t $ queue_max_t
+      $ workers_t $ jobs_t $ poison_retries_t $ hang_timeout_t
+      $ state_max_bytes_t $ pipeline_seed_t $ bpv_samples_t $ inject_t)
   in
   match Cmd.eval ~catch:false (Cmd.v info term) with
   | exception Unix.Unix_error (e, fn, arg) ->

@@ -145,27 +145,43 @@ let spec_to_string cfg =
 (* --- service-layer faults ---------------------------------------------- *)
 
 module Service = struct
-  type action = Stall of float | Abort
+  type action = Stall of float | Abort | Crash | Hang of float
 
-  type config = { rate : float; abort_frac : float; stall_s : float; seed : int }
+  exception Crashed of string
+
+  type config = {
+    rate : float;
+    abort_frac : float;
+    crash_frac : float;
+    hang_frac : float;
+    stall_s : float;
+    hang_s : float;
+    seed : int;
+  }
 
   let[@vstat.allow "exn-discipline"] validate cfg =
+    let frac f = Float.is_finite f && f >= 0.0 && f <= 1.0 in
     if
       not
-        (Float.is_finite cfg.rate && cfg.rate >= 0.0 && cfg.rate <= 1.0
-        && Float.is_finite cfg.abort_frac
-        && cfg.abort_frac >= 0.0 && cfg.abort_frac <= 1.0
-        && Float.is_finite cfg.stall_s && cfg.stall_s >= 0.0)
+        (frac cfg.rate && frac cfg.abort_frac && frac cfg.crash_frac
+        && frac cfg.hang_frac
+        && cfg.abort_frac +. cfg.crash_frac +. cfg.hang_frac <= 1.0 +. 1e-12
+        && Float.is_finite cfg.stall_s && cfg.stall_s >= 0.0
+        && Float.is_finite cfg.hang_s && cfg.hang_s >= 0.0)
     then
       invalid_arg
         (Printf.sprintf
-           "Fault_inject.Service: rate %g / abort_frac %g / stall_s %g out of \
-            range"
-           cfg.rate cfg.abort_frac cfg.stall_s)
+           "Fault_inject.Service: rate %g / abort_frac %g / crash_frac %g / \
+            hang_frac %g / stall_s %g / hang_s %g out of range (fractions \
+            must lie in [0,1] and sum to at most 1)"
+           cfg.rate cfg.abort_frac cfg.crash_frac cfg.hang_frac cfg.stall_s
+           cfg.hang_s)
 
   (* Same fmix64 key scheme as the device-level planner, with an extra
      golden offset so a shared seed never correlates the two fault
-     streams.  Two independent draws: fire?, then stall-vs-abort. *)
+     streams.  Two independent draws: fire?, then which action — the
+     second draw is split abort | crash | hang | stall by the configured
+     fractions (stall takes the remainder). *)
   let plan cfg ~key =
     validate cfg;
     if cfg.rate <= 0.0 then None
@@ -181,11 +197,16 @@ module Service = struct
       else begin
         let h2 = mix64 (Int64.logxor h golden) in
         let v = Int64.to_float (Int64.shift_right_logical h2 11) *. 0x1p-53 in
-        if v < cfg.abort_frac then Some Abort else Some (Stall cfg.stall_s)
+        if v < cfg.abort_frac then Some Abort
+        else if v < cfg.abort_frac +. cfg.crash_frac then Some Crash
+        else if v < cfg.abort_frac +. cfg.crash_frac +. cfg.hang_frac then
+          Some (Hang cfg.hang_s)
+        else Some (Stall cfg.stall_s)
       end
     end
 
   let default_stall_s = 0.05
+  let default_hang_s = 0.75
 
   let parse_spec ?(seed = 0x5e2c) s =
     let fields = String.split_on_char ':' s in
@@ -197,46 +218,65 @@ module Service = struct
       | Some rate when not (rate >= 0.0 && rate <= 1.0) ->
         Error (Printf.sprintf "fault rate %g out of [0,1]" rate)
       | Some rate -> (
-        let mk abort_frac stall_s =
+        (* [mk abort crash hang ~stall_s ~hang_s]: stall takes whatever
+           fraction the named kinds leave. *)
+        let mk abort_frac crash_frac hang_frac ~stall_s ~hang_s =
           if not (stall_s >= 0.0) then
             Error (Printf.sprintf "stall duration %g is negative" stall_s)
-          else Ok { rate; abort_frac; stall_s; seed }
+          else if not (hang_s >= 0.0) then
+            Error (Printf.sprintf "hang duration %g is negative" hang_s)
+          else
+            Ok
+              {
+                rate;
+                abort_frac;
+                crash_frac;
+                hang_frac;
+                stall_s;
+                hang_s;
+                seed;
+              }
         in
-        match rest with
-        | [] -> mk 0.5 default_stall_s
-        | [ kind ] | [ kind; "" ] -> (
-          let stall_of k =
-            match float_of_string_opt k with
-            | Some s -> Some s
-            | None -> None
-          in
-          match String.lowercase_ascii (String.trim kind) with
-          | "abort" | "raise" -> mk 1.0 default_stall_s
-          | "stall" -> mk 0.0 default_stall_s
-          | "mix" -> mk 0.5 default_stall_s
-          | k -> (
-            match stall_of k with
-            | Some s -> mk 0.0 s
-            | None ->
-              Error
-                (Printf.sprintf
-                   "unknown service fault kind %S (expected stall|abort)" kind)))
-        | [ kind; stall ] -> (
-          match
-            ( String.lowercase_ascii (String.trim kind),
-              float_of_string_opt (String.trim stall) )
-          with
-          | _, None ->
-            Error (Printf.sprintf "invalid stall duration %S" stall)
-          | "stall", Some s -> mk 0.0 s
-          | "abort", Some s | "raise", Some s -> mk 1.0 s
-          | "mix", Some s -> mk 0.5 s
-          | k, _ ->
+        let by_kind k ~sec =
+          let stall_s = Option.value sec ~default:default_stall_s in
+          let hang_s = Option.value sec ~default:default_hang_s in
+          match k with
+          | "abort" | "raise" ->
+            mk 1.0 0.0 0.0 ~stall_s:default_stall_s ~hang_s:default_hang_s
+          | "stall" -> mk 0.0 0.0 0.0 ~stall_s ~hang_s:default_hang_s
+          | "mix" -> mk 0.5 0.0 0.0 ~stall_s ~hang_s:default_hang_s
+          | "crash" ->
+            mk 0.0 1.0 0.0 ~stall_s:default_stall_s ~hang_s:default_hang_s
+          | "hang" -> mk 0.0 0.0 1.0 ~stall_s:default_stall_s ~hang_s
+          | "chaos" ->
+            (* Equal quarters of every service fault the supervisor must
+               survive; SEC (when given) sets the stall length while hangs
+               keep their default so a low watchdog floor still fires. *)
+            mk 0.25 0.25 0.25 ~stall_s ~hang_s:default_hang_s
+          | _ ->
             Error
               (Printf.sprintf
-                 "unknown service fault kind %S (expected stall|abort|mix)" k))
+                 "unknown service fault kind %S (expected \
+                  stall|abort|mix|crash|hang|chaos)"
+                 k)
+        in
+        match rest with
+        | [] -> mk 0.5 0.0 0.0 ~stall_s:default_stall_s ~hang_s:default_hang_s
+        | [ kind ] | [ kind; "" ] -> (
+          let k = String.lowercase_ascii (String.trim kind) in
+          match float_of_string_opt k with
+          | Some sec ->
+            (* RATE:SECONDS shorthand for RATE:stall:SECONDS. *)
+            mk 0.0 0.0 0.0 ~stall_s:sec ~hang_s:default_hang_s
+          | None -> by_kind k ~sec:None)
+        | [ kind; sec ] -> (
+          match float_of_string_opt (String.trim sec) with
+          | None -> Error (Printf.sprintf "invalid fault duration %S" sec)
+          | Some s -> by_kind (String.lowercase_ascii (String.trim kind)) ~sec:(Some s))
         | _ -> Error (Printf.sprintf "malformed service fault spec %S" s)))
 
   let spec_to_string cfg =
-    Printf.sprintf "%g:mix:%g(abort=%g)" cfg.rate cfg.stall_s cfg.abort_frac
+    Printf.sprintf "%g:stall=%g,abort=%g,crash=%g,hang=%g(%gs)" cfg.rate
+      (Float.max 0.0 (1.0 -. cfg.abort_frac -. cfg.crash_frac -. cfg.hang_frac))
+      cfg.abort_frac cfg.crash_frac cfg.hang_frac cfg.hang_s
 end

@@ -63,37 +63,60 @@ val spec_to_string : config -> string
 
 (** Service-layer fault injection: chaos for the {e daemon}, not the
     device.  A plan here never changes what a sample computes — a [Stall]
-    only delays the worker, and an [Abort] raises {!Injected} {e before}
-    the sample body runs, so the retry ladder re-runs the identical
-    substream and recovers the identical value.  That value-neutrality is
-    what the daemon chaos drill leans on: a fault-injected service must
-    still serve bit-identical results.  Decisions use the same fmix64
-    [(seed, key)] scheme as the device planner (offset so a shared seed
-    does not correlate the streams); derive [key] from
-    [(sample index, attempt)] exactly as device injection does. *)
+    only delays the worker, an [Abort] raises {!Injected} {e before} the
+    sample body runs (so the retry ladder re-runs the identical substream
+    and recovers the identical value), a [Crash] asks the owning worker
+    domain to die at the next sample boundary (the supervisor requeues the
+    job, which resumes from its checkpoint journal), and a [Hang] freezes
+    the worker's heartbeat long enough for the hung-job watchdog to fire.
+    That value-neutrality is what the daemon chaos drill leans on: a
+    fault-injected service must still serve bit-identical results.
+    Decisions use the same fmix64 [(seed, key)] scheme as the device
+    planner (offset so a shared seed does not correlate the streams);
+    derive [key] from [(sample index, attempt, job attempt)] so every
+    requeue re-rolls its fault plan. *)
 module Service : sig
   type action =
     | Stall of float  (** worker sleeps this many seconds, then proceeds *)
     | Abort           (** worker raises {!Injected} before the sample runs *)
+    | Crash
+        (** worker domain raises {!Crashed} out of its domain body at the
+            next sample boundary — the supervisor observes the exception
+            through [Domain.join] and requeues the victim job *)
+    | Hang of float
+        (** worker stops heartbeating for this many seconds — long enough
+            (vs the watchdog budget) to be declared hung and replaced *)
+
+  exception Crashed of string
+  (** Raised by the service worker honouring a [Crash] plan; escapes the
+      worker domain by design. *)
 
   type config = {
     rate : float;        (** probability a key carries a fault, in [0,1] *)
-    abort_frac : float;  (** of fired faults, fraction that abort (rest stall) *)
-    stall_s : float;     (** stall duration, seconds *)
+    abort_frac : float;  (** of fired faults, fraction that abort *)
+    crash_frac : float;  (** ... fraction that kill the worker domain *)
+    hang_frac : float;   (** ... fraction that freeze the heartbeat *)
+    stall_s : float;     (** stall duration, seconds (remainder fraction) *)
+    hang_s : float;      (** heartbeat freeze duration, seconds *)
     seed : int;
   }
 
   val default_stall_s : float
+  val default_hang_s : float
 
   val plan : config -> key:int -> action option
   (** Pure function of [(config, key)].
       @raise Invalid_argument on a hand-built config with out-of-range
-      fields (same contract as the device-level {!val:plan}). *)
+      fields or kind fractions summing past 1 (same contract as the
+      device-level {!val:plan}). *)
 
   val parse_spec : ?seed:int -> string -> (config, string) result
-  (** CLI syntax [RATE[:KIND[:STALL_S]]] with KIND one of [stall], [abort]
-      (alias [raise]) or [mix] (default: half stalls, half aborts);
-      [RATE:SECONDS] is shorthand for [RATE:stall:SECONDS]. *)
+  (** CLI syntax [RATE[:KIND[:SEC]]] with KIND one of [stall], [abort]
+      (alias [raise]), [mix] (half stalls, half aborts — the default),
+      [crash], [hang], or [chaos] (equal quarters of stall / abort /
+      crash / hang); [SEC] sets the stall duration for [stall]/[mix]/
+      [chaos], the freeze duration for [hang].  [RATE:SECONDS] is
+      shorthand for [RATE:stall:SECONDS]. *)
 
   val spec_to_string : config -> string
 end

@@ -59,37 +59,52 @@ let request ?attempts ?seed ~socket_path req =
             | Error e -> Error (P.error_to_string e)
             | Ok resp -> Ok resp)))
 
-let submit ?attempts ?seed ~socket_path ~spec ~deadline_s () =
-  request ?attempts ?seed ~socket_path (P.Submit { spec; deadline_s })
+let submit ?attempts ?seed ?(client = "default") ~socket_path ~spec
+    ~deadline_s () =
+  request ?attempts ?seed ~socket_path (P.Submit { spec; deadline_s; client })
+
+type await_error =
+  | Await_quarantined of { attempts : int; detail : string }
+  | Await_failed of string
+
+let await_error_to_string = function
+  | Await_quarantined { attempts; detail } ->
+    Printf.sprintf "quarantined after %d attempt(s): %s" attempts detail
+  | Await_failed msg -> msg
 
 let await ?attempts ?seed ?(poll_s = 0.1) ?(timeout_s = 600.0) ~socket_path
     ~id () =
   let t0 = Deadline.now_ns () in
   let elapsed () = Int64.to_float (Int64.sub (Deadline.now_ns ()) t0) *. 1e-9 in
+  let fail fmt = Printf.ksprintf (fun m -> Error (Await_failed m)) fmt in
   let rec poll () =
     if elapsed () > timeout_s then
-      Error (Printf.sprintf "job %s: no result after %.0fs" id timeout_s)
+      fail "job %s: no result after %.0fs" id timeout_s
     else begin
       match request ?attempts ?seed ~socket_path (P.Status { id }) with
-      | Error _ as e -> e
+      | Error e -> Error (Await_failed e)
       | Ok (P.Job_status { state = P.Done; _ }) -> (
         match request ?attempts ?seed ~socket_path (P.Result { id }) with
-        | Error _ as e -> e
+        | Error e -> Error (Await_failed e)
         | Ok (P.Job_result summary) -> Ok summary
         | Ok other ->
-          Error
-            (Printf.sprintf "job %s: unexpected result response %s" id
-               (match other with
-               | P.Unknown_id _ -> "unknown-id"
-               | P.Shutting_down -> "shutting-down"
-               | _ -> "wrong-kind")))
+          fail "job %s: unexpected result response %s" id
+            (match other with
+            | P.Unknown_id _ -> "unknown-id"
+            | P.Shutting_down -> "shutting-down"
+            | _ -> "wrong-kind"))
+      | Ok (P.Job_status { state = P.Quarantined { attempts = a; detail }; _ })
+        ->
+        (* Terminal: the daemon will never run this job again.  Failing
+           fast here (rather than polling out the timeout) is the whole
+           point of the typed quarantine status. *)
+        Error (Await_quarantined { attempts = a; detail })
       | Ok (P.Job_status _) ->
         Unix.sleepf poll_s;
         poll ()
-      | Ok (P.Unknown_id _) ->
-        Error (Printf.sprintf "job %s: unknown to the daemon" id)
-      | Ok P.Shutting_down -> Error "daemon is shutting down"
-      | Ok _ -> Error (Printf.sprintf "job %s: unexpected status response" id)
+      | Ok (P.Unknown_id _) -> fail "job %s: unknown to the daemon" id
+      | Ok P.Shutting_down -> fail "daemon is shutting down"
+      | Ok _ -> fail "job %s: unexpected status response" id
     end
   in
   poll ()

@@ -22,7 +22,7 @@ type spec = {
 }
 
 type request =
-  | Submit of { spec : spec; deadline_s : float }
+  | Submit of { spec : spec; deadline_s : float; client : string }
   | Status of { id : string }
   | Result of { id : string }
   | Health
@@ -33,7 +33,11 @@ type reject_reason =
   | Over_deadline of { estimated_wait_s : float; deadline_s : float }
   | Bad_request of { detail : string }
 
-type job_state = Queued of { position : int } | Running | Done
+type job_state =
+  | Queued of { position : int }
+  | Running
+  | Done
+  | Quarantined of { attempts : int; detail : string }
 
 type summary = {
   id : string;
@@ -52,21 +56,38 @@ type summary = {
   values : float array;
 }
 
+type worker_health = {
+  wid : int;             (* pool slot *)
+  generation : int;      (* bumped every time the slot's worker is replaced *)
+  busy : string option;  (* running job id *)
+  heartbeat_age_s : float;
+  jobs_done : int;
+}
+
+type health = {
+  uptime_s : float;
+  queued : int;
+  running : int;
+  finished : int;
+  rejected : int;
+  cache_hits : int;
+  served : int;
+  requeued : int;          (* victim jobs put back after a crash/hang *)
+  quarantined : int;       (* jobs retired after exhausting retries *)
+  worker_crashes : int;
+  worker_hangs : int;
+  state_bytes : int;       (* journal/result state dir footprint *)
+  evicted : int;           (* journals removed by the LRU byte budget *)
+  workers : worker_health list;
+}
+
 type response =
   | Accepted of { id : string; cached : bool }
   | Rejected of { reason : reject_reason }
   | Job_status of { id : string; state : job_state }
   | Job_result of summary
   | Unknown_id of { id : string }
-  | Health_report of {
-      uptime_s : float;
-      queued : int;
-      running : int;
-      finished : int;
-      rejected : int;
-      cache_hits : int;
-      served : int;
-    }
+  | Health_report of health
   | Shutting_down
 
 type error =
@@ -91,7 +112,14 @@ let error_to_string = function
   | Bad_value { what; detail } -> Printf.sprintf "bad %s: %s" what detail
   | Io { detail } -> Printf.sprintf "socket error: %s" detail
 
-let version = 1
+let version = 2
+
+(* The canonical-spec grammar is versioned independently of the wire
+   protocol: a wire bump (new messages, new health fields) must not
+   re-address every cached journal, or a rolling upgrade would silently
+   discard finished work.  Bump this only when a change alters what a
+   sample computes. *)
+let canonical_version = 1
 
 (* Big enough for a 100k-sample result frame (8 B/value), small enough
    that a corrupt length prefix cannot provoke a giant allocation. *)
@@ -105,8 +133,9 @@ let kind_canonical = function
   | Idsat -> "idsat"
 
 let spec_canonical ~pipeline spec =
-  Printf.sprintf "v%d|kind=%s|n=%d|seed=%d|vdd=%.17g|retry=%d|pipe=%s" version
-    (kind_canonical spec.kind) spec.n spec.seed spec.vdd spec.retry pipeline
+  Printf.sprintf "v%d|kind=%s|n=%d|seed=%d|vdd=%.17g|retry=%d|pipe=%s"
+    canonical_version (kind_canonical spec.kind) spec.n spec.seed spec.vdd
+    spec.retry pipeline
 
 let field_value fields key =
   let prefix = key ^ "=" in
@@ -132,7 +161,7 @@ let spec_of_canonical s =
     | None -> Error (Printf.sprintf "canonical spec field %s=%S not an int" key v)
   in
   match fields with
-  | head :: _ when String.equal head (Printf.sprintf "v%d" version) ->
+  | head :: _ when String.equal head (Printf.sprintf "v%d" canonical_version) ->
     let* kind_s = get "kind" in
     let* kind =
       match String.split_on_char ':' kind_s with
@@ -201,10 +230,11 @@ let with_header f =
 let encode_request req =
   with_header (fun b ->
       match req with
-      | Submit { spec; deadline_s } ->
+      | Submit { spec; deadline_s; client } ->
         add_u8 b 1;
         add_spec b spec;
-        add_f64 b deadline_s
+        add_f64 b deadline_s;
+        add_str b client
       | Status { id } ->
         add_u8 b 2;
         add_str b id
@@ -260,24 +290,45 @@ let encode_response resp =
           add_u8 b 1;
           add_u32 b position
         | Running -> add_u8 b 2
-        | Done -> add_u8 b 3)
+        | Done -> add_u8 b 3
+        | Quarantined { attempts; detail } ->
+          add_u8 b 4;
+          add_u32 b attempts;
+          add_str b detail)
       | Job_result s ->
         add_u8 b 4;
         add_summary b s
       | Unknown_id { id } ->
         add_u8 b 5;
         add_str b id
-      | Health_report
-          { uptime_s; queued; running; finished; rejected; cache_hits; served }
-        ->
+      | Health_report h ->
         add_u8 b 6;
-        add_f64 b uptime_s;
-        add_u32 b queued;
-        add_u32 b running;
-        add_u32 b finished;
-        add_u32 b rejected;
-        add_u32 b cache_hits;
-        add_u32 b served
+        add_f64 b h.uptime_s;
+        add_u32 b h.queued;
+        add_u32 b h.running;
+        add_u32 b h.finished;
+        add_u32 b h.rejected;
+        add_u32 b h.cache_hits;
+        add_u32 b h.served;
+        add_u32 b h.requeued;
+        add_u32 b h.quarantined;
+        add_u32 b h.worker_crashes;
+        add_u32 b h.worker_hangs;
+        add_i64 b (Int64.of_int h.state_bytes);
+        add_u32 b h.evicted;
+        add_u32 b (List.length h.workers);
+        List.iter
+          (fun w ->
+            add_u32 b w.wid;
+            add_u32 b w.generation;
+            (match w.busy with
+            | None -> add_bool b false
+            | Some id ->
+              add_bool b true;
+              add_str b id);
+            add_f64 b w.heartbeat_age_s;
+            add_u32 b w.jobs_done)
+          h.workers
       | Shutting_down -> add_u8 b 7)
 
 (* --- decoding ---------------------------------------------------------- *)
@@ -370,7 +421,8 @@ let decode_request =
   | 1 ->
     let spec = get_spec cur in
     let deadline_s = finite "deadline" (get_f64 cur "deadline") in
-    Submit { spec; deadline_s }
+    let client = get_str cur "client id" in
+    Submit { spec; deadline_s; client }
   | 2 -> Status { id = get_str cur "job id" }
   | 3 -> Result { id = get_str cur "job id" }
   | 4 -> Health
@@ -441,6 +493,10 @@ let decode_response =
       | 1 -> Queued { position = get_u32 cur "queue position" }
       | 2 -> Running
       | 3 -> Done
+      | 4 ->
+        let attempts = get_u32 cur "quarantine attempts" in
+        let detail = get_str cur "quarantine detail" in
+        Quarantined { attempts; detail }
       | tag -> raise (Reject (Bad_tag { what = "job state"; tag }))
     in
     Job_status { id; state }
@@ -454,8 +510,47 @@ let decode_response =
     let rejected = get_u32 cur "rejected count" in
     let cache_hits = get_u32 cur "cache hit count" in
     let served = get_u32 cur "served count" in
+    let requeued = get_u32 cur "requeued count" in
+    let quarantined = get_u32 cur "quarantined count" in
+    let worker_crashes = get_u32 cur "worker crash count" in
+    let worker_hangs = get_u32 cur "worker hang count" in
+    let state_bytes = Int64.to_int (get_i64 cur "state bytes") in
+    let evicted = get_u32 cur "evicted count" in
+    let n_workers = get_u32 cur "worker count" in
+    (* A worker_health entry is at least 22 bytes on the wire; anything
+       past that bound is a corrupt count, not a plausible pool. *)
+    if n_workers > max_frame / 22 then
+      raise (Reject (Oversized { len = n_workers * 22; max = max_frame }));
+    let workers =
+      List.init n_workers (fun _ ->
+          let wid = get_u32 cur "worker id" in
+          let generation = get_u32 cur "worker generation" in
+          let busy =
+            if get_bool cur "worker busy flag" then
+              Some (get_str cur "worker busy id")
+            else None
+          in
+          let heartbeat_age_s = get_f64 cur "worker heartbeat age" in
+          let jobs_done = get_u32 cur "worker jobs done" in
+          { wid; generation; busy; heartbeat_age_s; jobs_done })
+    in
     Health_report
-      { uptime_s; queued; running; finished; rejected; cache_hits; served }
+      {
+        uptime_s;
+        queued;
+        running;
+        finished;
+        rejected;
+        cache_hits;
+        served;
+        requeued;
+        quarantined;
+        worker_crashes;
+        worker_hangs;
+        state_bytes;
+        evicted;
+        workers;
+      }
   | 7 -> Shutting_down
   | tag -> raise (Reject (Bad_tag { what = "response"; tag }))
 

@@ -54,8 +54,12 @@ val job_id : string -> string
 (** {1 Messages} *)
 
 type request =
-  | Submit of { spec : spec; deadline_s : float }
-      (** [deadline_s <= 0.] means no deadline *)
+  | Submit of { spec : spec; deadline_s : float; client : string }
+      (** [deadline_s <= 0.] means no deadline.  [client] is an opaque
+          fairness identity: the daemon serves queued jobs round-robin
+          across client ids, so one flooding client delays only itself.
+          It is not part of the job identity — two clients submitting the
+          same spec share one cached result. *)
   | Status of { id : string }
   | Result of { id : string }
   | Health
@@ -70,6 +74,10 @@ type job_state =
   | Queued of { position : int }  (** 0 = next to run *)
   | Running
   | Done
+  | Quarantined of { attempts : int; detail : string }
+      (** terminal: the job took down (or hung) a worker [attempts] times
+          and will not be retried again; [detail] records the last
+          failure.  Clients must treat this as a final answer, not poll. *)
 
 type summary = {
   id : string;
@@ -89,21 +97,38 @@ type summary = {
                            bit-identity contract is checked on these *)
 }
 
+type worker_health = {
+  wid : int;             (** pool slot index, stable across replacements *)
+  generation : int;      (** bumped each time the slot's domain is replaced *)
+  busy : string option;  (** id of the job the worker is running, if any *)
+  heartbeat_age_s : float;  (** seconds since the worker last heartbeat *)
+  jobs_done : int;       (** jobs this slot has completed (all generations) *)
+}
+
+type health = {
+  uptime_s : float;
+  queued : int;
+  running : int;
+  finished : int;
+  rejected : int;
+  cache_hits : int;
+  served : int;
+  requeued : int;        (** victim jobs requeued after a crash or hang *)
+  quarantined : int;     (** jobs retired after exhausting the retry budget *)
+  worker_crashes : int;  (** worker domains that died with an exception *)
+  worker_hangs : int;    (** workers replaced by the heartbeat watchdog *)
+  state_bytes : int;     (** journal/result state-dir footprint, bytes *)
+  evicted : int;         (** journals evicted by the LRU byte budget *)
+  workers : worker_health list;  (** one entry per pool slot *)
+}
+
 type response =
   | Accepted of { id : string; cached : bool }
   | Rejected of { reason : reject_reason }
   | Job_status of { id : string; state : job_state }
   | Job_result of summary
   | Unknown_id of { id : string }
-  | Health_report of {
-      uptime_s : float;
-      queued : int;
-      running : int;
-      finished : int;
-      rejected : int;
-      cache_hits : int;
-      served : int;
-    }
+  | Health_report of health
   | Shutting_down
 
 (** {1 Codec} *)
@@ -124,6 +149,14 @@ type error =
 val error_to_string : error -> string
 
 val version : int
+(** Wire protocol version; a mismatch yields [Bad_version]. *)
+
+val canonical_version : int
+(** Version of the {!spec_canonical} grammar, deliberately decoupled from
+    the wire {!version}: wire changes (new messages, richer health) must
+    not re-address cached journals.  Bump only when a change alters what a
+    sample computes. *)
+
 val max_frame : int
 
 val encode_request : request -> string

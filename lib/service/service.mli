@@ -1,19 +1,37 @@
 (** The [vstatd] daemon: a Unix-domain-socket variation-analysis service.
 
-    One process, two domains.  The accept domain speaks the one-shot
-    {!Protocol} (connect, one request frame, one response frame, close)
-    and performs {e admission control}; a single worker domain executes
-    queued jobs through {!Vstat_runtime.Checkpoint.run}, so each job
-    inherits the whole robustness stack: retry ladder, deadline watchdog
-    with graceful partial results, and crash-safe journaling.
+    One process, [workers + 2] domains.  The accept domain speaks the
+    one-shot {!Protocol} (connect, one request frame, one response frame,
+    close) and performs {e admission control}; a pool of worker domains
+    executes queued jobs through {!Vstat_runtime.Checkpoint.run}, so each
+    job inherits the whole robustness stack: retry ladder, deadline
+    watchdog with graceful partial results, and crash-safe journaling.  A
+    supervisor domain watches the pool.
 
     Robustness contract:
 
     - {b Bounded admission.}  A submit is answered [Accepted] or typed
       [Rejected] ([Bad_request] for invalid specs, [Over_deadline] when
-      the EWMA backlog estimate says the request cannot finish inside its
-      own deadline, [Queue_full] past [queue_max]).  The queue never grows
-      without bound; overload sheds load instead of collapsing.
+      the EWMA backlog estimate — divided by the pool width — says the
+      request cannot finish inside its own deadline, [Queue_full] past
+      [queue_max]).  The queue never grows without bound; overload sheds
+      load instead of collapsing.
+    - {b Fair queueing.}  Queued jobs are served round-robin across the
+      client identities given at submit time ({!Fair_queue}): a client
+      flooding the queue delays only itself, and per-client FIFO order is
+      preserved.
+    - {b Supervision.}  Every worker heartbeats at each sample boundary.
+      The supervisor detects crashed workers (the domain exited with an
+      exception, observed via [Domain.join]) and hung workers (no
+      heartbeat past a watchdog budget derived from the EWMA per-sample
+      estimate, floored at [hang_timeout_s]).  Victim jobs are requeued
+      at the front of their client's line and resume from their
+      checkpoint journal — the recovered summary is bit-identical to an
+      uninterrupted run.  A job that keeps destroying workers is retired
+      after [poison_retries] rounds with a terminal
+      {!Protocol.job_state.Quarantined} status.  Hung domains cannot be
+      killed in OCaml; they are retired in place and their stale results
+      discarded by an ownership check.
     - {b Deadlines degrade, not fail.}  A deadline-limited job returns a
       partial {!Protocol.summary}: fewer samples, honestly wider
       confidence interval, [cause = "deadline"].
@@ -26,47 +44,71 @@
       naming the file.  Because every sample is a pure function of
       [(spec, index)], a killed-and-restarted daemon returns the same
       bytes an uninterrupted one would.
-    - {b Chaos.}  {!Vstat_device.Fault_inject.Service} faults (worker
-      stalls, pre-sample aborts) can be armed daemon-wide; they perturb
-      timing and exercise the retry ladder without changing any value. *)
+    - {b Bounded state.}  [state_max_bytes > 0] caps the journal/manifest
+      directory: least-recently-finished files are evicted first
+      (quarantined [.bad] files before live journals; queued and running
+      jobs are never evicted).
+    - {b Chaos.}  {!Vstat_device.Fault_inject.Service} faults can be
+      armed daemon-wide: stalls and pre-sample aborts exercise the retry
+      ladder; worker crashes and heartbeat hangs exercise the supervisor.
+      All are value-neutral — an injected daemon still serves
+      bit-identical results (or a typed quarantine). *)
 
 type config = {
   socket_path : string;
   state_dir : string;       (** journal cache directory (created if absent) *)
   queue_max : int;          (** admission bound on queued jobs, >= 1 *)
-  jobs : int;               (** worker-pool width per job; 0 = runtime default *)
+  workers : int;            (** worker-pool width: concurrent jobs, >= 1 *)
+  jobs : int;               (** runtime pool width per job; 0 = default *)
+  poison_retries : int;
+      (** rounds a job may crash/hang its worker before quarantine, >= 1 *)
+  hang_timeout_s : float;
+      (** watchdog floor: a busy worker silent this long is hung, > 0 *)
+  state_max_bytes : int;
+      (** LRU byte budget for [state_dir]; 0 = unbounded *)
   pipeline_seed : int;      (** statistical-VS extraction seed *)
   mc_per_geometry : int;    (** extraction MC size (small = fast startup) *)
   inject : Vstat_device.Fault_inject.Service.config option;
-      (** service-layer chaos: stalls / aborts, value-neutral *)
+      (** service-layer chaos: stalls / aborts / crashes / hangs *)
 }
 
 val default_config : config
-(** [queue_max = 32], [jobs = 1], pipeline seed 42 with 300 samples per
-    geometry, no injection; socket and state dir under ["./vstatd-state"]. *)
+(** [queue_max = 32], [workers = 1], [jobs = 1], [poison_retries = 3],
+    [hang_timeout_s = 30.], unbounded state dir, pipeline seed 42 with 300
+    samples per geometry, no injection; socket and state dir under
+    ["./vstatd-state"]. *)
 
 val pipeline_signature : config -> string
 (** The [pipe=] component of every canonical spec string this daemon
     produces: jobs from daemons with different extraction settings never
     share cache entries. *)
 
+val estimate_wait_s :
+  ewma_sample_s:float -> backlog_samples:int -> workers:int -> float
+(** The admission wait estimate: smoothed per-sample seconds times the
+    backlog (in samples), divided by the worker-pool width — [workers]
+    jobs drain concurrently, so the expected wait shrinks accordingly.
+    Exposed pure for tests; clamps [workers] to at least 1. *)
+
 type t
 
 val create : ?pipeline:Vstat_core.Pipeline.t -> config -> t
 (** Build the statistical pipeline (the expensive part), bind the listen
-    socket, recover journals from [state_dir], and start the worker
-    domain.  [pipeline] skips the build for in-process harnesses — the
-    caller must pass one whose seed and extraction size match the config,
-    since {!pipeline_signature} is baked into every cache identity.
+    socket, recover journals from [state_dir], and start the worker pool
+    and supervisor domains.  [pipeline] skips the build for in-process
+    harnesses — the caller must pass one whose seed and extraction size
+    match the config, since {!pipeline_signature} is baked into every
+    cache identity.
     @raise Unix.Unix_error if the socket cannot be bound or
     Invalid_argument on a nonsensical config. *)
 
 val serve : t -> unit
 (** Blocking accept loop.  Returns after {!stop} is called (from a signal
     handler or another domain) or a [Shutdown] request arrives, having
-    joined the worker, closed the socket and unlinked the socket path.
-    The worker drains gracefully: an in-flight job stops at the next
-    sample boundary and flushes its journal, so nothing is lost. *)
+    joined the supervisor and every worker (current and retired), closed
+    the socket and unlinked the socket path.  Workers drain gracefully:
+    an in-flight job stops at the next sample boundary and flushes its
+    journal, so nothing is lost. *)
 
 val stop : t -> unit
 (** Request shutdown (idempotent, async-signal-safe: sets a flag). *)

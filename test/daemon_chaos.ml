@@ -39,12 +39,17 @@ let die fmt =
       exit 1)
     fmt
 
-let config ~dir ~jobs ~inject =
+let config ?(workers = 1) ?(poison_retries = 3) ?(hang_timeout_s = 30.0)
+    ?(state_max_bytes = 0) ~dir ~jobs ~inject () =
   {
     S.socket_path = Filename.concat dir "vstatd.sock";
     state_dir = dir;
-    queue_max = 8;
+    queue_max = 16;
+    workers;
     jobs;
+    poison_retries;
+    hang_timeout_s;
+    state_max_bytes;
     pipeline_seed;
     mc_per_geometry;
     inject;
@@ -86,8 +91,8 @@ let ping ~socket_path =
   | Ok _ -> die "unexpected response to health ping"
   | Error m -> die "health ping failed: %s" m
 
-let submit ~socket_path =
-  match Client.submit ~socket_path ~spec ~deadline_s:0.0 () with
+let submit ?client ?(job = spec) ~socket_path () =
+  match Client.submit ?client ~socket_path ~spec:job ~deadline_s:0.0 () with
   | Ok (P.Accepted { id; _ }) -> id
   | Ok (P.Rejected { reason = P.Bad_request { detail } }) ->
     die "submit rejected: %s" detail
@@ -97,7 +102,7 @@ let submit ~socket_path =
 let fetch ~socket_path ~id =
   match Client.await ~socket_path ~id () with
   | Ok s -> s
-  | Error m -> die "await %s failed: %s" id m
+  | Error e -> die "await %s failed: %s" id (Client.await_error_to_string e)
 
 let shutdown ~socket_path =
   match Client.request ~socket_path P.Shutdown with
@@ -149,9 +154,9 @@ let () =
   (* --- golden: uninterrupted, jobs:1, no injection ------------------- *)
   let golden_dir = fresh_dir "golden" in
   let golden_sock = Filename.concat golden_dir "vstatd.sock" in
-  let pid = spawn_daemon (config ~dir:golden_dir ~jobs:1 ~inject:None) in
+  let pid = spawn_daemon (config ~dir:golden_dir ~jobs:1 ~inject:None ()) in
   ping ~socket_path:golden_sock;
-  let id = submit ~socket_path:golden_sock in
+  let id = submit ~socket_path:golden_sock () in
   let golden = fetch ~socket_path:golden_sock ~id in
   shutdown ~socket_path:golden_sock;
   wait_exit pid "golden";
@@ -170,9 +175,9 @@ let () =
     | Ok c -> Some c
     | Error m -> die "inject spec: %s" m
   in
-  let pid = spawn_daemon (config ~dir ~jobs:2 ~inject) in
+  let pid = spawn_daemon (config ~dir ~jobs:2 ~inject ()) in
   ping ~socket_path:sock;
-  let id' = submit ~socket_path:sock in
+  let id' = submit ~socket_path:sock () in
   if not (String.equal id id') then
     die "job id differs across daemons (%s vs %s): content address broken" id
       id';
@@ -204,9 +209,9 @@ let () =
     | Ok c -> Some c
     | Error m -> die "inject spec: %s" m
   in
-  let pid = spawn_daemon (config ~dir ~jobs:4 ~inject) in
+  let pid = spawn_daemon (config ~dir ~jobs:4 ~inject ()) in
   ping ~socket_path:sock;
-  let id'' = submit ~socket_path:sock in
+  let id'' = submit ~socket_path:sock () in
   if not (String.equal id id'') then
     die "job id changed across restart (%s vs %s)" id id'';
   let resumed = fetch ~socket_path:sock ~id in
@@ -218,4 +223,88 @@ let () =
     "daemon_chaos: restart re-served %s bit-identically (cached=%b, \
      retried=%d)\n%!"
     id resumed.P.cached resumed.P.retried;
+
+  (* --- pool: workers:4, multiple clients, chaos injection ------------ *)
+  (* A low-rate chaos mix (quarter stalls, aborts, crashes, hangs) with a
+     tight watchdog floor: worker domains are expected to die and freeze
+     mid-job, the supervisor to requeue their victims onto replacement
+     generations, and every summary to land anyway.  The golden spec
+     rides along under its own client so its result can be checked
+     bit-for-bit against the uninterrupted phase-1 run. *)
+  let dir = fresh_dir "pool" in
+  let sock = Filename.concat dir "vstatd.sock" in
+  let inject =
+    match FS.parse_spec "0.003:chaos:0.005" with
+    | Ok c -> Some c
+    | Error m -> die "inject spec: %s" m
+  in
+  (* The watchdog floor is deliberately below the injected hang length
+     (0.75 s default) so real hangs are detected; a loaded machine may
+     also trip it spuriously, which is safe — requeue is value-neutral —
+     so the retry budget is set far above any plausible requeue count. *)
+  let pid =
+    spawn_daemon
+      (config ~workers:4 ~poison_retries:30 ~hang_timeout_s:0.25 ~dir ~jobs:1
+         ~inject ())
+  in
+  ping ~socket_path:sock;
+  let others =
+    List.init 6 (fun i ->
+        let job = { spec with P.seed = spec.P.seed + 1 + i } in
+        let client = Printf.sprintf "c%d" (i mod 3) in
+        submit ~client ~job ~socket_path:sock ())
+  in
+  let id_pool = submit ~client:"golden" ~socket_path:sock () in
+  if not (String.equal id id_pool) then
+    die "job id changed under the pool daemon (%s vs %s)" id id_pool;
+  let pooled = fetch ~socket_path:sock ~id:id_pool in
+  List.iter (fun jid -> ignore (fetch ~socket_path:sock ~id:jid)) others;
+  (match Client.request ~socket_path:sock P.Health with
+  | Ok (P.Health_report h) ->
+    if List.length h.P.workers <> 4 then
+      die "health reports %d workers, want 4" (List.length h.P.workers);
+    if h.P.quarantined <> 0 then
+      die "pool drill quarantined %d job(s) unexpectedly" h.P.quarantined;
+    Printf.printf
+      "daemon_chaos: pool survived chaos (requeued=%d crashes=%d hangs=%d \
+       finished=%d)\n%!"
+      h.P.requeued h.P.worker_crashes h.P.worker_hangs h.P.finished
+  | Ok _ -> die "unexpected response to pool health"
+  | Error m -> die "pool health failed: %s" m);
+  shutdown ~socket_path:sock;
+  wait_exit pid "pool";
+  assert_summary_identical "pool vs golden" golden pooled;
+  Printf.printf "daemon_chaos: pool re-derived %s bit-identically\n%!" id_pool;
+
+  (* --- poison: every sample crashes the worker; expect quarantine ---- *)
+  let dir = fresh_dir "poison" in
+  let sock = Filename.concat dir "vstatd.sock" in
+  let inject =
+    match FS.parse_spec "1:crash" with
+    | Ok c -> Some c
+    | Error m -> die "inject spec: %s" m
+  in
+  let pid =
+    spawn_daemon
+      (config ~workers:2 ~poison_retries:3 ~hang_timeout_s:0.25 ~dir ~jobs:1
+         ~inject ())
+  in
+  ping ~socket_path:sock;
+  let poison_job = { spec with P.n = 60; P.seed = 77 } in
+  let qid = submit ~job:poison_job ~socket_path:sock () in
+  (match Client.await ~socket_path:sock ~id:qid () with
+  | Error (Client.Await_quarantined { attempts; detail }) ->
+    if attempts <> 3 then
+      die "poison job quarantined after %d attempts, want 3" attempts;
+    Printf.printf "daemon_chaos: poison job quarantined after %d attempts \
+                   (%s)\n%!"
+      attempts detail
+  | Ok _ -> die "poison job finished despite rate-1 crash injection"
+  | Error e ->
+    die "poison await failed oddly: %s" (Client.await_error_to_string e));
+  (* The daemon itself must outlive its poisoned workers. *)
+  ping ~socket_path:sock;
+  shutdown ~socket_path:sock;
+  wait_exit pid "poison";
+
   print_endline "daemon_chaos: PASS"

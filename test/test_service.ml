@@ -8,6 +8,7 @@
 
 module P = Vstat_service.Protocol
 module S = Vstat_service.Service
+module FQ = Vstat_service.Fair_queue
 module FS = Vstat_device.Fault_inject.Service
 
 (* --- generators -------------------------------------------------------- *)
@@ -38,7 +39,7 @@ let gen_request =
     [
       (gen_spec >>= fun spec ->
        float_range (-1.0) 60.0 >>= fun deadline_s ->
-       return (P.Submit { spec; deadline_s }));
+       gen_id >>= fun client -> return (P.Submit { spec; deadline_s; client }));
       map (fun id -> P.Status { id }) gen_id;
       map (fun id -> P.Result { id }) gen_id;
       return P.Health;
@@ -108,20 +109,53 @@ let gen_response =
            map (fun position -> P.Queued { position }) (int_range 0 100);
            return P.Running;
            return P.Done;
+           (int_range 1 16 >>= fun attempts ->
+            gen_id >>= fun detail ->
+            return (P.Quarantined { attempts; detail }));
          ]
        >>= fun state -> return (P.Job_status { id; state }));
       map (fun s -> P.Job_result s) gen_summary;
       map (fun id -> P.Unknown_id { id }) gen_id;
       (float_range 0.0 1e6 >>= fun uptime_s ->
        int_range 0 100 >>= fun queued ->
-       int_range 0 1 >>= fun running ->
+       int_range 0 8 >>= fun running ->
        int_range 0 1000 >>= fun finished ->
        int_range 0 1000 >>= fun rejected ->
        int_range 0 1000 >>= fun cache_hits ->
        int_range 0 1000 >>= fun served ->
+       int_range 0 100 >>= fun requeued ->
+       int_range 0 100 >>= fun quarantined ->
+       int_range 0 100 >>= fun worker_crashes ->
+       int_range 0 100 >>= fun worker_hangs ->
+       int_range 0 1_000_000 >>= fun state_bytes ->
+       int_range 0 100 >>= fun evicted ->
+       list_size (int_range 0 8)
+         (int_range 0 7 >>= fun wid ->
+          int_range 1 50 >>= fun generation ->
+          opt gen_id >>= fun busy ->
+          float_range 0.0 60.0 >>= fun heartbeat_age_s ->
+          int_range 0 500 >>= fun jobs_done ->
+          return
+            { P.wid; generation; busy; heartbeat_age_s; jobs_done })
+       >>= fun workers ->
        return
          (P.Health_report
-            { uptime_s; queued; running; finished; rejected; cache_hits; served }));
+            {
+              uptime_s;
+              queued;
+              running;
+              finished;
+              rejected;
+              cache_hits;
+              served;
+              requeued;
+              quarantined;
+              worker_crashes;
+              worker_hangs;
+              state_bytes;
+              evicted;
+              workers;
+            }));
       return P.Shutting_down;
     ]
 
@@ -202,8 +236,9 @@ let prop_canonical_roundtrip =
       | Ok spec' ->
         (* Compare through the binary codec: bit-exact on vdd. *)
         String.equal
-          (P.encode_request (P.Submit { spec; deadline_s = 0.0 }))
-          (P.encode_request (P.Submit { spec = spec'; deadline_s = 0.0 }))
+          (P.encode_request (P.Submit { spec; deadline_s = 0.0; client = "c" }))
+          (P.encode_request
+             (P.Submit { spec = spec'; deadline_s = 0.0; client = "c" }))
         && String.equal (Option.get (P.canonical_pipeline canonical)) "42:300")
 
 (* --- framing ----------------------------------------------------------- *)
@@ -269,15 +304,29 @@ let test_bad_version () =
 
 (* --- service-layer fault injection ------------------------------------- *)
 
+let base_cfg =
+  {
+    FS.rate = 0.3;
+    abort_frac = 0.5;
+    crash_frac = 0.0;
+    hang_frac = 0.0;
+    stall_s = 0.01;
+    hang_s = 0.5;
+    seed = 7;
+  }
+
 let test_service_plan_deterministic () =
-  let cfg = { FS.rate = 0.3; abort_frac = 0.5; stall_s = 0.01; seed = 7 } in
+  let cfg = base_cfg in
   let fired = ref 0 and aborts = ref 0 in
   for key = 0 to 9_999 do
     (match FS.plan cfg ~key with
     | None -> ()
     | Some a -> (
       incr fired;
-      (match a with FS.Abort -> incr aborts | FS.Stall _ -> ());
+      (match a with
+      | FS.Abort -> incr aborts
+      | FS.Stall _ -> ()
+      | FS.Crash | FS.Hang _ -> Alcotest.fail "zero-fraction kind fired");
       (* replay: pure function of (config, key) *)
       match (FS.plan cfg ~key, a) with
       | Some (FS.Stall _), FS.Stall _ | Some FS.Abort, FS.Abort -> ()
@@ -288,9 +337,39 @@ let test_service_plan_deterministic () =
   let abort_frac = Float.of_int !aborts /. Float.of_int !fired in
   Alcotest.(check bool) "abort split" true (abort_frac > 0.4 && abort_frac < 0.6)
 
+let test_service_plan_chaos_split () =
+  (* Equal quarters: each kind's observed share stays near 0.25. *)
+  let cfg =
+    {
+      base_cfg with
+      FS.rate = 1.0;
+      abort_frac = 0.25;
+      crash_frac = 0.25;
+      hang_frac = 0.25;
+    }
+  in
+  let stalls = ref 0 and aborts = ref 0 and crashes = ref 0 and hangs = ref 0 in
+  for key = 0 to 9_999 do
+    match FS.plan cfg ~key with
+    | Some (FS.Stall _) -> incr stalls
+    | Some FS.Abort -> incr aborts
+    | Some FS.Crash -> incr crashes
+    | Some (FS.Hang s) ->
+      if not (Float.equal s cfg.FS.hang_s) then
+        Alcotest.fail "hang duration not propagated";
+      incr hangs
+    | None -> Alcotest.fail "rate 1 did not fire"
+  done;
+  List.iter
+    (fun (label, count) ->
+      let share = Float.of_int !count /. 10_000.0 in
+      if share < 0.2 || share > 0.3 then
+        Alcotest.failf "%s share %.3f outside [0.2, 0.3]" label share)
+    [ ("stall", stalls); ("abort", aborts); ("crash", crashes); ("hang", hangs) ]
+
 let test_service_plan_edges () =
-  let none = { FS.rate = 0.0; abort_frac = 0.5; stall_s = 0.01; seed = 1 } in
-  let all = { FS.rate = 1.0; abort_frac = 1.0; stall_s = 0.01; seed = 1 } in
+  let none = { base_cfg with FS.rate = 0.0 } in
+  let all = { base_cfg with FS.rate = 1.0; abort_frac = 1.0 } in
   for key = 0 to 99 do
     (match FS.plan none ~key with
     | None -> ()
@@ -301,7 +380,12 @@ let test_service_plan_edges () =
   done;
   (match FS.plan { none with FS.rate = Float.nan } ~key:0 with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "NaN rate accepted")
+  | _ -> Alcotest.fail "NaN rate accepted");
+  match
+    FS.plan { base_cfg with FS.abort_frac = 0.6; crash_frac = 0.6 } ~key:0
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fractions summing past 1 accepted"
 
 let test_service_parse_spec () =
   let ok s check =
@@ -319,12 +403,22 @@ let test_service_parse_spec () =
   ok "0.2:stall:0.5" (fun c ->
       Alcotest.(check bool) "stall secs" true
         (c.FS.stall_s > 0.49 && c.FS.stall_s < 0.51));
+  ok "0.2:crash" (fun c ->
+      Alcotest.(check bool) "crash" true (c.FS.crash_frac > 0.99));
+  ok "0.2:hang:0.4" (fun c ->
+      Alcotest.(check bool) "hang secs" true
+        (c.FS.hang_frac > 0.99 && c.FS.hang_s > 0.39 && c.FS.hang_s < 0.41));
+  ok "0.8:chaos" (fun c ->
+      Alcotest.(check bool) "chaos quarters" true
+        (c.FS.abort_frac > 0.24 && c.FS.abort_frac < 0.26
+        && c.FS.crash_frac > 0.24 && c.FS.crash_frac < 0.26
+        && c.FS.hang_frac > 0.24 && c.FS.hang_frac < 0.26));
   List.iter
     (fun bad ->
       match FS.parse_spec bad with
       | Ok _ -> Alcotest.failf "accepted bad spec %S" bad
       | Error _ -> ())
-    [ "x"; "1.5"; "-0.1"; "0.1:frob"; "0.1:stall:-1"; "" ]
+    [ "x"; "1.5"; "-0.1"; "0.1:frob"; "0.1:stall:-1"; "0.1:hang:x"; "" ]
 
 (* --- admission validation --------------------------------------------- *)
 
@@ -350,6 +444,104 @@ let test_validate () =
       ("vdd nan", { base with P.vdd = Float.nan });
       ("fanout=0", { base with P.kind = P.Inverter_tpd { fanout = 0 } });
     ]
+
+let test_estimate_wait () =
+  let near a b = Float.abs (a -. b) < 1e-12 in
+  Alcotest.(check bool) "single worker" true
+    (near (S.estimate_wait_s ~ewma_sample_s:0.01 ~backlog_samples:400 ~workers:1) 4.0);
+  Alcotest.(check bool) "pool divides" true
+    (near (S.estimate_wait_s ~ewma_sample_s:0.01 ~backlog_samples:400 ~workers:4) 1.0);
+  Alcotest.(check bool) "workers clamped to 1" true
+    (near (S.estimate_wait_s ~ewma_sample_s:0.01 ~backlog_samples:400 ~workers:0) 4.0);
+  Alcotest.(check bool) "cold ewma is free" true
+    (near (S.estimate_wait_s ~ewma_sample_s:0.0 ~backlog_samples:1000 ~workers:2) 0.0)
+
+(* --- fair queue --------------------------------------------------------- *)
+
+(* K clients each push a burst, then everything is popped.  Round-robin
+   fairness: at every pop prefix, any two clients that still hold pending
+   jobs have been served within one job of each other; and the pop order
+   restricted to one client is that client's push order (per-client
+   FIFO). *)
+let prop_fair_queue_skew =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 5) (int_range 0 12)
+      >>= fun sizes -> return sizes)
+  in
+  QCheck.Test.make ~name:"fair queue: bounded skew + per-client FIFO"
+    ~count:300 (QCheck.make gen) (fun sizes ->
+      let q = FQ.create () in
+      let clients = List.mapi (fun i m -> (Printf.sprintf "c%d" i, m)) sizes in
+      List.iter
+        (fun (c, m) ->
+          for j = 0 to m - 1 do
+            FQ.push q ~client:c (c, j)
+          done)
+        clients;
+      let total = List.fold_left (fun a (_, m) -> a + m) 0 clients in
+      if FQ.length q <> total then false
+      else begin
+        let served = Hashtbl.create 8 in
+        let count c = Option.value (Hashtbl.find_opt served c) ~default:0 in
+        let ok = ref true in
+        for _ = 1 to total do
+          match FQ.pop q with
+          | None -> ok := false
+          | Some (c, j) ->
+            (* per-client FIFO: jobs arrive in push order *)
+            if j <> count c then ok := false;
+            Hashtbl.replace served c (count c + 1);
+            (* bounded skew among clients that still hold jobs *)
+            let pending_counts =
+              List.filter_map
+                (fun (d, m) -> if m - count d > 0 then Some (count d) else None)
+                clients
+            in
+            (match pending_counts with
+            | [] -> ()
+            | x :: rest ->
+              let mn = List.fold_left Int.min x rest in
+              let mx = List.fold_left Int.max x rest in
+              if mx - mn > 1 then ok := false)
+        done;
+        !ok && FQ.is_empty q
+      end)
+
+let test_fair_queue_push_front () =
+  let q = FQ.create () in
+  FQ.push q ~client:"a" 1;
+  FQ.push q ~client:"a" 2;
+  FQ.push q ~client:"b" 10;
+  Alcotest.(check int) "clients" 2 (FQ.clients q);
+  (match FQ.pop q with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "expected a's first job");
+  (* The requeue path: a's victim job goes back at the front of a's own
+     line, without jumping b's turn in the rotation. *)
+  FQ.push_front q ~client:"a" 1;
+  let drained = List.init 3 (fun _ -> FQ.pop q) in
+  (match drained with
+  | [ Some 10; Some 1; Some 2 ] -> ()
+  | _ -> Alcotest.fail "push_front broke rotation or per-client order");
+  Alcotest.(check bool) "empty" true (FQ.is_empty q);
+  Alcotest.(check int) "position of absent" (-1)
+    (FQ.position q (fun _ -> true))
+
+let test_fair_queue_position () =
+  let q = FQ.create () in
+  FQ.push q ~client:"a" 1;
+  FQ.push q ~client:"a" 2;
+  FQ.push q ~client:"b" 10;
+  FQ.push q ~client:"c" 20;
+  (* RR drain order: a:1, b:10, c:20, a:2 *)
+  List.iter
+    (fun (v, want) ->
+      Alcotest.(check int)
+        (Printf.sprintf "position of %d" v)
+        want
+        (FQ.position q (fun x -> x = v)))
+    [ (1, 0); (10, 1); (20, 2); (2, 3) ]
 
 let () =
   Alcotest.run "vstat_service"
@@ -380,10 +572,24 @@ let () =
         [
           Alcotest.test_case "plan deterministic, rates respected" `Quick
             test_service_plan_deterministic;
+          Alcotest.test_case "chaos kind split" `Quick
+            test_service_plan_chaos_split;
           Alcotest.test_case "edge rates and validation" `Quick
             test_service_plan_edges;
           Alcotest.test_case "spec parsing" `Quick test_service_parse_spec;
         ] );
       ( "admission",
-        [ Alcotest.test_case "spec validation" `Quick test_validate ] );
+        [
+          Alcotest.test_case "spec validation" `Quick test_validate;
+          Alcotest.test_case "wait estimate divides by pool width" `Quick
+            test_estimate_wait;
+        ] );
+      ( "fair_queue",
+        [
+          QCheck_alcotest.to_alcotest prop_fair_queue_skew;
+          Alcotest.test_case "push_front requeues without jumping turns"
+            `Quick test_fair_queue_push_front;
+          Alcotest.test_case "position simulates round-robin drain" `Quick
+            test_fair_queue_position;
+        ] );
     ]
